@@ -1,0 +1,5 @@
+"""Benchmark suite: one module per paper table/figure plus ablations.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` (the ``-s`` shows the
+regenerated tables/series inline).
+"""

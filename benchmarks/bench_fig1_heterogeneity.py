@@ -1,0 +1,46 @@
+"""FIG1 — Multi-GPU heterogeneity on an identical sparse batch (Figure 1).
+
+Paper: "given the same training batch, the gap between the fastest and
+slowest GPU is as large as 32% when performing an epoch of the training
+algorithm on a server with 4 NVIDIA V100 GPUs."
+
+This bench times one identical epoch on every virtual GPU and prints the
+per-device epoch times plus the fastest↔slowest gap; the gap should land in
+the tens of percent, approaching the configured 32% base spread.
+"""
+
+from benchmarks.conftest import bench_seed
+from repro.harness.figures import fig1_heterogeneity
+from repro.harness.report import render_fig1
+
+
+def test_fig1_heterogeneity(once):
+    rows = once(
+        fig1_heterogeneity,
+        n_gpus=4,
+        dataset="amazon670k-bench",
+        batch_size=256,
+        n_epoch_batches=16,
+        seed=bench_seed(),
+    )
+    print()
+    print(render_fig1(rows))
+    gap = max(r["relative_slowdown"] for r in rows)
+    assert 0.15 < gap < 0.45, f"heterogeneity gap {gap:.1%} out of expected band"
+
+
+def test_fig1_gap_vanishes_on_uniform_hardware(once):
+    """Control: with max_gap=0 only oscillation/jitter remains (a few %)."""
+    rows = once(
+        fig1_heterogeneity,
+        n_gpus=4,
+        dataset="amazon670k-bench",
+        batch_size=256,
+        n_epoch_batches=16,
+        seed=bench_seed(),
+        max_gap=0.0,
+    )
+    print()
+    print(render_fig1(rows))
+    gap = max(r["relative_slowdown"] for r in rows)
+    assert gap < 0.15

@@ -1,0 +1,75 @@
+"""FIG5 — Scalability: Adaptive SGD vs SLIDE (Figure 5a/5b).
+
+Figure 5a (time-to-accuracy): Adaptive SGD at 1, 2, and 4 GPUs against the
+SLIDE CPU baseline on the same time axis. Expected shape: every GPU
+configuration — including a single GPU — beats the optimized CPU algorithm,
+and 4 GPUs reach the highest accuracy in the shortest time.
+
+Figure 5b (statistical efficiency): the same runs on the *epoch* axis.
+Expected shape: SLIDE needs fewer epochs to reach a given accuracy than the
+batched GPU methods ("the reason is the higher number of model updates" —
+one per sample), i.e. its accuracy-per-epoch curve rises faster even though
+its wall-clock curve is the slowest.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_budget, bench_seed
+from repro.harness.figures import fig5_scalability
+from repro.harness.report import render_tta_curves, render_tta_summary
+
+
+@pytest.mark.parametrize(
+    "dataset", ["amazon670k-bench", "delicious200k-bench"]
+)
+def test_fig5_scalability_and_statistical_efficiency(once, dataset):
+    traces = once(
+        fig5_scalability,
+        dataset,
+        gpu_counts=(1, 2, 4),
+        time_budget_s=bench_budget(),
+        seed=bench_seed(),
+    )
+    print()
+    print(render_tta_curves(
+        traces, title=f"Figure 5a — {dataset} (time axis)", max_points=8,
+    ))
+    print()
+    print(render_tta_curves(
+        traces, x="epochs",
+        title=f"Figure 5b — {dataset} (epoch axis)", max_points=8,
+    ))
+    print()
+    print(render_tta_summary(list(traces.values())))
+
+    slide = traces[("slide", 1)]
+    adaptive = {n: traces[("adaptive", n)] for n in (1, 2, 4)}
+
+    # 5a: every GPU configuration beats the CPU baseline in accuracy-at-time.
+    horizon = bench_budget()
+    for n, trace in adaptive.items():
+        assert trace.accuracy_at_time(horizon) > slide.accuracy_at_time(horizon), (
+            f"{n}-GPU Adaptive did not beat SLIDE at the time horizon"
+        )
+
+    # 5a: more GPUs reach a mid-level target at least as fast.
+    target = 0.6 * adaptive[4].best_accuracy
+    t4 = adaptive[4].time_to_accuracy(target)
+    t1 = adaptive[1].time_to_accuracy(target)
+    assert t4 is not None
+    assert t1 is None or t4 <= t1
+
+    # 5b: SLIDE's statistical efficiency — accuracy per *epoch* — beats the
+    # batched GPU method at the epoch horizon both can reach.
+    common_epochs = min(slide.total_epochs, adaptive[4].total_epochs) * 0.8
+    def acc_at_epochs(trace, e):
+        best = 0.0
+        for p in trace.points:
+            if p.epochs > e:
+                break
+            best = max(best, p.accuracy)
+        return best
+
+    assert acc_at_epochs(slide, common_epochs) > acc_at_epochs(
+        adaptive[4], common_epochs
+    ) - 0.02, "SLIDE should be at least as statistically efficient per epoch"

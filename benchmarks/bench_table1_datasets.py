@@ -1,0 +1,34 @@
+"""TAB1 — Experimental datasets for XML classification (Table I).
+
+Regenerates the dataset-characteristics table for the synthetic analogues
+and prints the paper's original rows alongside for reference. The shape
+signatures must hold: the Amazon analogue has more classes than features
+with ~5 labels per sample; the Delicious analogue has more features than
+classes with dense label sets.
+"""
+
+from benchmarks.conftest import bench_seed
+from repro.harness.figures import PAPER_TABLE1, table1_rows
+from repro.harness.report import render_table1
+
+
+def test_table1_dataset_characteristics(once):
+    rows = once(
+        table1_rows,
+        datasets=("amazon670k-bench", "delicious200k-bench",
+                  "amazon670k-tiny", "delicious200k-tiny"),
+        seed=bench_seed(),
+    )
+    print()
+    print(render_table1(rows, PAPER_TABLE1))
+
+    amazon, delicious = rows[0], rows[1]
+    # Amazon signature: classes > features, sparse label sets.
+    assert amazon["classes"] > amazon["features"]
+    assert amazon["avg classes per sample"] < 7
+    # Delicious signature: features > classes, dense label sets.
+    assert delicious["features"] > delicious["classes"]
+    assert delicious["avg classes per sample"] > amazon["avg classes per sample"]
+    # Both are genuinely sparse.
+    assert amazon["avg features per sample"] < 0.1 * amazon["features"]
+    assert delicious["avg features per sample"] < 0.1 * delicious["features"]

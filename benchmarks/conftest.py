@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one paper artifact (table or figure) and prints it
+in the paper's layout. Experiment benches are *single-shot* — training runs
+are long and deterministic, so they run once via ``benchmark.pedantic``;
+microbenches (kernels, collectives) use normal repeated timing.
+
+Environment knobs:
+
+- ``REPRO_BENCH_BUDGET`` — simulated seconds per training run (default 0.3).
+- ``REPRO_BENCH_SEED`` — experiment seed (default 0).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_budget() -> float:
+    """Simulated seconds per training run (env-overridable)."""
+    return float(os.environ.get("REPRO_BENCH_BUDGET", "0.3"))
+
+
+def bench_seed() -> int:
+    """Experiment seed (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a deterministic experiment exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        )
+
+    return runner

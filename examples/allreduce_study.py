@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""All-reduce model merging study (§IV of the paper).
+
+Compares the merge strategies HeteroGPU implements — multi-stream ring and
+single-stream tree — across model sizes, GPU counts, stream counts, and
+interconnects (PCIe vs NVLink), and verifies the numeric equivalence of all
+schedules against the single-step weighted average.
+
+Run:  python examples/allreduce_study.py
+"""
+
+import numpy as np
+
+from repro.comm.ring import RingAllReduce
+from repro.comm.topology import InterconnectTopology
+from repro.comm.tree import TreeAllReduce
+from repro.harness.figures import allreduce_comparison
+from repro.harness.report import render_allreduce
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # ---- the §IV comparison table ------------------------------------------
+    rows = allreduce_comparison(
+        model_params=(262_144, 1_048_576, 8_388_608, 33_554_432),
+        gpu_counts=(2, 4, 8),
+    )
+    print(render_allreduce(rows))
+
+    # ---- stream-count sweep (the paper's 'optimal partitions == GPUs') ----
+    topo = InterconnectTopology.single_server_pcie(4)
+    nbytes = 4 * 4_194_304
+    sweep = [
+        [s, RingAllReduce(s).time_seconds(nbytes, topo).total_s * 1e3]
+        for s in (1, 2, 4, 8, 16)
+    ]
+    print()
+    print(format_table(
+        ["streams", "merge time (ms)"], sweep,
+        title="ring stream-count sweep (4 GPUs, 16M-param model)",
+    ))
+
+    # ---- interconnect comparison ------------------------------------------
+    print()
+    inter_rows = []
+    for name, topo in (
+        ("PCIe 3.0", InterconnectTopology.single_server_pcie(4)),
+        ("NVLink", InterconnectTopology.single_server_nvlink(4)),
+    ):
+        ring = RingAllReduce(4).time_seconds(nbytes, topo).total_s * 1e3
+        tree = TreeAllReduce().time_seconds(nbytes, topo).total_s * 1e3
+        inter_rows.append([name, ring, tree])
+    print(format_table(
+        ["interconnect", "ring multi (ms)", "tree single (ms)"],
+        inter_rows, title="interconnect comparison",
+    ))
+
+    # ---- the third schedule: recursive halving-doubling -------------------
+    from repro.comm.halving_doubling import HalvingDoublingAllReduce
+
+    print()
+    hd_rows = []
+    for params in (262_144, 4_194_304, 33_554_432):
+        nb = 4 * params
+        hd_rows.append([
+            params,
+            RingAllReduce(4).time_seconds(nb, topo).total_s * 1e3,
+            HalvingDoublingAllReduce().time_seconds(nb, topo).total_s * 1e3,
+            TreeAllReduce().time_seconds(nb, topo).total_s * 1e3,
+        ])
+    print(format_table(
+        ["model params", "ring multi (ms)", "halving-doubling (ms)",
+         "tree single (ms)"],
+        hd_rows,
+        title="the latency/bandwidth spectrum (4 GPUs)",
+    ))
+
+    # ---- numeric equivalence ----------------------------------------------
+    rng = np.random.default_rng(0)
+    vectors = [rng.normal(size=100_000).astype(np.float32) for _ in range(4)]
+    weights = [0.3, 0.3, 0.25, 0.15]
+    reference = sum(
+        np.float64(w) * v.astype(np.float64)
+        for w, v in zip(weights, vectors)
+    ).astype(np.float32)
+    print("\nnumeric check vs reference weighted average:")
+    for algo in (RingAllReduce(1), RingAllReduce(4), TreeAllReduce(),
+                 HalvingDoublingAllReduce()):
+        out = algo.reduce(vectors, weights)
+        err = float(np.abs(out - reference).max())
+        label = f"{algo.name} ({getattr(algo, 'n_streams', 1)} stream(s))"
+        print(f"  {label:20s} max abs deviation = {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Figure-4-style comparison: Adaptive SGD vs the paper's baselines.
+
+Runs Adaptive SGD, Elastic SGD, TensorFlow-style synchronous SGD, and
+CROSSBOW on one synthetic XML dataset under the paper's methodology (same
+initial model, same simulated time budget, accuracy measured after every
+mega-batch) and prints the accuracy curves plus a time-to-accuracy summary.
+
+Run:  python examples/xml_benchmark.py [--dataset delicious200k-bench]
+      [--budget 0.25] [--gpus 4]
+"""
+
+import argparse
+
+from repro.core.config import AdaptiveSGDConfig
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.harness.report import render_tta_curves, render_tta_summary
+from repro.harness.tta import speedup
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="amazon670k-bench")
+    parser.add_argument("--budget", type=float, default=0.25)
+    parser.add_argument("--gpus", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    spec = ExperimentSpec(
+        dataset=args.dataset,
+        algorithms=("adaptive", "elastic", "tensorflow", "crossbow"),
+        gpu_counts=(args.gpus,),
+        time_budget_s=args.budget,
+        config=AdaptiveSGDConfig(b_max=128, base_lr=0.4, mega_batch_batches=40),
+        eval_samples=512,
+        seed=args.seed,
+    )
+    print(f"Running 4 methods on {args.dataset} "
+          f"({args.gpus} heterogeneous GPUs, {args.budget}s sim budget) ...")
+    traces = run_experiment(spec)
+
+    print()
+    print(render_tta_curves(
+        traces, title=f"Figure 4 (excerpt) — {args.dataset}", max_points=10,
+    ))
+    print()
+    print(render_tta_summary(list(traces.values())))
+
+    adaptive = traces[("adaptive", args.gpus)]
+    elastic = traces[("elastic", args.gpus)]
+    target = 0.8 * min(adaptive.best_accuracy, elastic.best_accuracy)
+    ratio = speedup(elastic, adaptive, target)
+    if ratio is not None:
+        print(f"\nAdaptive reaches {target:.3f} accuracy "
+              f"{ratio:.2f}x faster than Elastic SGD.")
+
+
+if __name__ == "__main__":
+    main()

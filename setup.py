@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP-517
+editable installs (which require ``bdist_wheel``) fail. This shim lets
+``pip install -e . --no-use-pep517`` take the legacy ``setup.py develop``
+path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

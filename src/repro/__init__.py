@@ -1,0 +1,56 @@
+"""repro — reproduction of "Adaptive Optimization for Sparse Data on
+Heterogeneous GPUs" (Ma, Rusu, Wu, Sim — IEEE IPDPSW 2022).
+
+The package implements the paper's **Adaptive SGD** algorithm (dynamic
+scheduling, adaptive batch size scaling, normalized model merging) together
+with every substrate it needs, built from scratch:
+
+- :mod:`repro.sim` — a deterministic discrete-event engine (the clock the
+  virtual cluster runs on);
+- :mod:`repro.gpu` — virtual heterogeneous GPUs with an analytical,
+  sparsity-sensitive cost model (the paper's 4×V100 testbed, simulated);
+- :mod:`repro.comm` — weighted ring/tree all-reduce collectives with
+  multi-stream overlap timing;
+- :mod:`repro.sparse` — the 3-layer sparse-input MLP, losses, metrics, and
+  flat-buffer model states (real numerics on the host CPU);
+- :mod:`repro.data` — synthetic XML datasets matching the paper's Table-I
+  shape, multi-label libSVM IO, batching and mega-batch accounting;
+- :mod:`repro.core` — Algorithms 1 & 2, the dynamic scheduler, and the
+  :class:`~repro.core.adaptive.AdaptiveSGDTrainer`;
+- :mod:`repro.baselines` — TensorFlow-mirrored sync SGD, Elastic SGD,
+  CROSSBOW, SLIDE (real SimHash LSH), async SGD, mini-batch SGD;
+- :mod:`repro.harness` — the §V-A methodology, per-figure experiment
+  builders, and paper-style reporting.
+
+Quickstart::
+
+    from repro import AdaptiveSGDConfig, AdaptiveSGDTrainer, load_task, make_server
+
+    task = load_task("amazon670k-bench", seed=0)
+    server = make_server(4)  # 4 heterogeneous virtual V100s
+    config = AdaptiveSGDConfig(b_max=128, base_lr=0.4, mega_batch_batches=40)
+    trace = AdaptiveSGDTrainer(task, server, config).run(time_budget_s=0.5)
+    print(trace.best_accuracy, trace.time_to_accuracy(0.5))
+"""
+
+from repro.core.adaptive import AdaptiveSGDTrainer
+from repro.core.config import AdaptiveSGDConfig
+from repro.data.registry import dataset_names, load_task
+from repro.gpu.cluster import make_server
+from repro.harness.experiment import ALGORITHMS, ExperimentSpec, run_experiment
+from repro.harness.traces import TrainingTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSGDTrainer",
+    "AdaptiveSGDConfig",
+    "dataset_names",
+    "load_task",
+    "make_server",
+    "ALGORITHMS",
+    "ExperimentSpec",
+    "run_experiment",
+    "TrainingTrace",
+    "__version__",
+]

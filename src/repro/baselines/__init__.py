@@ -1,0 +1,27 @@
+"""The paper's comparison set, reimplemented from scratch.
+
+- :mod:`repro.baselines.sync_sgd` — TensorFlow-mirrored gradient aggregation.
+- :mod:`repro.baselines.elastic` — Elastic SGD (K-step model averaging).
+- :mod:`repro.baselines.crossbow` — CROSSBOW synchronous model averaging.
+- :mod:`repro.baselines.slide` — SLIDE (LSH sampled softmax on CPU).
+- :mod:`repro.baselines.minibatch` — single-GPU mini-batch SGD reference.
+- :mod:`repro.baselines.async_sgd` — asynchronous SGD (spectrum endpoint).
+"""
+
+from repro.baselines.async_sgd import AsyncSGDTrainer
+from repro.baselines.crossbow import CrossbowTrainer
+from repro.baselines.elastic import ElasticSGDTrainer
+from repro.baselines.minibatch import MiniBatchSGDTrainer
+from repro.baselines.slide import ActiveLabelSampler, SimHashLSH, SlideTrainer
+from repro.baselines.sync_sgd import SyncSGDTrainer
+
+__all__ = [
+    "AsyncSGDTrainer",
+    "CrossbowTrainer",
+    "ElasticSGDTrainer",
+    "MiniBatchSGDTrainer",
+    "ActiveLabelSampler",
+    "SimHashLSH",
+    "SlideTrainer",
+    "SyncSGDTrainer",
+]

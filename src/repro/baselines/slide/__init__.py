@@ -1,0 +1,12 @@
+"""SLIDE — LSH-based sampled-softmax CPU training (the paper's CPU baseline).
+
+- :mod:`repro.baselines.slide.lsh` — SimHash LSH tables over output neurons.
+- :mod:`repro.baselines.slide.sampler` — per-sample active-label selection.
+- :mod:`repro.baselines.slide.trainer` — the per-sample Hogwild-style trainer.
+"""
+
+from repro.baselines.slide.lsh import SimHashLSH
+from repro.baselines.slide.sampler import ActiveLabelSampler
+from repro.baselines.slide.trainer import SlideTrainer
+
+__all__ = ["SimHashLSH", "ActiveLabelSampler", "SlideTrainer"]

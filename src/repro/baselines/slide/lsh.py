@@ -1,0 +1,111 @@
+"""SimHash locality-sensitive hashing over output-layer neurons.
+
+SLIDE's core trick: instead of computing the softmax over the full (huge)
+label space, hash the output-layer weight vectors into LSH tables and, for
+each sample, retrieve only the labels whose weights have high inner product
+with the hidden activation — those dominate the softmax anyway.
+
+We implement **SimHash** (signed random projections): a label ``j`` with
+weight column ``w_j ∈ R^h`` gets, in each of ``n_tables`` tables, a
+``n_bits``-bit signature ``sign(R w_j)``. A query activation retrieves the
+union of its buckets across tables. SimHash collision probability grows
+with cosine similarity, so retrieved labels are the high-activation ones.
+
+Tables are rebuilt periodically (weights drift during training); the
+rebuild cost is charged to the simulated clock by the trainer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RngFactory
+
+__all__ = ["SimHashLSH"]
+
+
+class SimHashLSH:
+    """Signed-random-projection LSH index over the columns of a matrix."""
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        n_tables: int = 8,
+        n_bits: int = 9,
+        seed: int = 0,
+    ) -> None:
+        if dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {dim}")
+        if n_tables < 1:
+            raise ConfigurationError(f"n_tables must be >= 1, got {n_tables}")
+        if not (1 <= n_bits <= 30):
+            raise ConfigurationError(f"n_bits must be in [1, 30], got {n_bits}")
+        self.dim = dim
+        self.n_tables = n_tables
+        self.n_bits = n_bits
+        rng = RngFactory(seed).get("simhash-projections")
+        # (n_tables, n_bits, dim) Gaussian projections, fixed for the run.
+        self._proj = rng.normal(size=(n_tables, n_bits, dim)).astype(np.float32)
+        self._powers = (1 << np.arange(n_bits)).astype(np.int64)
+        # Per table: bucket-code -> array of item ids.
+        self._tables: Optional[List[Dict[int, np.ndarray]]] = None
+        self._n_items = 0
+        self.rebuilds = 0
+
+    @property
+    def is_built(self) -> bool:
+        """Whether :meth:`rebuild` has populated the tables."""
+        return self._tables is not None
+
+    def _codes(self, vectors: np.ndarray) -> np.ndarray:
+        """Bucket codes for ``vectors`` (n, dim) → (n_tables, n)."""
+        # (T, K, d) @ (d, n) -> (T, K, n); sign bits packed little-endian.
+        proj = np.einsum("tkd,nd->tkn", self._proj, vectors, optimize=True)
+        bits = proj > 0.0
+        return np.einsum("tkn,k->tn", bits.astype(np.int64), self._powers)
+
+    def rebuild(self, weights: np.ndarray) -> None:
+        """(Re)index ``weights`` — shape ``(dim, n_items)``, column per item."""
+        if weights.ndim != 2 or weights.shape[0] != self.dim:
+            raise ConfigurationError(
+                f"weights must be ({self.dim}, n_items), got {weights.shape}"
+            )
+        items = weights.shape[1]
+        codes = self._codes(np.ascontiguousarray(weights.T))  # (T, n)
+        tables: List[Dict[int, np.ndarray]] = []
+        for t in range(self.n_tables):
+            order = np.argsort(codes[t], kind="stable")
+            sorted_codes = codes[t][order]
+            # Group contiguous runs of equal codes into buckets.
+            boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+            starts = np.concatenate(([0], boundaries))
+            stops = np.concatenate((boundaries, [items]))
+            table = {
+                int(sorted_codes[a]): order[a:b]
+                for a, b in zip(starts, stops)
+            }
+            tables.append(table)
+        self._tables = tables
+        self._n_items = items
+        self.rebuilds += 1
+
+    def query(self, vector: np.ndarray) -> np.ndarray:
+        """Item ids colliding with ``vector`` in any table (sorted, unique)."""
+        if self._tables is None:
+            raise ConfigurationError("query() before rebuild()")
+        if vector.shape != (self.dim,):
+            raise ConfigurationError(
+                f"query vector must have shape ({self.dim},), got {vector.shape}"
+            )
+        codes = self._codes(vector[None, :])[:, 0]  # (T,)
+        hits = [
+            self._tables[t].get(int(codes[t])) for t in range(self.n_tables)
+        ]
+        hits = [h for h in hits if h is not None]
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(hits))

@@ -1,0 +1,238 @@
+"""The SLIDE baseline: LSH-sampled, per-sample CPU training.
+
+SLIDE [Chen et al.] argues "smart algorithms over hardware acceleration":
+per-sample SGD where the softmax is computed only over the LSH-retrieved
+active labels, parallelized Hogwild-style across CPU threads. The paper
+includes it as the CPU comparator (Figure 5): it achieves the best
+*statistical* efficiency (one model update per sample — orders of magnitude
+more updates per epoch than batched GPU SGD) but the worst *hardware*
+efficiency, so every GPU configuration beats it on time-to-accuracy.
+
+Simulation split, as everywhere in this library: the numerics are real
+(true SimHash retrieval, sampled softmax, sparse updates); only the clock is
+virtual (the :class:`~repro.gpu.device.VirtualCPU` prices each sample's
+active-set-dependent flop count across threads, plus periodic LSH-rebuild
+time). Hogwild's lock-free semantics are modeled by applying the per-sample
+updates sequentially — the empirically observed near-collision-free regime
+SLIDE operates in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.slide.lsh import SimHashLSH
+from repro.baselines.slide.sampler import ActiveLabelSampler
+from repro.core.config import AdaptiveSGDConfig
+from repro.data.dataset import XMLTask
+from repro.exceptions import ConfigurationError
+from repro.gpu.cluster import MultiGPUServer
+from repro.harness.trainer_base import TrainerBase
+from repro.harness.traces import TrainingTrace
+from repro.sim.environment import Environment
+from repro.sparse.ops import estimate_step_flops, sparse_row_times_dense
+from repro.utils.rng import RngFactory
+
+__all__ = ["SlideTrainer"]
+
+
+class SlideTrainer(TrainerBase):
+    """LSH-based sampled-softmax SGD on the (virtual) multicore CPU."""
+
+    algorithm = "SLIDE"
+
+    #: Per-sample learning rates above this destabilize sampled-softmax
+    #: training (the underestimated partition function over-boosts true
+    #: labels when retrieval is weak); the default LR clips the linear-scaling value here. SLIDE
+    #: tunes its rate independently of the batched methods.
+    LR_STABILITY_CEILING = 2e-2
+
+    def __init__(
+        self,
+        task: XMLTask,
+        server: MultiGPUServer,
+        config: AdaptiveSGDConfig,
+        *,
+        lr: Optional[float] = None,
+        n_tables: int = 32,
+        n_bits: Optional[int] = None,
+        rebuild_every: int = 1024,
+        min_active: Optional[int] = None,
+        max_active: Optional[int] = None,
+        chunk_samples: int = 256,
+        **kwargs,
+    ) -> None:
+        super().__init__(task, server, **kwargs)
+        self.config = config
+        # Per-sample LR: linear scaling rule (batch size 1), clipped to the
+        # sampled-softmax stability ceiling.
+        self.lr = (
+            float(lr)
+            if lr is not None
+            else min(config.base_lr / config.b_max, self.LR_STABILITY_CEILING)
+        )
+        if self.lr <= 0:
+            raise ConfigurationError(f"lr must be > 0, got {self.lr}")
+        if rebuild_every < 1:
+            raise ConfigurationError(
+                f"rebuild_every must be >= 1, got {rebuild_every}"
+            )
+        # LSH defaults follow SLIDE's regime: many tables with wide buckets
+        # (retrieval quality is what keeps the sampled softmax stable).
+        L = task.n_labels
+        self.n_tables = n_tables
+        self.n_bits = (
+            n_bits
+            if n_bits is not None
+            else max(4, int(np.ceil(np.log2(max(L, 2)))) - 4)
+        )
+        self.rebuild_every = int(rebuild_every)
+        self.min_active = min_active if min_active is not None else max(32, L // 24)
+        self.max_active = max_active if max_active is not None else max(128, L // 6)
+        self.chunk_samples = int(chunk_samples)
+
+    # -- simulated costs -------------------------------------------------------
+    def _rebuild_time(self) -> float:
+        """Seconds to rehash every output neuron across all threads."""
+        cpu = self.server.cpu
+        flops = (
+            2.0
+            * self.arch.hidden[-1]
+            * self.n_bits
+            * self.n_tables
+            * self.arch.n_labels
+        )
+        params = cpu.cost_model.params
+        effective = 1.0 + params.thread_efficiency * (cpu.n_threads - 1)
+        return flops / (params.flops_per_s_per_core * effective)
+
+    # -- training loop ---------------------------------------------------------
+    def _execute(self, env: Environment, time_budget_s: float) -> TrainingTrace:
+        cfg = self.config
+        cpu = self.server.cpu
+        state = self.initial_state()
+        W1, b1 = state["W1"], state["b1"]
+        W2, b2 = state[f"W{len(self.arch.hidden) + 1}"], state[
+            f"b{len(self.arch.hidden) + 1}"
+        ]
+        if len(self.arch.hidden) != 1:
+            raise ConfigurationError(
+                "SlideTrainer implements the paper's 3-layer model "
+                f"(exactly one hidden layer); got hidden={self.arch.hidden}"
+            )
+        h_dim = self.arch.hidden[0]
+        train = self.task.train
+        lsh = SimHashLSH(
+            h_dim, n_tables=self.n_tables, n_bits=self.n_bits,
+            seed=self.data_seed,
+        )
+        lsh.rebuild(W2)
+        sampler = ActiveLabelSampler(
+            self.arch.n_labels, lsh,
+            min_active=self.min_active, max_active=self.max_active,
+            seed=self.data_seed,
+        )
+        order_rng = RngFactory(self.data_seed).get("slide-order")
+        order = order_rng.permutation(train.n_samples)
+        pos = 0
+
+        trace = self.new_trace(n_devices=1)
+        trace.metadata["config"] = cfg
+        trace.metadata.update(
+            n_tables=self.n_tables, n_bits=self.n_bits, lr=self.lr,
+            min_active=self.min_active, max_active=self.max_active,
+        )
+
+        X, Y = train.X, train.Y
+        layer_dims = tuple(self.arch.layer_dims)
+        lr = np.float32(self.lr)
+
+        samples_done = 0
+        since_rebuild = 0
+        loss_sum, loss_count = 0.0, 0
+        samples_per_checkpoint = cfg.mega_batch_size
+
+        def train_one(row: int) -> float:
+            """One real per-sample sampled-softmax SGD update; returns loss."""
+            nonlocal since_rebuild
+            start, stop = X.indptr[row], X.indptr[row + 1]
+            cols = X.indices[start:stop]
+            vals = X.data[start:stop]
+            labels = Y.indices[Y.indptr[row]:Y.indptr[row + 1]]
+
+            z1 = vals @ W1[cols] + b1
+            h1 = np.maximum(z1, 0.0)
+            active = sampler.sample(h1, labels)
+            k = labels.size  # true labels occupy active[:k] (sampler contract)
+
+            logits = h1 @ W2[:, active] + b2[active]
+            logits -= logits.max()
+            p = np.exp(logits)
+            p /= p.sum()
+            loss = float(-np.log(np.maximum(p[:k], 1e-30)).mean())
+
+            dlog = p
+            dlog[:k] -= np.float32(1.0 / k)
+            # Backprop through the active columns (pre-update weights).
+            dh = W2[:, active] @ dlog
+            dz1 = dh * (z1 > 0.0)
+            # Sampled updates: only touched rows/columns move.
+            W2[:, active] -= lr * np.outer(h1, dlog)
+            b2[active] -= lr * dlog
+            W1[cols] -= lr * np.outer(vals, dz1)
+            b1[...] -= lr * dz1
+            since_rebuild += 1
+            return loss
+
+        def driver():
+            nonlocal pos, samples_done, since_rebuild, loss_sum, loss_count
+            self.record_checkpoint(
+                trace, env, epochs=0.0, updates=0, samples=0,
+                state=state, loss=float("nan"),
+            )
+            next_checkpoint = samples_per_checkpoint
+            while env.now < time_budget_s:
+                chunk = min(self.chunk_samples, next_checkpoint - samples_done)
+                nnz_total = 0
+                active_total = 0
+                for _ in range(chunk):
+                    row = int(order[pos])
+                    pos += 1
+                    if pos >= len(order):
+                        order[:] = order_rng.permutation(train.n_samples)
+                        pos = 0
+                    nnz_total += int(X.indptr[row + 1] - X.indptr[row])
+                    loss_sum += train_one(row)
+                    loss_count += 1
+                    if since_rebuild >= self.rebuild_every:
+                        since_rebuild = 0
+                        lsh.rebuild(W2)
+                        yield env.timeout(self._rebuild_time())
+                samples_done += chunk
+                # Price the chunk: mean per-sample flops across the chunk.
+                flops = estimate_step_flops(
+                    1, max(1, nnz_total // max(chunk, 1)), layer_dims,
+                    active_labels=self.max_active,
+                )
+                per_sample = flops["sparse"] + flops["dense"] + flops["update"]
+                dt = cpu.samples_time(per_sample, chunk)
+                cpu.record_busy(dt)
+                yield env.timeout(dt)
+
+                if samples_done >= next_checkpoint:
+                    next_checkpoint += samples_per_checkpoint
+                    self.record_checkpoint(
+                        trace, env,
+                        epochs=samples_done / train.n_samples,
+                        updates=samples_done,
+                        samples=samples_done,
+                        state=state,
+                        loss=loss_sum / max(loss_count, 1),
+                    )
+                    loss_sum, loss_count = 0.0, 0
+            return trace
+
+        env.run_until_complete(env.process(driver(), name="slide-driver"))
+        return trace

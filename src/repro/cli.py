@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Every paper artifact is reachable from the shell without writing code:
+
+- ``python -m repro datasets`` — list the registered synthetic datasets;
+- ``python -m repro table1`` — regenerate Table I (with paper reference);
+- ``python -m repro fig1`` — the heterogeneity measurement;
+- ``python -m repro fig4 --dataset amazon670k-bench`` — the 4-method grid;
+- ``python -m repro fig5`` — Adaptive vs SLIDE scalability;
+- ``python -m repro fig6`` — batch-scaling / perturbation telemetry;
+- ``python -m repro allreduce`` — the §IV merge comparison;
+- ``python -m repro train`` — one Adaptive SGD run with a trace summary,
+  optionally saved with ``--save <stem>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.data.registry import dataset_names
+from repro.harness.figures import (
+    PAPER_TABLE1,
+    allreduce_comparison,
+    default_config_for,
+    fig1_heterogeneity,
+    fig4_time_to_accuracy,
+    fig5_scalability,
+    fig6_adaptivity,
+    table1_rows,
+)
+from repro.harness.report import (
+    render_allreduce,
+    render_fig1,
+    render_fig6,
+    render_table1,
+    render_tta_curves,
+    render_tta_summary,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Adaptive Optimization for Sparse Data on "
+                    "Heterogeneous GPUs' (IPDPSW 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered synthetic datasets")
+
+    p = sub.add_parser("table1", help="regenerate Table I")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig1", help="per-GPU heterogeneity measurement")
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+
+    for name, help_text in (
+        ("fig4", "time-to-accuracy for all methods"),
+        ("fig5", "Adaptive SGD vs SLIDE scalability"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--dataset", default="amazon670k-bench",
+                       choices=dataset_names())
+        p.add_argument("--budget", type=float, default=0.3)
+        p.add_argument("--gpus", type=int, nargs="+", default=[1, 2, 4])
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("fig6", help="batch scaling + perturbation telemetry")
+    p.add_argument("--dataset", default="amazon670k-bench",
+                   choices=dataset_names())
+    p.add_argument("--budget", type=float, default=0.3)
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("allreduce", help="ring vs tree merge comparison (§IV)")
+
+    p = sub.add_parser("train", help="run Adaptive SGD once")
+    p.add_argument("--dataset", default="amazon670k-bench",
+                   choices=dataset_names())
+    p.add_argument("--budget", type=float, default=0.3)
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--save", metavar="STEM",
+                   help="save the trace as STEM.json + STEM.npz")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "datasets":
+        for name in dataset_names():
+            print(name)
+        return 0
+
+    if args.command == "table1":
+        print(render_table1(table1_rows(seed=args.seed), PAPER_TABLE1))
+        return 0
+
+    if args.command == "fig1":
+        rows = fig1_heterogeneity(n_gpus=args.gpus, seed=args.seed)
+        print(render_fig1(rows))
+        return 0
+
+    if args.command == "fig4":
+        traces = fig4_time_to_accuracy(
+            args.dataset, gpu_counts=tuple(args.gpus),
+            time_budget_s=args.budget, seed=args.seed,
+        )
+        print(render_tta_curves(traces, title=f"Figure 4 — {args.dataset}"))
+        print()
+        print(render_tta_summary(list(traces.values())))
+        return 0
+
+    if args.command == "fig5":
+        traces = fig5_scalability(
+            args.dataset, gpu_counts=tuple(args.gpus),
+            time_budget_s=args.budget, seed=args.seed,
+        )
+        print(render_tta_curves(traces, title=f"Figure 5a — {args.dataset}"))
+        print()
+        print(render_tta_curves(
+            traces, x="epochs", title=f"Figure 5b — {args.dataset}"
+        ))
+        return 0
+
+    if args.command == "fig6":
+        result = fig6_adaptivity(
+            args.dataset, n_gpus=args.gpus, time_budget_s=args.budget,
+            seed=args.seed,
+        )
+        print(render_fig6(result))
+        return 0
+
+    if args.command == "allreduce":
+        print(render_allreduce(allreduce_comparison()))
+        return 0
+
+    if args.command == "train":
+        from repro.core.adaptive import AdaptiveSGDTrainer
+        from repro.data.registry import load_task
+        from repro.gpu.cluster import make_server
+        from repro.gpu.cost import GpuCostParams
+        from repro.utils.tables import format_kv
+
+        task = load_task(args.dataset, seed=args.seed)
+        server = make_server(
+            args.gpus, seed=args.seed,
+            cost_params=GpuCostParams.tiny_model_profile(),
+        )
+        trainer = AdaptiveSGDTrainer(
+            task, server, default_config_for(args.dataset), hidden=(64,),
+            init_seed=args.seed, data_seed=args.seed, eval_samples=512,
+        )
+        trace = trainer.run(args.budget)
+        print(format_kv({
+            "dataset": args.dataset,
+            "gpus": args.gpus,
+            "best accuracy": trace.best_accuracy,
+            "final accuracy": trace.final_accuracy,
+            "epochs": trace.total_epochs,
+            "mega-batches": len(trace.batch_size_history),
+            "perturbation frequency": trace.perturbation_frequency(),
+        }))
+        if args.save:
+            from repro.harness.store import save_trace
+
+            json_path, npz_path = save_trace(trace, args.save)
+            print(f"saved: {json_path} {npz_path}")
+        return 0
+
+    return 2  # pragma: no cover - unreachable with required=True
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Collective communication substrate (single-server, NCCL-free).
+
+- :mod:`repro.comm.topology` — (α, β) link model for the PCIe/NVLink server.
+- :mod:`repro.comm.allreduce` — weighted all-reduce interface + validation.
+- :mod:`repro.comm.ring` — multi-stream ring (HeteroGPU's production merge).
+- :mod:`repro.comm.tree` — binary-tree comparator.
+- :mod:`repro.comm.halving_doubling` — recursive halving-doubling (extra).
+"""
+
+from repro.comm.allreduce import AllReduceAlgorithm, AllReduceTiming, validate_operands
+from repro.comm.halving_doubling import HalvingDoublingAllReduce
+from repro.comm.ring import RingAllReduce
+from repro.comm.topology import InterconnectTopology
+from repro.comm.tree import TreeAllReduce
+
+__all__ = [
+    "AllReduceAlgorithm",
+    "AllReduceTiming",
+    "validate_operands",
+    "HalvingDoublingAllReduce",
+    "RingAllReduce",
+    "InterconnectTopology",
+    "TreeAllReduce",
+]

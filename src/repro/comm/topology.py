@@ -1,0 +1,84 @@
+"""Interconnect model for the single-server multi-GPU topology.
+
+§IV scopes the all-reduce design to a *single server*: GPUs exchange data
+peer-to-peer over PCIe/NVLink. We model every directed GPU↔GPU link with an
+(α, β) cost — ``latency + bytes / bandwidth`` — and let concurrent streams
+share link bandwidth when they contend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import CommunicationError
+from repro.utils.validation import check_positive
+
+__all__ = ["InterconnectTopology"]
+
+
+@dataclass(frozen=True)
+class InterconnectTopology:
+    """Uniform all-to-all single-server interconnect.
+
+    Attributes
+    ----------
+    n_devices:
+        Number of GPUs on the server.
+    link_bandwidth_Bps:
+        Point-to-point bandwidth of each directed link (bytes/second).
+    link_latency_s:
+        Per-message latency (seconds).
+    d2d_reduce_flops_per_s:
+        Throughput of the on-GPU elementwise reduce that each received chunk
+        undergoes (flop/s); part of each all-reduce round's critical path.
+    """
+
+    n_devices: int
+    link_bandwidth_Bps: float = 10.0e9
+    link_latency_s: float = 10.0e-6
+    d2d_reduce_flops_per_s: float = 2.0e11
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise CommunicationError(
+                f"topology needs >= 1 device, got {self.n_devices}"
+            )
+        check_positive("link_bandwidth_Bps", self.link_bandwidth_Bps)
+        check_positive("link_latency_s", self.link_latency_s)
+        check_positive("d2d_reduce_flops_per_s", self.d2d_reduce_flops_per_s)
+
+    @classmethod
+    def single_server_pcie(cls, n_devices: int) -> "InterconnectTopology":
+        """PCIe 3.0 x16-flavored defaults (≈10 GB/s effective per link)."""
+        return cls(n_devices=n_devices)
+
+    @classmethod
+    def single_server_nvlink(cls, n_devices: int) -> "InterconnectTopology":
+        """NVLink-flavored defaults (~40 GB/s, lower latency)."""
+        return cls(
+            n_devices=n_devices,
+            link_bandwidth_Bps=40.0e9,
+            link_latency_s=3.0e-6,
+        )
+
+    def transfer_time(self, nbytes: float, *, concurrent_on_link: int = 1) -> float:
+        """Time to move ``nbytes`` over one link.
+
+        ``concurrent_on_link`` models bandwidth sharing when several streams
+        traverse the same physical link simultaneously.
+        """
+        if nbytes < 0:
+            raise CommunicationError(f"nbytes must be >= 0, got {nbytes}")
+        if concurrent_on_link < 1:
+            raise CommunicationError(
+                f"concurrent_on_link must be >= 1, got {concurrent_on_link}"
+            )
+        effective = self.link_bandwidth_Bps / concurrent_on_link
+        return self.link_latency_s + nbytes / effective
+
+    def reduce_time(self, n_elements: float) -> float:
+        """On-device elementwise reduce time for a chunk of ``n_elements``."""
+        if n_elements < 0:
+            raise CommunicationError(f"n_elements must be >= 0, got {n_elements}")
+        return n_elements / self.d2d_reduce_flops_per_s

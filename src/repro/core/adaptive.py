@@ -1,0 +1,191 @@
+"""Adaptive SGD — the paper's contribution, end to end.
+
+One mega-batch proceeds exactly as in Figure 2:
+
+1. Every GPU manager downloads the current global model (host→device
+   transfer, priced by the cost model) — "only at the beginning of a
+   mega-batch" (§IV).
+2. Managers loop: ask the dynamic scheduler for a batch (cut at *their*
+   current batch size), advance the simulation clock by the device's
+   data-dependent step time, apply the real numeric SGD update to their
+   replica, and report the completion. Faster GPUs simply come back for
+   more batches — that *is* dynamic scheduling.
+3. When the mega-batch's sample budget is exhausted, managers converge on
+   the merge barrier. The merge runs as a simulated multi-stream ring
+   all-reduce (time) whose numeric result feeds Algorithm 2 (normalized,
+   perturbed, momentum-smoothed global update). Algorithm 1 then rescales
+   every GPU's batch size and learning rate for the next mega-batch.
+4. Test accuracy is measured (host-side, clock excluded) and the trace
+   extended with the adaptivity telemetry of Figures 6a/6b.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.allreduce import AllReduceAlgorithm
+from repro.comm.ring import RingAllReduce
+from repro.core.config import AdaptiveSGDConfig
+from repro.core.merging import compute_merge_weights, merge_models
+from repro.core.scheduler import DynamicScheduler
+from repro.core.staleness import StalenessTracker
+from repro.data.dataset import XMLTask
+from repro.gpu.cluster import MultiGPUServer
+from repro.gpu.cost import StepWorkload
+from repro.harness.trainer_base import TrainerBase
+from repro.harness.traces import TrainingTrace
+from repro.sim.environment import Environment
+from repro.sparse.model_state import ModelState
+from repro.sparse.optimizer import sgd_step
+
+__all__ = ["AdaptiveSGDTrainer"]
+
+
+class AdaptiveSGDTrainer(TrainerBase):
+    """Adaptive elastic model averaging SGD for heterogeneous multi-GPUs."""
+
+    algorithm = "Adaptive SGD"
+
+    def __init__(
+        self,
+        task: XMLTask,
+        server: MultiGPUServer,
+        config: AdaptiveSGDConfig,
+        *,
+        allreduce: Optional[AllReduceAlgorithm] = None,
+        use_governor: bool = False,
+        **kwargs,
+    ) -> None:
+        super().__init__(task, server, **kwargs)
+        self.config = config
+        # HeteroGPU's production merge: multi-stream ring with one stream
+        # per GPU (the empirically optimal partition count, §IV).
+        self.allreduce = allreduce or RingAllReduce(n_streams=server.n_gpus)
+        self.use_governor = use_governor
+        self.staleness = StalenessTracker()
+
+    # -- the training loop ------------------------------------------------------
+    def _execute(self, env: Environment, time_budget_s: float) -> TrainingTrace:
+        n = self.server.n_gpus
+        layer_dims = tuple(self.arch.layer_dims)
+        scheduler = DynamicScheduler(
+            self.task.train,
+            self.config,
+            n,
+            seed=self.data_seed,
+            use_governor=self.use_governor,
+        )
+        global_model = self.initial_state()
+        prev_global = global_model.copy()
+        replicas: List[ModelState] = [global_model.copy() for _ in range(n)]
+        grads: List[ModelState] = [self.mlp.zeros_state() for _ in range(n)]
+        model_bytes = global_model.nbytes
+
+        trace = self.new_trace(n)
+        trace.metadata["config"] = self.config
+        trace.metadata["allreduce"] = self.allreduce.name
+
+        total_updates = 0
+        loss_sum = 0.0
+        loss_count = 0
+        active = {"count": 0}
+
+        def manager(gpu_id: int):
+            nonlocal loss_sum, loss_count, total_updates
+            gpu = self.server.gpus[gpu_id]
+            active["count"] += 1
+            try:
+                # Replica download at the start of the mega-batch.
+                yield env.timeout(gpu.model_transfer_time(model_bytes))
+                while True:
+                    batch = scheduler.try_dispatch(gpu_id)
+                    if batch is None:
+                        return gpu_id
+                    work = StepWorkload(batch.size, batch.nnz, layer_dims)
+                    dt = gpu.step_time(
+                        work, env.now, n_active_gpus=max(1, active["count"])
+                    )
+                    yield env.timeout(dt)
+                    gpu.record_busy(dt, start=env.now - dt)
+                    loss, grad = self.mlp.loss_and_grad(
+                        batch, replicas[gpu_id], grad_out=grads[gpu_id]
+                    )
+                    sgd_step(
+                        replicas[gpu_id], grad, scheduler.learning_rates[gpu_id]
+                    )
+                    scheduler.record_completion(gpu_id)
+                    loss_sum += loss
+                    loss_count += 1
+                    total_updates += 1
+            finally:
+                active["count"] -= 1
+
+        def driver():
+            nonlocal loss_sum, loss_count
+            # Checkpoint 0: the shared initial model.
+            self.record_checkpoint(
+                trace, env, epochs=0.0, updates=0, samples=0,
+                state=global_model, loss=float("nan"),
+            )
+            while env.now < time_budget_s:
+                workers = [
+                    env.process(manager(i), name=f"gpu-manager-{i}")
+                    for i in range(n)
+                ]
+                yield env.all_of(workers)
+
+                # ---- merge stage (Algorithm 2) --------------------------
+                updates = tuple(scheduler.updates)
+                self.staleness.observe(len(trace.batch_size_history), updates)
+                weights = compute_merge_weights(
+                    scheduler.batch_sizes,
+                    updates,
+                    [r.l2_norm_per_param() for r in replicas],
+                    pert_thr=self.config.pert_thr,
+                    delta=self.config.delta,
+                    enable_perturbation=self.config.enable_perturbation,
+                    weighting=self.config.merge_weighting,
+                    renormalize=self.config.renormalize_perturbation,
+                )
+                timing = self.allreduce.time_seconds(
+                    model_bytes, self.server.topology
+                )
+                if timing.total_s > 0:
+                    yield env.timeout(timing.total_s)
+                reduced_vec = self.allreduce.reduce(
+                    [r.vector for r in replicas], weights.alphas
+                )
+                reduced = ModelState.from_vector(global_model.spec, reduced_vec)
+                merge_models(
+                    replicas, weights, global_model, prev_global,
+                    gamma=self.config.gamma, reduced=reduced,
+                )
+
+                # ---- batch size scaling (Algorithm 1) + bookkeeping ------
+                report = scheduler.mega_batch_boundary()
+                trace.batch_size_history.append(report.batch_sizes_before)
+                trace.perturbation_history.append(weights.perturbed)
+                trace.merge_branch_history.append(weights.branch)
+                trace.staleness_history.append(max(updates) - min(updates))
+
+                # Replicas restart from the merged global model.
+                for replica in replicas:
+                    replica.copy_from(global_model)
+
+                mean_loss = loss_sum / loss_count if loss_count else float("nan")
+                loss_sum = 0.0
+                loss_count = 0
+                self.record_checkpoint(
+                    trace, env,
+                    epochs=scheduler.epochs_completed,
+                    updates=total_updates,
+                    samples=scheduler.samples_dispatched,
+                    state=global_model,
+                    loss=mean_loss,
+                )
+            return trace
+
+        env.run_until_complete(env.process(driver(), name="adaptive-driver"))
+        return trace

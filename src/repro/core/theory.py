@@ -1,0 +1,116 @@
+"""Analytical characterization of batch size scaling (§III-A).
+
+The paper argues its bounds make the algorithm analyzable: "Assuming an
+equal number of model updates across GPUs, the convergence behavior of SGD
+with batch size scaling is within the range of elastic model averaging with
+a batch size between b_min and b_max. When the number of updates varies,
+these thresholds impose bounds on replica staleness, allowing the
+application of convergence results from stale synchronous SGD [11], [14]."
+
+This module makes those statements computable:
+
+- :func:`equivalent_batch_envelope` — the ``[b_min', b_max']`` elastic-SGD
+  equivalence range actually *realized* by a run (from its batch-size
+  history), always nested inside the configured ``[b_min, b_max]``;
+- :func:`stale_sync_error_bound` — the standard SSP-style convergence-error
+  scaling ``O(sqrt((s + 1) / T))`` for ``T`` updates at staleness ``s``
+  (Ho et al. NIPS'13 / Lian et al. ICML'18 shape), used to *compare*
+  configurations, not to predict absolute error;
+- :func:`effective_learning_rate` — the sample-weighted mean learning rate
+  a heterogeneous fleet actually applied (explains the Delicious deviation
+  D2 in EXPERIMENTS.md);
+- :func:`updates_balance_index` — Jain's fairness index over per-GPU update
+  counts: 1.0 = perfect parity (Algorithm 1's goal state).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "equivalent_batch_envelope",
+    "stale_sync_error_bound",
+    "effective_learning_rate",
+    "updates_balance_index",
+]
+
+
+def equivalent_batch_envelope(
+    batch_size_history: Sequence[Sequence[int]],
+) -> Tuple[int, int]:
+    """The elastic-SGD equivalence range realized by a run.
+
+    Returns ``(min, max)`` over every per-GPU batch size the run ever used.
+    By Algorithm 1's guards this is always contained in the configured
+    ``[b_min, b_max]`` (property-tested), which is exactly the §III-A
+    equivalence claim.
+    """
+    if not batch_size_history:
+        raise ConfigurationError("empty batch size history")
+    flat = [int(b) for sizes in batch_size_history for b in sizes]
+    if not flat:
+        raise ConfigurationError("batch size history has empty rows")
+    return min(flat), max(flat)
+
+
+def stale_sync_error_bound(total_updates: int, staleness: float) -> float:
+    """SSP-shape convergence-error scale ``sqrt((s + 1) / T)``.
+
+    Stale-synchronous-parallel analyses bound the optimality gap after ``T``
+    updates with bounded staleness ``s`` by ``O(sqrt((s + 1) / T))``. The
+    constant is problem-dependent, so only *ratios* between configurations
+    are meaningful — e.g. how much staleness Algorithm 1 must remove to
+    offset a throughput loss.
+    """
+    if total_updates < 1:
+        raise ConfigurationError(f"total_updates must be >= 1, got {total_updates}")
+    if staleness < 0:
+        raise ConfigurationError(f"staleness must be >= 0, got {staleness}")
+    return math.sqrt((staleness + 1.0) / total_updates)
+
+
+def effective_learning_rate(
+    batch_sizes: Sequence[int],
+    learning_rates: Sequence[float],
+) -> float:
+    """Sample-weighted mean learning rate across a heterogeneous fleet.
+
+    Each GPU applies ``lr_i`` to gradients from ``b_i`` samples; the merged
+    model's effective step per sample is the ``b_i``-weighted mean of the
+    ``lr_i`` (with the linear scaling rule this is also ``base_lr ·
+    Σb_i² / (b_max · Σb_i)`` — strictly below ``base_lr`` whenever any
+    batch shrank, quantifying deviation D2).
+    """
+    if not batch_sizes or len(batch_sizes) != len(learning_rates):
+        raise ConfigurationError(
+            f"need matching non-empty inputs, got {len(batch_sizes)} sizes "
+            f"and {len(learning_rates)} rates"
+        )
+    b = np.asarray(batch_sizes, dtype=np.float64)
+    lr = np.asarray(learning_rates, dtype=np.float64)
+    if (b <= 0).any() or (lr <= 0).any():
+        raise ConfigurationError("batch sizes and learning rates must be > 0")
+    return float((b * lr).sum() / b.sum())
+
+
+def updates_balance_index(updates: Sequence[int]) -> float:
+    """Jain's fairness index over per-GPU update counts.
+
+    ``(Σu)² / (n · Σu²)`` — equals 1.0 at perfect parity (Algorithm 1's
+    steady state) and ``1/n`` when a single GPU does all the work.
+    """
+    if not updates:
+        raise ConfigurationError("updates must be non-empty")
+    u = np.asarray(updates, dtype=np.float64)
+    if (u < 0).any():
+        raise ConfigurationError(f"update counts must be >= 0: {updates}")
+    total_sq = float(u.sum()) ** 2
+    denom = len(u) * float((u * u).sum())
+    if denom == 0.0:
+        return 1.0  # nobody did anything; vacuously balanced
+    return total_sq / denom

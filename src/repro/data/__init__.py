@@ -1,0 +1,36 @@
+"""Data substrate: sparse multi-label datasets, generation, IO, batching.
+
+- :mod:`repro.data.dataset` — :class:`SparseDataset` / :class:`XMLTask` containers.
+- :mod:`repro.data.synthetic` — learnable synthetic XML task generator.
+- :mod:`repro.data.libsvm` — multi-label libSVM read/write (XMLRepository format).
+- :mod:`repro.data.batching` — batches, shuffling cursors, mega-batch accounting.
+- :mod:`repro.data.stats` — Table-I rows and batch-nnz variance profiles.
+- :mod:`repro.data.registry` — named scaled-down analogues of the paper's datasets.
+"""
+
+from repro.data.batching import Batch, BatchCursor, MegaBatchAccountant, static_batches
+from repro.data.dataset import SparseDataset, XMLTask
+from repro.data.libsvm import read_libsvm, write_libsvm
+from repro.data.registry import dataset_names, get_config, load_task
+from repro.data.stats import BatchNnzProfile, batch_nnz_profile, table1, table1_row
+from repro.data.synthetic import SyntheticXMLConfig, generate_xml_task
+
+__all__ = [
+    "Batch",
+    "BatchCursor",
+    "MegaBatchAccountant",
+    "static_batches",
+    "SparseDataset",
+    "XMLTask",
+    "read_libsvm",
+    "write_libsvm",
+    "dataset_names",
+    "get_config",
+    "load_task",
+    "BatchNnzProfile",
+    "batch_nnz_profile",
+    "table1",
+    "table1_row",
+    "SyntheticXMLConfig",
+    "generate_xml_task",
+]

@@ -1,0 +1,204 @@
+"""Batch construction and dynamic batch dispensing.
+
+Two consumers exist:
+
+- Static trainers (synchronous SGD, Elastic SGD) partition an epoch into
+  fixed-size batches up front — :func:`static_batches`.
+- Adaptive SGD's *dynamic scheduler* requests a batch of a caller-chosen size
+  whenever a GPU frees up — :class:`BatchCursor.next_batch(size)` — because
+  per-GPU batch sizes change at every mega-batch boundary (Algorithm 1).
+
+Both paths shuffle per epoch with a dedicated generator stream and never
+copy the underlying CSR data beyond the row slices a batch needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.dataset import SparseDataset
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import make_rng
+
+__all__ = ["Batch", "BatchCursor", "static_batches", "MegaBatchAccountant"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A training batch: row-sliced features/labels plus provenance.
+
+    ``nnz`` (non-zero feature count) is what the GPU cost model keys on —
+    sparse kernels are sensitive to input cardinality (§I).
+    """
+
+    X: sp.csr_matrix
+    Y: sp.csr_matrix
+    indices: np.ndarray
+    #: Sequence number of the batch within the run (dispatch order).
+    sequence: int = -1
+
+    @property
+    def size(self) -> int:
+        """Number of samples in the batch."""
+        return self.X.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        """Non-zero feature count (drives sparse-kernel cost)."""
+        return self.X.nnz
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Batch(size={self.size}, nnz={self.nnz}, seq={self.sequence})"
+
+
+class BatchCursor:
+    """Shuffling cursor over a dataset that serves variable-size batches.
+
+    The cursor walks a per-epoch random permutation of sample indices; when a
+    request crosses the epoch boundary it reshuffles and continues, so batch
+    sizes need not divide the dataset. ``epochs_completed`` exposes the
+    *statistical-efficiency* x-axis (full passes over the data).
+    """
+
+    def __init__(self, dataset: SparseDataset, seed: int = 0) -> None:
+        if dataset.n_samples == 0:
+            raise ConfigurationError("cannot build a BatchCursor over an empty dataset")
+        self.dataset = dataset
+        self._rng = make_rng(seed)
+        self._order = self._rng.permutation(dataset.n_samples)
+        self._pos = 0
+        self._samples_served = 0
+        self._sequence = 0
+
+    @property
+    def samples_served(self) -> int:
+        """Total samples handed out so far."""
+        return self._samples_served
+
+    @property
+    def epochs_completed(self) -> float:
+        """Fractional number of full passes over the training data."""
+        return self._samples_served / self.dataset.n_samples
+
+    @property
+    def batches_served(self) -> int:
+        """Number of batches dispensed."""
+        return self._sequence
+
+    def _take(self, count: int) -> np.ndarray:
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            available = len(self._order) - self._pos
+            if available == 0:
+                self._order = self._rng.permutation(self.dataset.n_samples)
+                self._pos = 0
+                available = len(self._order)
+            take = min(count - filled, available)
+            out[filled:filled + take] = self._order[self._pos:self._pos + take]
+            self._pos += take
+            filled += take
+        return out
+
+    def next_batch(self, size: int) -> Batch:
+        """Serve the next ``size`` samples as a batch (reshuffling as needed)."""
+        if size < 1:
+            raise ConfigurationError(f"batch size must be >= 1, got {size}")
+        idx = self._take(int(size))
+        batch = Batch(
+            X=self.dataset.X[idx],
+            Y=self.dataset.Y[idx],
+            indices=idx,
+            sequence=self._sequence,
+        )
+        self._sequence += 1
+        self._samples_served += batch.size
+        return batch
+
+
+def static_batches(
+    dataset: SparseDataset,
+    batch_size: int,
+    *,
+    seed: int = 0,
+    drop_last: bool = False,
+) -> Iterator[Batch]:
+    """One shuffled epoch of fixed-size batches (classic mini-batch SGD)."""
+    if batch_size < 1:
+        raise ConfigurationError(f"batch size must be >= 1, got {batch_size}")
+    order = make_rng(seed).permutation(dataset.n_samples)
+    for seq, start in enumerate(range(0, dataset.n_samples, batch_size)):
+        idx = order[start:start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            return
+        yield Batch(
+            X=dataset.X[idx], Y=dataset.Y[idx], indices=idx, sequence=seq
+        )
+
+
+class MegaBatchAccountant:
+    """Tracks the sample budget of the current mega-batch.
+
+    The paper controls dynamic scheduling "by fixing the number of training
+    samples processed between two model merging stages — we call these
+    samples a mega-batch" (§III). The accountant answers two questions the
+    scheduler asks before each dispatch: *how many samples remain* in the
+    current mega-batch, and *is the mega-batch done*.
+    """
+
+    def __init__(self, mega_batch_size: int) -> None:
+        if mega_batch_size < 1:
+            raise ConfigurationError(
+                f"mega-batch size must be >= 1, got {mega_batch_size}"
+            )
+        self.mega_batch_size = int(mega_batch_size)
+        self._consumed = 0
+        self._completed = 0
+
+    @property
+    def consumed(self) -> int:
+        """Samples dispatched within the current mega-batch."""
+        return self._consumed
+
+    @property
+    def remaining(self) -> int:
+        """Samples left in the current mega-batch's budget."""
+        return self.mega_batch_size - self._consumed
+
+    @property
+    def mega_batches_completed(self) -> int:
+        """Number of completed mega-batches (merge stages performed)."""
+        return self._completed
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no budget remains and merging should run."""
+        return self._consumed >= self.mega_batch_size
+
+    def clamp(self, requested: int) -> int:
+        """Largest batch size <= ``requested`` that fits the remaining budget."""
+        return max(1, min(int(requested), self.remaining)) if self.remaining > 0 else 0
+
+    def charge(self, n_samples: int) -> None:
+        """Record ``n_samples`` as dispatched."""
+        if n_samples < 1:
+            raise ConfigurationError(f"cannot charge {n_samples} samples")
+        if n_samples > self.remaining:
+            raise ConfigurationError(
+                f"dispatch of {n_samples} exceeds remaining mega-batch budget "
+                f"({self.remaining})"
+            )
+        self._consumed += int(n_samples)
+
+    def roll_over(self) -> None:
+        """Start the next mega-batch (budget resets)."""
+        if not self.exhausted:
+            raise ConfigurationError(
+                "roll_over() before the mega-batch budget was exhausted"
+            )
+        self._consumed = 0
+        self._completed += 1

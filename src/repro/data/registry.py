@@ -1,0 +1,176 @@
+"""Named dataset configurations.
+
+Two families exist:
+
+- ``*-tiny`` — scaled-down synthetic analogues of the paper's datasets,
+  sized so the full experiment suite runs on a laptop in minutes. The
+  *ratios* that matter to the algorithms are preserved: Amazon-670k's label
+  space is larger than its feature space with very few labels per sample;
+  Delicious-200k is the opposite (features >> labels, dense label sets).
+- ``*-small`` — larger versions for longer, higher-fidelity runs.
+
+Absolute dimensionalities are reduced (documented per-config); per-sample
+nnz means are reduced proportionally less so the tasks stay learnable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.data.synthetic import SyntheticXMLConfig, generate_xml_task
+from repro.data.dataset import XMLTask
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DATASET_CONFIGS", "dataset_names", "get_config", "load_task"]
+
+
+def _amazon670k_tiny(seed: int) -> SyntheticXMLConfig:
+    # Amazon-670k: 135,909 features / 670,091 labels (labels ~4.9x features),
+    # 490,449 train, avg 76 feat + 5 labels per sample. Scaled ~1/100 on
+    # dims, labels kept > features; avg labels kept at 5.
+    return SyntheticXMLConfig(
+        name="amazon670k-tiny",
+        n_features=1536,
+        n_labels=6144,
+        n_train=6144,
+        n_test=1536,
+        avg_features_per_sample=24.0,
+        avg_labels_per_sample=5.0,
+        label_zipf=1.1,
+        feature_zipf=1.05,
+        prototypes_per_label=10,
+        signal_fraction=0.7,
+        nnz_sigma=0.55,
+        seed=seed,
+    )
+
+
+def _delicious200k_tiny(seed: int) -> SyntheticXMLConfig:
+    # Delicious-200k: 782,585 features / 205,443 labels (features ~3.8x
+    # labels), 196,606 train, avg 302 feat + 75 labels per sample. Scaled
+    # with features > labels and much denser label sets (avg 12).
+    return SyntheticXMLConfig(
+        name="delicious200k-tiny",
+        n_features=4096,
+        n_labels=1024,
+        n_train=6144,
+        n_test=1536,
+        avg_features_per_sample=64.0,
+        avg_labels_per_sample=12.0,
+        label_zipf=0.9,
+        feature_zipf=1.1,
+        prototypes_per_label=14,
+        signal_fraction=0.65,
+        nnz_sigma=0.5,
+        seed=seed,
+    )
+
+
+def _amazon670k_small(seed: int) -> SyntheticXMLConfig:
+    cfg = _amazon670k_tiny(seed)
+    cfg.name = "amazon670k-small"
+    cfg.n_features = 4096
+    cfg.n_labels = 16384
+    cfg.n_train = 24576
+    cfg.n_test = 6144
+    cfg.avg_features_per_sample = 48.0
+    return cfg
+
+
+def _delicious200k_small(seed: int) -> SyntheticXMLConfig:
+    cfg = _delicious200k_tiny(seed)
+    cfg.name = "delicious200k-small"
+    cfg.n_features = 16384
+    cfg.n_labels = 4096
+    cfg.n_train = 24576
+    cfg.n_test = 6144
+    cfg.avg_features_per_sample = 128.0
+    return cfg
+
+
+def _micro(seed: int) -> SyntheticXMLConfig:
+    # Minimal task for unit/integration tests: runs in well under a second.
+    return SyntheticXMLConfig(
+        name="micro",
+        n_features=256,
+        n_labels=64,
+        n_train=512,
+        n_test=128,
+        avg_features_per_sample=12.0,
+        avg_labels_per_sample=2.0,
+        prototypes_per_label=6,
+        seed=seed,
+    )
+
+
+def _amazon670k_bench(seed: int) -> SyntheticXMLConfig:
+    # Benchmark-sized Amazon analogue: keeps labels > features and sparse
+    # label sets (avg ~4) while staying small enough that the full Figure-4
+    # grid (4 methods x 3 GPU counts x 2 datasets) runs in minutes on a CPU.
+    return SyntheticXMLConfig(
+        name="amazon670k-bench",
+        n_features=768,
+        n_labels=1536,
+        n_train=8192,
+        n_test=2048,
+        avg_features_per_sample=20.0,
+        avg_labels_per_sample=4.0,
+        label_zipf=1.1,
+        feature_zipf=1.05,
+        prototypes_per_label=8,
+        signal_fraction=0.7,
+        nnz_sigma=0.55,
+        seed=seed,
+    )
+
+
+def _delicious200k_bench(seed: int) -> SyntheticXMLConfig:
+    # Benchmark-sized Delicious analogue: features > labels, dense label
+    # sets (avg ~8).
+    return SyntheticXMLConfig(
+        name="delicious200k-bench",
+        n_features=1536,
+        n_labels=512,
+        n_train=8192,
+        n_test=2048,
+        avg_features_per_sample=48.0,
+        avg_labels_per_sample=8.0,
+        label_zipf=0.9,
+        feature_zipf=1.1,
+        prototypes_per_label=12,
+        signal_fraction=0.65,
+        nnz_sigma=0.5,
+        seed=seed,
+    )
+
+
+DATASET_CONFIGS: Dict[str, Callable[[int], SyntheticXMLConfig]] = {
+    "micro": _micro,
+    "amazon670k-bench": _amazon670k_bench,
+    "delicious200k-bench": _delicious200k_bench,
+    "amazon670k-tiny": _amazon670k_tiny,
+    "delicious200k-tiny": _delicious200k_tiny,
+    "amazon670k-small": _amazon670k_small,
+    "delicious200k-small": _delicious200k_small,
+}
+
+
+def dataset_names() -> List[str]:
+    """All registered dataset names."""
+    return list(DATASET_CONFIGS)
+
+
+def get_config(name: str, seed: int = 0) -> SyntheticXMLConfig:
+    """The generator config for dataset ``name`` at ``seed``."""
+    try:
+        builder = DATASET_CONFIGS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+    return builder(seed)
+
+
+def load_task(name: str, seed: int = 0) -> XMLTask:
+    """Generate the named synthetic XML task (deterministic in ``seed``)."""
+    return generate_xml_task(get_config(name, seed))

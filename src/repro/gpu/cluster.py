@@ -1,0 +1,104 @@
+"""The simulated multi-GPU server.
+
+Bundles the virtual devices with the interconnect description and provides
+the named constructors experiments use (``make_server``). The default server
+mirrors the paper's testbed: 4 × V100-16GB on one PCIe host with observable
+heterogeneity (Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.comm.topology import InterconnectTopology
+from repro.exceptions import ConfigurationError
+from repro.gpu.cost import CpuCostModel, CpuCostParams, GpuCostModel, GpuCostParams
+from repro.gpu.device import VirtualCPU, VirtualGPU
+from repro.gpu.profiles import (
+    SpeedProfile,
+    make_heterogeneous_profiles,
+    make_uniform_profiles,
+)
+
+__all__ = ["MultiGPUServer", "make_server"]
+
+HETEROGENEITY_MODES = ("het", "uniform")
+
+
+@dataclass
+class MultiGPUServer:
+    """A single-server multi-GPU machine: devices + interconnect + host CPU."""
+
+    gpus: List[VirtualGPU]
+    topology: InterconnectTopology
+    cpu: VirtualCPU = field(default_factory=VirtualCPU)
+
+    def __post_init__(self) -> None:
+        if not self.gpus:
+            raise ConfigurationError("a server needs at least one GPU")
+        ids = [g.device_id for g in self.gpus]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate GPU device ids: {ids}")
+
+    @property
+    def n_gpus(self) -> int:
+        """Number of GPUs installed."""
+        return len(self.gpus)
+
+    def speeds_at(self, t: float) -> List[float]:
+        """Every GPU's speed multiplier at time ``t`` (diagnostics)."""
+        return [g.speed_at(t) for g in self.gpus]
+
+
+def make_server(
+    n_gpus: int = 4,
+    *,
+    heterogeneity: str = "het",
+    max_gap: float = 0.32,
+    fused_kernels: bool = True,
+    cost_params: Optional[GpuCostParams] = None,
+    cpu_params: Optional[CpuCostParams] = None,
+    seed: int = 0,
+) -> MultiGPUServer:
+    """Construct the paper-testbed-like server.
+
+    Parameters
+    ----------
+    n_gpus:
+        GPUs installed (the paper evaluates 1, 2, and 4).
+    heterogeneity:
+        ``"het"`` — base-speed skew up to ``max_gap`` plus oscillation and
+        jitter (Figure 1 behaviour); ``"uniform"`` — idealized identical
+        devices (ablation control).
+    fused_kernels:
+        Whether the HeteroGPU kernel-fusion optimization (§IV) is enabled in
+        the cost model.
+    """
+    if heterogeneity not in HETEROGENEITY_MODES:
+        raise ConfigurationError(
+            f"heterogeneity must be one of {HETEROGENEITY_MODES}, got {heterogeneity!r}"
+        )
+    if heterogeneity == "het":
+        profiles = make_heterogeneous_profiles(n_gpus, max_gap=max_gap, seed=seed)
+    else:
+        profiles = make_uniform_profiles(n_gpus, seed=seed)
+    params = cost_params or GpuCostParams()
+    gpus = [
+        VirtualGPU(
+            device_id=i,
+            profile=profiles[i],
+            cost_model=GpuCostModel(params, fused=fused_kernels),
+        )
+        for i in range(n_gpus)
+    ]
+    cpu = (
+        VirtualCPU(cost_model=CpuCostModel(cpu_params))
+        if cpu_params is not None
+        else VirtualCPU()
+    )
+    return MultiGPUServer(
+        gpus=gpus,
+        topology=InterconnectTopology.single_server_pcie(n_gpus),
+        cpu=cpu,
+    )

@@ -1,0 +1,176 @@
+"""Virtual devices: the simulated GPUs and the SLIDE CPU.
+
+A :class:`VirtualGPU` knows how long a given SGD step takes *right now*
+(cost model × its time-varying speed profile) and tracks busy time and
+memory so utilization and batch-fit constraints can be asserted on. It does
+not execute anything — GPU-manager processes (in the trainers) advance the
+simulation clock by the durations computed here, while the actual numerics
+run on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.gpu.cost import (
+    CpuCostModel,
+    CpuCostParams,
+    GpuCostModel,
+    GpuCostParams,
+    StepWorkload,
+)
+from repro.gpu.profiles import SpeedProfile
+
+__all__ = ["VirtualGPU", "VirtualCPU"]
+
+GiB = 1024**3
+
+
+@dataclass
+class VirtualGPU:
+    """A single simulated GPU.
+
+    Defaults mimic the paper's testbed device (NVIDIA V100, 16 GB).
+    """
+
+    device_id: int
+    profile: SpeedProfile
+    cost_model: GpuCostModel = field(default_factory=GpuCostModel)
+    memory_bytes: int = 16 * GiB
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise ConfigurationError(f"device_id must be >= 0, got {self.device_id}")
+        if self.memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be positive")
+        if not self.name:
+            self.name = f"gpu{self.device_id}"
+        self._busy_s = 0.0
+        self._steps = 0
+        self._intervals: list = []
+
+    # -- execution-time queries -----------------------------------------------
+    def speed_at(self, t: float) -> float:
+        """The device's relative speed multiplier at simulated time ``t``."""
+        return self.profile.speed(t)
+
+    def step_time(
+        self, work: StepWorkload, t: float, *, n_active_gpus: int = 1
+    ) -> float:
+        """Seconds the device needs for ``work`` started at time ``t``."""
+        return self.cost_model.step_time(
+            work, speed=self.speed_at(t), n_active_gpus=n_active_gpus
+        )
+
+    def model_transfer_time(self, nbytes: int) -> float:
+        """Host↔device model-replica transfer time."""
+        return self.cost_model.model_transfer_time(nbytes)
+
+    # -- memory accounting --------------------------------------------------
+    def batch_fits(self, work: StepWorkload, model_bytes: int) -> bool:
+        """Whether a step's working set fits device memory.
+
+        Working set ≈ model replica + gradient + batch CSR + dense
+        activations ``batch_size × (hidden… + labels)`` float32.
+        """
+        act_units = sum(work.layer_dims[1:])
+        activations = 4 * work.batch_size * act_units
+        required = 2 * model_bytes + work.batch_bytes + activations
+        return required <= self.memory_bytes
+
+    def max_batch_size(
+        self, layer_dims: Tuple[int, ...], model_bytes: int, avg_nnz_per_sample: float
+    ) -> int:
+        """Largest batch size whose working set fits in memory.
+
+        Used to pick the paper's ``b_max``: "The initial batch size — set to
+        b_max — is chosen such that the GPU memory (and utilization) are
+        maximized" (§V-A).
+        """
+        available = self.memory_bytes - 2 * model_bytes
+        if available <= 0:
+            raise ConfigurationError(
+                f"{self.name}: model of {model_bytes} bytes does not fit in "
+                f"{self.memory_bytes} bytes of device memory"
+            )
+        per_sample = 4.0 * sum(layer_dims[1:]) + 8.0 * avg_nnz_per_sample + 4.0
+        return max(1, int(available / per_sample))
+
+    # -- utilization bookkeeping -------------------------------------------
+    def record_busy(
+        self,
+        seconds: float,
+        *,
+        start: Optional[float] = None,
+        tag: str = "step",
+    ) -> None:
+        """Accumulate busy time (called by trainers as steps complete).
+
+        When ``start`` (simulated seconds) is supplied, the interval is also
+        kept for timeline export (:mod:`repro.gpu.timeline`); totals-only
+        accounting stays allocation-free otherwise.
+        """
+        if seconds < 0:
+            raise SimulationError(f"negative busy time: {seconds}")
+        self._busy_s += float(seconds)
+        self._steps += 1
+        if start is not None:
+            if start < 0:
+                raise SimulationError(f"negative interval start: {start}")
+            self._intervals.append((float(start), float(seconds), tag))
+
+    @property
+    def busy_intervals(self) -> Tuple[Tuple[float, float, str], ...]:
+        """Recorded ``(start, duration, tag)`` intervals (may be empty)."""
+        return tuple(self._intervals)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total simulated seconds spent computing."""
+        return self._busy_s
+
+    @property
+    def steps_executed(self) -> int:
+        """Number of SGD steps the device has run."""
+        return self._steps
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction of ``elapsed`` simulated seconds."""
+        return self._busy_s / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass
+class VirtualCPU:
+    """The multicore CPU that runs the SLIDE baseline.
+
+    Defaults mimic the paper's host (16-core / 32-thread Cascade Lake).
+    """
+
+    n_threads: int = 32
+    cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+    name: str = "cpu"
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise ConfigurationError(f"n_threads must be >= 1, got {self.n_threads}")
+        self._busy_s = 0.0
+
+    def samples_time(self, per_sample_flops: float, n_samples: int) -> float:
+        """Seconds to run ``n_samples`` per-sample updates across all threads."""
+        return self.cost_model.samples_time(
+            per_sample_flops, n_samples, self.n_threads
+        )
+
+    def record_busy(self, seconds: float) -> None:
+        """Accumulate busy time."""
+        if seconds < 0:
+            raise SimulationError(f"negative busy time: {seconds}")
+        self._busy_s += float(seconds)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total simulated seconds spent computing."""
+        return self._busy_s

@@ -1,0 +1,109 @@
+"""Execution timeline export and utilization reporting.
+
+When trainers record busy intervals (they pass ``start=`` to
+:meth:`VirtualGPU.record_busy`), the run can be inspected like a real
+profiler session:
+
+- :func:`chrome_trace` writes the Chrome/Perfetto trace-event JSON
+  (open in ``chrome://tracing`` or https://ui.perfetto.dev) with one track
+  per GPU — mega-batch phases, stragglers, and merge barriers become
+  visually obvious;
+- :func:`utilization_report` summarizes busy fractions per device;
+- :func:`ascii_timeline` renders the same tracks as terminal bars.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ConfigurationError
+from repro.gpu.cluster import MultiGPUServer
+
+__all__ = ["chrome_trace", "utilization_report", "ascii_timeline"]
+
+PathLike = Union[str, Path]
+
+
+def chrome_trace(
+    server: MultiGPUServer, path: PathLike, *, time_scale_us: float = 1e6
+) -> Path:
+    """Write the server's recorded busy intervals as Chrome trace events.
+
+    ``time_scale_us`` converts simulated seconds to trace microseconds
+    (default: 1 sim second = 1e6 µs, i.e. real scale).
+    """
+    events: List[dict] = []
+    for gpu in server.gpus:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 0,
+            "tid": gpu.device_id,
+            "args": {"name": f"{gpu.name} (base speed {gpu.profile.base:.2f})"},
+        })
+        for start, duration, tag in gpu.busy_intervals:
+            events.append({
+                "name": tag,
+                "ph": "X",
+                "pid": 0,
+                "tid": gpu.device_id,
+                "ts": start * time_scale_us,
+                "dur": duration * time_scale_us,
+            })
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"traceEvents": events}, indent=1))
+    return path
+
+
+def utilization_report(
+    server: MultiGPUServer, elapsed: float
+) -> List[Dict[str, float]]:
+    """Per-GPU busy seconds / steps / utilization over ``elapsed`` seconds."""
+    if elapsed <= 0:
+        raise ConfigurationError(f"elapsed must be > 0, got {elapsed}")
+    return [
+        {
+            "gpu": gpu.device_id,
+            "steps": gpu.steps_executed,
+            "busy_s": gpu.busy_seconds,
+            "utilization": gpu.utilization(elapsed),
+        }
+        for gpu in server.gpus
+    ]
+
+
+def ascii_timeline(
+    server: MultiGPUServer,
+    *,
+    until: Optional[float] = None,
+    width: int = 72,
+) -> str:
+    """Terminal bars of each GPU's busy intervals (``#`` busy, ``.`` idle).
+
+    Requires recorded intervals; devices without any render as all-idle.
+    """
+    if width < 8:
+        raise ConfigurationError(f"width must be >= 8, got {width}")
+    horizon = until
+    if horizon is None:
+        ends = [
+            start + duration
+            for gpu in server.gpus
+            for start, duration, _ in gpu.busy_intervals
+        ]
+        horizon = max(ends, default=1.0)
+    if horizon <= 0:
+        raise ConfigurationError(f"empty timeline horizon: {horizon}")
+    lines = []
+    for gpu in server.gpus:
+        row = ["."] * width
+        for start, duration, _ in gpu.busy_intervals:
+            lo = int(start / horizon * width)
+            hi = int(min(start + duration, horizon) / horizon * width)
+            for c in range(lo, max(hi, lo + 1)):
+                if 0 <= c < width:
+                    row[c] = "#"
+        lines.append(f"{gpu.name:>6} |{''.join(row)}|")
+    lines.append(f"{'':>6}  0{'sim time'.center(width - 2)}{horizon:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Convergence diagnostics over training traces.
+
+Beyond the paper's headline metrics (time/epochs-to-accuracy), these helpers
+characterize *how* a run behaved — useful for the ablation benches and for
+catching pathologies (CROSSBOW-style divergence, post-peak decay) that a
+single best-accuracy number hides:
+
+- :func:`smoothed_accuracy` — moving-average curve (eval subsets are noisy);
+- :func:`auc_accuracy` — area under the accuracy-vs-time curve, a robust
+  scalar for "better everywhere" comparisons;
+- :func:`detect_plateau` — when the run stopped improving;
+- :func:`detect_divergence` — sustained post-peak decay (emits
+  :class:`~repro.exceptions.ConvergenceWarning`);
+- :func:`compare` — a one-line verdict between two traces.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ConvergenceWarning
+from repro.harness.traces import TrainingTrace
+
+__all__ = [
+    "smoothed_accuracy",
+    "auc_accuracy",
+    "detect_plateau",
+    "detect_divergence",
+    "compare",
+    "TraceComparison",
+]
+
+
+def _arrays(trace: TrainingTrace) -> Tuple[np.ndarray, np.ndarray]:
+    if len(trace) == 0:
+        raise ConfigurationError("analysis of an empty trace")
+    times = np.asarray([p.time_s for p in trace.points])
+    accs = np.asarray([p.accuracy for p in trace.points])
+    return times, accs
+
+
+def smoothed_accuracy(
+    trace: TrainingTrace, window: int = 3
+) -> List[Tuple[float, float]]:
+    """Centered moving-average of the accuracy curve (window clipped at ends)."""
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    times, accs = _arrays(trace)
+    half = window // 2
+    out = []
+    for i in range(len(accs)):
+        lo = max(0, i - half)
+        hi = min(len(accs), i + half + 1)
+        out.append((float(times[i]), float(accs[lo:hi].mean())))
+    return out
+
+
+def auc_accuracy(trace: TrainingTrace, until: Optional[float] = None) -> float:
+    """Time-normalized area under the accuracy curve.
+
+    Equals the run's *average accuracy over time* in ``[0, until]`` — a
+    method that is better at every instant has a strictly larger AUC, and
+    transient dips are weighted by how long they last.
+    """
+    times, accs = _arrays(trace)
+    end = float(until) if until is not None else float(times[-1])
+    if end <= times[0]:
+        return float(accs[0])
+    mask = times <= end
+    t = np.append(times[mask], end)
+    a = np.append(accs[mask], accs[mask][-1])
+    return float(np.trapezoid(a, t) / (end - t[0]))
+
+
+@dataclass(frozen=True)
+class Plateau:
+    """Where a run stopped improving."""
+
+    start_time: float
+    start_index: int
+    level: float
+
+
+def detect_plateau(
+    trace: TrainingTrace, *, tolerance: float = 0.01, min_points: int = 3
+) -> Optional[Plateau]:
+    """The earliest suffix of >= ``min_points`` checkpoints whose accuracy
+    never exceeds its own first value by ``tolerance``; ``None`` if the run
+    is still improving at the end."""
+    times, accs = _arrays(trace)
+    n = len(accs)
+    if n < min_points:
+        return None
+    for start in range(n - min_points + 1):
+        if accs[start:].max() <= accs[start] + tolerance:
+            return Plateau(
+                start_time=float(times[start]),
+                start_index=start,
+                level=float(accs[start:].mean()),
+            )
+    return None
+
+
+def detect_divergence(
+    trace: TrainingTrace, *, drop: float = 0.1, warn: bool = True
+) -> bool:
+    """True if the final accuracy sits ``drop`` below the running peak.
+
+    That is the signature the paper describes for CROSSBOW ("poor accuracy
+    ... instability"); a warning is emitted so long experiment sweeps
+    surface it without failing.
+    """
+    _, accs = _arrays(trace)
+    peak = float(accs.max())
+    diverged = bool(peak - float(accs[-1]) > drop)
+    if diverged and warn:
+        warnings.warn(
+            f"{trace.label()} decayed {peak - accs[-1]:.3f} below its peak "
+            f"({peak:.3f} -> {accs[-1]:.3f})",
+            ConvergenceWarning,
+            stacklevel=2,
+        )
+    return diverged
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    """Verdict of :func:`compare`."""
+
+    winner: str
+    auc_a: float
+    auc_b: float
+    best_a: float
+    best_b: float
+
+    @property
+    def margin(self) -> float:
+        """AUC difference (positive favors trace a)."""
+        return self.auc_a - self.auc_b
+
+
+def compare(a: TrainingTrace, b: TrainingTrace) -> TraceComparison:
+    """Compare two traces over their common time horizon (AUC first,
+    best accuracy as tie-breaker)."""
+    horizon = min(a.total_time, b.total_time)
+    auc_a = auc_accuracy(a, until=horizon)
+    auc_b = auc_accuracy(b, until=horizon)
+    if abs(auc_a - auc_b) > 1e-9:
+        winner = a.label() if auc_a > auc_b else b.label()
+    else:
+        winner = a.label() if a.best_accuracy >= b.best_accuracy else b.label()
+    return TraceComparison(
+        winner=winner,
+        auc_a=auc_a,
+        auc_b=auc_b,
+        best_a=a.best_accuracy,
+        best_b=b.best_accuracy,
+    )

@@ -1,0 +1,124 @@
+"""One-call reproduction of the whole evaluation section.
+
+:func:`reproduce_all` runs every paper artifact in sequence — Figure 1,
+Table I, Figure 4 (both datasets), Figure 5 (both datasets), Figure 6, and
+the §IV all-reduce comparison — and returns a :class:`PaperReport` holding
+the raw results plus the rendered text. ``examples/full_reproduction.py``
+and the ``python -m repro`` workflow build on it; result sets can be saved
+for later analysis with :mod:`repro.harness.store`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.harness.figures import (
+    PAPER_TABLE1,
+    allreduce_comparison,
+    fig1_heterogeneity,
+    fig4_time_to_accuracy,
+    fig5_scalability,
+    fig6_adaptivity,
+    table1_rows,
+)
+from repro.harness.report import (
+    render_allreduce,
+    render_fig1,
+    render_fig6,
+    render_table1,
+    render_tta_curves,
+    render_tta_summary,
+)
+
+__all__ = ["PaperReport", "reproduce_all"]
+
+DATASETS = ("amazon670k-bench", "delicious200k-bench")
+
+
+@dataclass
+class PaperReport:
+    """All artifacts of one full reproduction pass."""
+
+    fig1_rows: list
+    table1: list
+    fig4: Dict[str, dict]
+    fig5: Dict[str, dict]
+    fig6: object
+    allreduce_rows: list
+    #: Rendered text per artifact, in paper order.
+    sections: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The complete text report."""
+        return "\n\n".join(self.sections)
+
+
+def reproduce_all(
+    *,
+    time_budget_s: float = 0.3,
+    seed: int = 0,
+    datasets=DATASETS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PaperReport:
+    """Run the full evaluation; returns the collected :class:`PaperReport`.
+
+    ``progress`` (when given) receives a one-line status before each stage —
+    pass ``print`` for a live console, or a logger method.
+    """
+    say = progress or (lambda _msg: None)
+    sections: List[str] = []
+
+    say("Figure 1 — heterogeneity measurement")
+    fig1_rows = fig1_heterogeneity(seed=seed)
+    sections.append(render_fig1(fig1_rows))
+
+    say("Table I — dataset characteristics")
+    t1 = table1_rows(datasets=datasets, seed=seed)
+    sections.append(render_table1(t1, PAPER_TABLE1))
+
+    fig4: Dict[str, dict] = {}
+    for dataset in datasets:
+        say(f"Figure 4 — {dataset} (4 methods x 3 GPU counts)")
+        traces = fig4_time_to_accuracy(
+            dataset, time_budget_s=time_budget_s, seed=seed
+        )
+        fig4[dataset] = traces
+        sections.append(
+            render_tta_curves(traces, title=f"Figure 4 — {dataset}")
+            + "\n\n" + render_tta_summary(list(traces.values()))
+        )
+
+    fig5: Dict[str, dict] = {}
+    for dataset in datasets:
+        say(f"Figure 5 — {dataset} (Adaptive vs SLIDE)")
+        traces = fig5_scalability(
+            dataset, time_budget_s=time_budget_s, seed=seed
+        )
+        fig5[dataset] = traces
+        sections.append(
+            render_tta_curves(traces, title=f"Figure 5a — {dataset}")
+            + "\n\n" + render_tta_curves(
+                traces, x="epochs", title=f"Figure 5b — {dataset}"
+            )
+        )
+
+    say("Figure 6 — adaptivity telemetry")
+    fig6 = fig6_adaptivity(
+        datasets[0], time_budget_s=time_budget_s, seed=seed
+    )
+    sections.append(render_fig6(fig6))
+
+    say("§IV — all-reduce comparison")
+    ar_rows = allreduce_comparison()
+    sections.append(render_allreduce(ar_rows))
+
+    return PaperReport(
+        fig1_rows=fig1_rows,
+        table1=t1,
+        fig4=fig4,
+        fig5=fig5,
+        fig6=fig6,
+        allreduce_rows=ar_rows,
+        sections=sections,
+    )

@@ -1,0 +1,159 @@
+"""Paper-style text rendering of experiment outputs.
+
+Turns the data structures the figure builders return into the aligned
+tables and ``(x, y)`` series the benches print — the text analogue of the
+paper's plots, suitable for terminals, CI logs, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.harness.tta import TTAEntry, default_targets, tta_table
+from repro.harness.traces import TrainingTrace
+from repro.utils.plots import ascii_plot
+from repro.utils.tables import format_series, format_table
+
+__all__ = [
+    "render_fig1",
+    "render_table1",
+    "render_tta_curves",
+    "render_tta_summary",
+    "render_fig6",
+    "render_allreduce",
+]
+
+
+def render_fig1(rows: Sequence[Mapping[str, float]]) -> str:
+    """Figure 1 as a table: per-GPU epoch time and relative slowdown."""
+    table_rows = [
+        [
+            f"GPU {int(r['gpu'])}",
+            r["epoch_time_s"] * 1e3,
+            f"{r['relative_slowdown'] * 100:.1f}%",
+        ]
+        for r in rows
+    ]
+    worst = max(r["relative_slowdown"] for r in rows)
+    body = format_table(
+        ["device", "epoch time (ms)", "slower than fastest"],
+        table_rows,
+        title="Figure 1 — heterogeneity on an identical sparse batch",
+    )
+    return body + f"\nfastest<->slowest gap: {worst * 100:.1f}%"
+
+
+def render_table1(
+    rows: Sequence[Mapping[str, object]],
+    paper_rows: Optional[Sequence[Mapping[str, object]]] = None,
+) -> str:
+    """Table I (ours, optionally followed by the paper's original rows)."""
+    headers = list(rows[0].keys())
+    out = format_table(
+        headers,
+        [[r[h] for h in headers] for r in rows],
+        title="Table I — synthetic analogue datasets (this reproduction)",
+    )
+    if paper_rows:
+        out += "\n\n" + format_table(
+            headers,
+            [[r[h] for h in headers] for r in paper_rows],
+            title="Table I — original datasets (paper, for reference)",
+        )
+    return out
+
+
+def render_tta_curves(
+    traces: Mapping[object, TrainingTrace],
+    *,
+    x: str = "time",
+    title: str = "time-to-accuracy",
+    max_points: int = 12,
+    chart: bool = True,
+) -> str:
+    """Accuracy curves for a set of runs (Figure 4 / 5 style).
+
+    Emits the sampled series (machine-greppable) and, with ``chart=True``,
+    an ASCII rendering of the curves — the closest a terminal gets to the
+    paper's actual figure.
+    """
+    series = {
+        trace.label(): trace.series(x=x, y="accuracy")
+        for trace in traces.values()
+    }
+    xlabel = "sim seconds" if x == "time" else x
+    out = format_series(
+        series, title=title, xlabel=xlabel, ylabel="top-1 acc",
+        max_points=max_points,
+    )
+    if chart:
+        out += "\n" + ascii_plot(
+            series, xlabel=xlabel, ylabel="acc", width=64, height=14,
+        )
+    return out
+
+
+def render_tta_summary(
+    traces: Sequence[TrainingTrace],
+    targets: Optional[Sequence[float]] = None,
+) -> str:
+    """Best-accuracy and time/epochs-to-target table for a run set."""
+    targets = list(targets) if targets is not None else default_targets(traces)
+    entries = tta_table(traces, targets)
+    by_label: Dict[str, List[TTAEntry]] = {}
+    for e in entries:
+        by_label.setdefault(e.label, []).append(e)
+    headers = ["run", "best acc"] + [f"t@{t:g}" for t in targets]
+    rows = []
+    for trace in traces:
+        row = [trace.label(), trace.best_accuracy]
+        for e in by_label[trace.label()]:
+            row.append(f"{e.time_s:.4g}s" if e.reached else "not reached")
+        rows.append(row)
+    return format_table(headers, rows, title="time-to-accuracy summary")
+
+
+def render_fig6(result, *, chart: bool = True) -> str:
+    """Figure 6a/6b: batch-size evolution + perturbation frequency."""
+    series = {
+        f"GPU {gpu}": pts for gpu, pts in result.batch_size_series.items()
+    }
+    out = format_series(
+        series,
+        title="Figure 6a — per-GPU batch size after every mega-batch",
+        xlabel="mega-batch", ylabel="batch size", max_points=16,
+    )
+    if chart:
+        out += "\n" + ascii_plot(
+            series, xlabel="mega-batch", ylabel="batch", width=64, height=12,
+        )
+    out += (
+        f"\nFigure 6b — perturbation activation frequency: "
+        f"{result.perturbation_frequency * 100:.1f}% of merges"
+        f" | merge branches: {result.merge_branches}"
+        f" | max staleness: {result.staleness_max} updates"
+    )
+    return out
+
+
+def render_allreduce(rows: Sequence[Mapping[str, float]]) -> str:
+    """§IV all-reduce comparison table."""
+    table_rows = [
+        [
+            int(r["gpus"]),
+            int(r["model_params"]),
+            r["ring_multi_ms"],
+            r["ring_single_ms"],
+            r["tree_single_ms"],
+            f"{r['ring_multi_vs_tree']:.1f}x",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        [
+            "gpus", "model params", "ring multi (ms)", "ring single (ms)",
+            "tree single (ms)", "ring-multi speedup vs tree",
+        ],
+        table_rows,
+        title="§IV — all-reduce model merging comparison",
+    )

@@ -1,0 +1,133 @@
+"""Persistence for training traces and experiment result sets.
+
+A trace saves as a pair of files: ``<stem>.json`` (identity, metadata,
+boundary telemetry) and ``<stem>.npz`` (the checkpoint arrays). The split
+keeps the JSON human-readable while bulk numeric data stays binary. A whole
+experiment grid saves as a directory with an ``index.json``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DataFormatError
+from repro.harness.traces import TracePoint, TrainingTrace
+from repro.utils.serialization import (
+    load_arrays,
+    load_json,
+    save_arrays,
+    save_json,
+    to_jsonable,
+)
+
+__all__ = ["save_trace", "load_trace", "save_result_set", "load_result_set"]
+
+PathLike = Union[str, Path]
+
+_POINT_FIELDS = ("time_s", "epochs", "updates", "samples", "accuracy", "loss")
+
+
+def save_trace(trace: TrainingTrace, stem: PathLike) -> Tuple[Path, Path]:
+    """Save ``trace`` as ``<stem>.json`` + ``<stem>.npz``; return both paths."""
+    stem = Path(stem)
+    meta = {
+        "algorithm": trace.algorithm,
+        "dataset": trace.dataset,
+        "n_devices": trace.n_devices,
+        "batch_size_history": [list(s) for s in trace.batch_size_history],
+        "perturbation_history": list(trace.perturbation_history),
+        "merge_branch_history": list(trace.merge_branch_history),
+        "staleness_history": list(trace.staleness_history),
+        "metadata": _safe_metadata(trace.metadata),
+        "format_version": 1,
+    }
+    json_path = save_json(stem.with_suffix(".json"), meta)
+    arrays = {
+        field: np.asarray([getattr(p, field) for p in trace.points])
+        for field in _POINT_FIELDS
+    }
+    npz_path = save_arrays(stem.with_suffix(".npz"), arrays)
+    return json_path, npz_path
+
+
+def _safe_metadata(metadata: Mapping) -> dict:
+    """Metadata entries that fail JSON conversion are stringified."""
+    out = {}
+    for key, value in metadata.items():
+        try:
+            out[str(key)] = to_jsonable(value)
+        except TypeError:
+            out[str(key)] = repr(value)
+    return out
+
+
+def load_trace(stem: PathLike) -> TrainingTrace:
+    """Load a trace saved by :func:`save_trace`."""
+    stem = Path(stem)
+    json_path = stem.with_suffix(".json")
+    npz_path = stem.with_suffix(".npz")
+    if not json_path.exists() or not npz_path.exists():
+        raise DataFormatError(f"no trace at {stem} (.json/.npz pair required)")
+    meta = load_json(json_path)
+    if meta.get("format_version") != 1:
+        raise DataFormatError(
+            f"{json_path}: unsupported trace format {meta.get('format_version')!r}"
+        )
+    arrays = load_arrays(npz_path)
+    trace = TrainingTrace(
+        algorithm=meta["algorithm"],
+        dataset=meta["dataset"],
+        n_devices=int(meta["n_devices"]),
+        batch_size_history=[tuple(s) for s in meta["batch_size_history"]],
+        perturbation_history=[bool(b) for b in meta["perturbation_history"]],
+        merge_branch_history=list(meta["merge_branch_history"]),
+        staleness_history=[int(s) for s in meta["staleness_history"]],
+        metadata=meta.get("metadata", {}),
+    )
+    n = len(arrays["time_s"])
+    for i in range(n):
+        trace.record_point(TracePoint(
+            time_s=float(arrays["time_s"][i]),
+            epochs=float(arrays["epochs"][i]),
+            updates=int(arrays["updates"][i]),
+            samples=int(arrays["samples"][i]),
+            accuracy=float(arrays["accuracy"][i]),
+            loss=float(arrays["loss"][i]),
+        ))
+    return trace
+
+
+def save_result_set(
+    results: Mapping[Tuple[str, int], TrainingTrace], directory: PathLike
+) -> Path:
+    """Save a ``run_experiment`` result dict into ``directory``.
+
+    Each trace goes to ``<algorithm>_<n>gpu.{json,npz}``; an ``index.json``
+    records the key mapping.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    index = []
+    for (algorithm, n_gpus), trace in results.items():
+        stem = directory / f"{algorithm}_{n_gpus}gpu"
+        save_trace(trace, stem)
+        index.append({"algorithm": algorithm, "n_gpus": n_gpus,
+                      "stem": stem.name})
+    save_json(directory / "index.json", index)
+    return directory
+
+
+def load_result_set(directory: PathLike) -> Dict[Tuple[str, int], TrainingTrace]:
+    """Load a result set saved by :func:`save_result_set`."""
+    directory = Path(directory)
+    index_path = directory / "index.json"
+    if not index_path.exists():
+        raise DataFormatError(f"no index.json in {directory}")
+    results: Dict[Tuple[str, int], TrainingTrace] = {}
+    for entry in load_json(index_path):
+        key = (entry["algorithm"], int(entry["n_gpus"]))
+        results[key] = load_trace(directory / entry["stem"])
+    return results

@@ -1,0 +1,108 @@
+"""Parameter sweeps and ablations over Adaptive SGD's design choices.
+
+DESIGN.md calls out four design decisions worth ablating: the perturbation
+step, the β scaling coefficient, the merge-weight normalization rule, and
+the merge momentum. :func:`ablation_grid` runs Adaptive SGD with each
+variation under otherwise identical conditions; :func:`sweep` is the
+generic one-knob version used by the benches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.config import AdaptiveSGDConfig
+from repro.data.dataset import XMLTask
+from repro.data.registry import load_task
+from repro.exceptions import ConfigurationError
+from repro.harness.experiment import ExperimentSpec, run_experiment
+from repro.harness.traces import TrainingTrace
+
+__all__ = ["sweep", "ablation_grid"]
+
+
+def sweep(
+    base_config: AdaptiveSGDConfig,
+    knob: str,
+    values: Sequence[Any],
+    *,
+    dataset: str = "micro",
+    n_gpus: int = 4,
+    time_budget_s: float = 0.1,
+    seed: int = 0,
+    eval_samples: int = 256,
+    task: Optional[XMLTask] = None,
+) -> Dict[Any, TrainingTrace]:
+    """Run Adaptive SGD once per value of one config ``knob``.
+
+    ``knob`` must be a field of :class:`AdaptiveSGDConfig`; every other
+    hyperparameter, the dataset, the hardware, and the seeds stay fixed.
+    """
+    field_names = {f.name for f in dataclasses.fields(AdaptiveSGDConfig)}
+    if knob not in field_names:
+        raise ConfigurationError(
+            f"unknown config knob {knob!r}; options: {sorted(field_names)}"
+        )
+    task = task or load_task(dataset, seed=seed)
+    results: Dict[Any, TrainingTrace] = {}
+    for value in values:
+        config = dataclasses.replace(base_config, **{knob: value})
+        spec = ExperimentSpec(
+            dataset=dataset,
+            algorithms=("adaptive",),
+            gpu_counts=(n_gpus,),
+            time_budget_s=time_budget_s,
+            config=config,
+            eval_samples=eval_samples,
+            seed=seed,
+        )
+        trace = run_experiment(spec, task=task)[("adaptive", n_gpus)]
+        trace.metadata["sweep_knob"] = knob
+        trace.metadata["sweep_value"] = value
+        results[value] = trace
+    return results
+
+
+def ablation_grid(
+    base_config: AdaptiveSGDConfig,
+    *,
+    dataset: str = "micro",
+    n_gpus: int = 4,
+    time_budget_s: float = 0.1,
+    seed: int = 0,
+    eval_samples: int = 256,
+) -> Dict[str, TrainingTrace]:
+    """The DESIGN.md ablation set, each as one labelled Adaptive run.
+
+    Variants: full algorithm, no perturbation, paper-literal denormalized
+    perturbation, no batch scaling, uniform merge weights (elastic-style),
+    no merge momentum, and the alternative ``u_i · b_i`` weighting from
+    §III-B.
+    """
+    variants: Dict[str, Mapping[str, Any]] = {
+        "full": {},
+        "no-perturbation": {"enable_perturbation": False},
+        "paper-denormalized": {"renormalize_perturbation": False},
+        "no-batch-scaling": {"enable_batch_scaling": False},
+        "uniform-merge": {"merge_weighting": "uniform"},
+        "no-momentum": {"gamma": 0.0},
+        "updates-times-batch": {"merge_weighting": "updates_times_batch"},
+    }
+    task = load_task(dataset, seed=seed)
+    results: Dict[str, TrainingTrace] = {}
+    for name, overrides in variants.items():
+        config = dataclasses.replace(base_config, **overrides)
+        spec = ExperimentSpec(
+            dataset=dataset,
+            algorithms=("adaptive",),
+            gpu_counts=(n_gpus,),
+            time_budget_s=time_budget_s,
+            config=config,
+            eval_samples=eval_samples,
+            seed=seed,
+        )
+        trace = run_experiment(spec, task=task)[("adaptive", n_gpus)]
+        trace.metadata["ablation"] = name
+        results[name] = trace
+    return results

@@ -1,0 +1,135 @@
+"""Shared machinery for every trainer (Adaptive SGD and all baselines).
+
+The paper's methodology (§V-A) imposes the same protocol on every algorithm:
+
+- all algorithms start from the **same initial model** (same seed);
+- every algorithm runs for the **same amount of simulated time**;
+- **top-1 accuracy is measured after every mega-batch** on the test data;
+- data-loading and evaluation time is **excluded** from the clock.
+
+:class:`TrainerBase` implements that protocol once: it owns the model
+architecture, the shared initializer, the (optionally subsampled) test-set
+evaluator, and trace bookkeeping. Subclasses implement :meth:`_execute`,
+which runs the algorithm on the simulation environment until the time
+budget expires.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import XMLTask
+from repro.exceptions import ConfigurationError
+from repro.gpu.cluster import MultiGPUServer
+from repro.harness.traces import TracePoint, TrainingTrace
+from repro.sim.environment import Environment
+from repro.sparse.metrics import top1_accuracy
+from repro.sparse.mlp import MLPArchitecture, SparseMLP
+from repro.sparse.model_state import ModelState
+from repro.utils.rng import RngFactory
+
+__all__ = ["TrainerBase"]
+
+
+class TrainerBase(ABC):
+    """Common protocol for all training algorithms in the evaluation."""
+
+    #: Human-readable algorithm name (used as the curve label).
+    algorithm: str = "trainer"
+
+    def __init__(
+        self,
+        task: XMLTask,
+        server: MultiGPUServer,
+        *,
+        hidden: Tuple[int, ...] = (128,),
+        init_seed: int = 0,
+        data_seed: int = 0,
+        eval_samples: Optional[int] = 1024,
+    ) -> None:
+        self.task = task
+        self.server = server
+        self.arch = MLPArchitecture(
+            n_features=task.n_features, n_labels=task.n_labels, hidden=hidden
+        )
+        self.mlp = SparseMLP(self.arch)
+        self.init_seed = init_seed
+        self.data_seed = data_seed
+
+        # Fixed evaluation subset: deterministic, identical across algorithms
+        # (they share the task + seed), sized to keep host-side eval cheap.
+        n_test = task.test.n_samples
+        if eval_samples is None or eval_samples >= n_test:
+            self._eval_split = task.test
+        else:
+            if eval_samples < 1:
+                raise ConfigurationError(
+                    f"eval_samples must be >= 1, got {eval_samples}"
+                )
+            rng = RngFactory(data_seed).get("eval-subset")
+            idx = rng.choice(n_test, size=eval_samples, replace=False)
+            self._eval_split = task.test.take(np.sort(idx), name="eval-subset")
+
+    # -- shared protocol -----------------------------------------------------
+    def initial_state(self) -> ModelState:
+        """The shared initial model (same for every algorithm at a seed)."""
+        return self.mlp.init_state(seed=self.init_seed)
+
+    def evaluate(self, state: ModelState) -> float:
+        """Top-1 test accuracy of ``state`` (host-side; zero simulated time)."""
+        scores = self.mlp.evaluate(self._eval_split.X, self._eval_split.Y, state)
+        return top1_accuracy(scores, self._eval_split.Y)
+
+    def new_trace(self, n_devices: int) -> TrainingTrace:
+        """A trace pre-filled with run identity metadata."""
+        return TrainingTrace(
+            algorithm=self.algorithm,
+            dataset=self.task.name,
+            n_devices=n_devices,
+            metadata={
+                "init_seed": self.init_seed,
+                "data_seed": self.data_seed,
+                "hidden": list(self.arch.hidden),
+                "n_params": self.arch.n_params,
+            },
+        )
+
+    def record_checkpoint(
+        self,
+        trace: TrainingTrace,
+        env: Environment,
+        *,
+        epochs: float,
+        updates: int,
+        samples: int,
+        state: ModelState,
+        loss: float,
+    ) -> TracePoint:
+        """Evaluate ``state`` and append a checkpoint at the current sim time."""
+        point = TracePoint(
+            time_s=env.now,
+            epochs=epochs,
+            updates=updates,
+            samples=samples,
+            accuracy=self.evaluate(state),
+            loss=loss,
+        )
+        trace.record_point(point)
+        return point
+
+    # -- entry point ---------------------------------------------------------
+    def run(self, time_budget_s: float) -> TrainingTrace:
+        """Train for ``time_budget_s`` simulated seconds; return the trace."""
+        if not (time_budget_s > 0):
+            raise ConfigurationError(
+                f"time budget must be > 0, got {time_budget_s}"
+            )
+        env = Environment()
+        return self._execute(env, time_budget_s)
+
+    @abstractmethod
+    def _execute(self, env: Environment, time_budget_s: float) -> TrainingTrace:
+        """Algorithm-specific training loop on ``env`` (subclass hook)."""

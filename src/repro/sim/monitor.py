@@ -1,0 +1,103 @@
+"""Time-series probes for simulation state.
+
+A :class:`Monitor` records ``(time, value)`` samples for one named quantity
+(queue depth, batch size, GPU utilization, ...). :class:`MonitorSet` groups
+monitors for an experiment and exports everything as arrays for analysis or
+serialization. Sampling is explicit — components call ``record`` at the
+moments that matter — which keeps the engine itself observation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.environment import Environment
+
+__all__ = ["Monitor", "MonitorSet"]
+
+
+class Monitor:
+    """Append-only ``(time, value)`` series tied to an environment clock."""
+
+    def __init__(self, env: Environment, name: str) -> None:
+        self.env = env
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, value: float, time: Optional[float] = None) -> None:
+        """Append a sample at ``time`` (default: the clock's current time)."""
+        self._times.append(self.env.now if time is None else float(time))
+        self._values.append(float(value))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as a float array."""
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as a float array."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    def last(self) -> Tuple[float, float]:
+        """The most recent ``(time, value)`` sample."""
+        if not self._times:
+            raise IndexError(f"monitor {self.name!r} has no samples")
+        return self._times[-1], self._values[-1]
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted average treating the series as a step function.
+
+        Each value holds from its sample time to the next sample (or
+        ``until``, default: the last sample time). Requires >= 1 sample.
+        """
+        times = self.times
+        values = self.values
+        if times.size == 0:
+            raise ValueError(f"monitor {self.name!r} has no samples")
+        end = times[-1] if until is None else float(until)
+        if times.size == 1 or end <= times[0]:
+            return float(values[0])
+        edges = np.append(times, end)
+        widths = np.clip(np.diff(edges), 0.0, None)
+        total = widths.sum()
+        if total == 0.0:
+            return float(values[-1])
+        return float(np.dot(widths, values) / total)
+
+
+class MonitorSet:
+    """A keyed collection of monitors sharing one environment."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._monitors: Dict[str, Monitor] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._monitors
+
+    def __getitem__(self, name: str) -> Monitor:
+        """Get-or-create the monitor called ``name``."""
+        monitor = self._monitors.get(name)
+        if monitor is None:
+            monitor = Monitor(self.env, name)
+            self._monitors[name] = monitor
+        return monitor
+
+    def names(self) -> List[str]:
+        """All monitor names, in creation order."""
+        return list(self._monitors)
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten to ``{name}_times`` / ``{name}_values`` arrays for NPZ IO."""
+        out: Dict[str, np.ndarray] = {}
+        for name, monitor in self._monitors.items():
+            out[f"{name}_times"] = monitor.times
+            out[f"{name}_values"] = monitor.values
+        return out

@@ -1,0 +1,107 @@
+"""Shared-resource primitives built on the event engine.
+
+- :class:`Resource` — a counted semaphore with FIFO granting; models a device
+  that can execute at most ``capacity`` concurrent tasks (a GPU's compute
+  queue, a link, the CUDA launch lock).
+- :class:`Store` — an unbounded FIFO of items with blocking ``get``; the
+  dynamic scheduler uses one per GPU manager as its inbox.
+
+Both hand out plain :class:`~repro.sim.events.Event` objects so processes
+interact with them via ``yield``, exactly like timeouts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.exceptions import SimulationError
+from repro.sim.environment import Environment
+from repro.sim.events import Event
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """Counted FIFO semaphore.
+
+    ``request()`` returns an event that fires when a slot is granted;
+    ``release()`` frees a slot and wakes the next waiter. Releasing more than
+    was acquired raises — that always indicates a scheduling bug.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of processes waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Event that fires once a slot is granted to the caller."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one slot; grants it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("Resource.release() without a matching request")
+        if self._waiters:
+            # Hand the slot directly to the next waiter: usage stays constant.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO item queue with blocking ``get``.
+
+    ``put(item)`` is immediate. ``get()`` returns an event whose value is the
+    next item; if the store is empty the event stays pending until a producer
+    puts. Waiting getters are served in FIFO order.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting(self) -> int:
+        """Number of blocked ``get`` requests."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; wakes the oldest blocked getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event whose value will be the next item (FIFO)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,51 @@
+"""Sparse deep-learning substrate: the model the paper trains.
+
+- :mod:`repro.sparse.model_state` — flat-buffer parameter states + replica algebra.
+- :mod:`repro.sparse.mlp` — the 3-layer sparse-input MLP (ReLU / softmax / CE).
+- :mod:`repro.sparse.loss` — stable multi-label softmax cross-entropy.
+- :mod:`repro.sparse.metrics` — P@k / top-1 accuracy.
+- :mod:`repro.sparse.init` — paper-style initialization.
+- :mod:`repro.sparse.optimizer` — per-replica SGD rules.
+- :mod:`repro.sparse.ops` — sparse kernels incl. SLIDE's sampled-softmax path.
+"""
+
+from repro.sparse.init import INIT_SCHEMES, initialize
+from repro.sparse.loss import (
+    log_softmax,
+    softmax,
+    softmax_cross_entropy,
+    uniform_label_targets,
+)
+from repro.sparse.metrics import precision_at_k, top1_accuracy
+from repro.sparse.mlp import ForwardCache, MLPArchitecture, SparseMLP
+from repro.sparse.model_state import ModelState, ParameterSpec, weighted_average
+from repro.sparse.ops import (
+    estimate_step_flops,
+    sampled_logits,
+    scatter_columns_add,
+    sparse_row_times_dense,
+)
+from repro.sparse.optimizer import MomentumSGD, sgd_step
+
+__all__ = [
+    "INIT_SCHEMES",
+    "initialize",
+    "log_softmax",
+    "softmax",
+    "softmax_cross_entropy",
+    "uniform_label_targets",
+    "precision_at_k",
+    "top1_accuracy",
+    "ForwardCache",
+    "MLPArchitecture",
+    "SparseMLP",
+    "ModelState",
+    "ParameterSpec",
+    "weighted_average",
+    "estimate_step_flops",
+    "sampled_logits",
+    "scatter_columns_add",
+    "sparse_row_times_dense",
+    "MomentumSGD",
+    "sgd_step",
+]

@@ -1,0 +1,76 @@
+"""Multi-label softmax cross-entropy (the paper's training objective).
+
+The evaluation model is a 3-layer MLP with "softmax multi-class probability
+and cross-entropy loss" (§V-A), following SLIDE's XML setup: the target
+distribution of a sample is **uniform over its true labels**, and the loss is
+``CE(target, softmax(logits))``. The gradient w.r.t. logits is then simply
+``softmax(logits) - target`` — computed here in a numerically stable,
+fully vectorized way (log-sum-exp; no per-sample Python loops).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import DataFormatError
+
+__all__ = ["softmax", "log_softmax", "softmax_cross_entropy", "uniform_label_targets"]
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax, stable via max-subtraction (out-of-place)."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    return shifted - lse
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, stable via max-subtraction."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=1, keepdims=True)
+    return shifted
+
+
+def uniform_label_targets(Y: sp.csr_matrix) -> sp.csr_matrix:
+    """Target distribution: each row of ``Y`` normalized to sum to one.
+
+    ``Y`` is the binary label-indicator CSR; the result reuses its sparsity
+    pattern with values ``1/k`` for a sample with ``k`` labels.
+    """
+    counts = np.diff(Y.indptr)
+    if (counts == 0).any():
+        raise DataFormatError("a sample without labels has no target distribution")
+    data = np.repeat((1.0 / counts).astype(np.float32), counts)
+    return sp.csr_matrix((data, Y.indices.copy(), Y.indptr.copy()), shape=Y.shape)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, Y: sp.csr_matrix
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy and its gradient w.r.t. ``logits``.
+
+    Returns ``(loss, dlogits)`` where ``dlogits = (softmax(logits) - T) / n``
+    for the uniform-over-true-labels target ``T`` — the ``1/n`` folds the
+    batch-mean into the gradient so callers apply it directly.
+    """
+    n, L = logits.shape
+    if Y.shape != (n, L):
+        raise DataFormatError(
+            f"labels shape {Y.shape} does not match logits shape {logits.shape}"
+        )
+    targets = uniform_label_targets(Y)
+    logp = log_softmax(logits.astype(np.float64, copy=False))
+    # loss = -sum_ij T_ij * logp_ij / n ; T is sparse so gather the entries.
+    rows = np.repeat(np.arange(n), np.diff(targets.indptr))
+    cols = targets.indices
+    loss = float(-(targets.data * logp[rows, cols]).sum() / n)
+
+    dlogits = softmax(logits).astype(np.float32, copy=False)
+    # subtract sparse targets in place, then scale by 1/n
+    dlogits[rows, cols] -= targets.data
+    dlogits /= np.float32(n)
+    return loss, dlogits

@@ -1,0 +1,65 @@
+"""XML evaluation metrics.
+
+The paper reports **top-1 accuracy** on the test set: the fraction of test
+samples whose highest-scoring predicted label is one of their true labels
+(identical to precision@1 in the XML literature). P@3 and P@5 — the other
+standard XML metrics — are provided for completeness and used by the
+extended analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import DataFormatError
+
+__all__ = ["precision_at_k", "top1_accuracy"]
+
+
+def precision_at_k(
+    scores: np.ndarray, Y: sp.csr_matrix, ks: Sequence[int] = (1, 3, 5)
+) -> Dict[int, float]:
+    """Precision@k for each k in ``ks``.
+
+    ``P@k = mean_i |topk(scores_i) ∩ true_i| / k``. Uses ``argpartition`` so
+    the cost is O(L) per sample rather than a full sort over the (huge in
+    XML) label space.
+    """
+    n, L = scores.shape
+    if Y.shape != (n, L):
+        raise DataFormatError(
+            f"labels shape {Y.shape} does not match scores shape {scores.shape}"
+        )
+    ks = sorted(set(int(k) for k in ks))
+    if not ks or ks[0] < 1:
+        raise DataFormatError(f"ks must be positive integers, got {ks}")
+    kmax = min(ks[-1], L)
+
+    # Top-kmax label ids per row (unordered), then rank them by score.
+    part = np.argpartition(scores, L - kmax, axis=1)[:, L - kmax:]
+    part_scores = np.take_along_axis(scores, part, axis=1)
+    order = np.argsort(-part_scores, axis=1, kind="stable")
+    topk = np.take_along_axis(part, order, axis=1)  # (n, kmax) best-first
+
+    # Membership test against the sparse truth without densifying Y.
+    Y_bool = Y.astype(bool)
+    hits = np.zeros((n, kmax), dtype=bool)
+    rows = np.repeat(np.arange(n), kmax)
+    flat = topk.ravel()
+    # CSR membership: for each (row, label) pair check Y[row, label] != 0.
+    hits_flat = np.asarray(Y_bool[rows, flat]).ravel()
+    hits = hits_flat.reshape(n, kmax)
+
+    out: Dict[int, float] = {}
+    for k in ks:
+        kk = min(k, kmax)
+        out[k] = float(hits[:, :kk].sum() / (n * kk)) if n else 0.0
+    return out
+
+
+def top1_accuracy(scores: np.ndarray, Y: sp.csr_matrix) -> float:
+    """The paper's headline metric: P@1 on the given scores."""
+    return precision_at_k(scores, Y, ks=(1,))[1]

@@ -1,0 +1,105 @@
+"""Sparse kernels shared by the trainers.
+
+These are the "CUDA kernels" of the reproduction: the handful of sparse
+linear-algebra primitives whose cost is proportional to input cardinality.
+SLIDE's sampled-softmax path (:func:`sampled_logits`,
+:func:`scatter_rows_add`) only touches the *active* label columns, which is
+what gives it sub-linear per-sample cost in the label dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "sampled_logits",
+    "scatter_columns_add",
+    "sparse_row_times_dense",
+    "estimate_step_flops",
+]
+
+
+def sparse_row_times_dense(
+    X: sp.csr_matrix, row: int, W: np.ndarray
+) -> np.ndarray:
+    """``X[row] @ W`` touching only the row's non-zeros.
+
+    Cost is O(nnz(row) * W.shape[1]) — the per-sample forward kernel used by
+    SLIDE's one-sample-at-a-time updates.
+    """
+    start, stop = X.indptr[row], X.indptr[row + 1]
+    cols = X.indices[start:stop]
+    vals = X.data[start:stop]
+    # Gather the touched rows of W once; a (nnz, h) view-product.
+    return vals @ W[cols]
+
+
+def sampled_logits(
+    hidden: np.ndarray, W_out: np.ndarray, b_out: np.ndarray, active: np.ndarray
+) -> np.ndarray:
+    """Output logits restricted to the ``active`` label subset.
+
+    ``hidden`` is ``(h,)`` or ``(n, h)``; result covers only ``active``
+    columns, costing O(h * |active|) instead of O(h * L).
+    """
+    if active.ndim != 1:
+        raise ConfigurationError("active label set must be a 1-D index array")
+    return hidden @ W_out[:, active] + b_out[active]
+
+
+def scatter_columns_add(
+    W: np.ndarray, active: np.ndarray, update: np.ndarray
+) -> None:
+    """``W[:, active] += update`` in place (duplicate-safe).
+
+    ``np.add.at`` is used so repeated indices accumulate — required when an
+    LSH retrieval returns a label twice.
+    """
+    np.add.at(W, (slice(None), active), update)
+
+
+def estimate_step_flops(
+    batch_size: int,
+    batch_nnz: int,
+    layer_dims: Tuple[int, ...],
+    *,
+    active_labels: int = -1,
+) -> dict:
+    """Floating-point-op estimate of one SGD step, split by kernel class.
+
+    Returns a dict with ``sparse`` (input-layer products ∝ nnz), ``dense``
+    (hidden/output GEMMs), and ``update`` (parameter-vector traversal) flop
+    counts. ``active_labels`` (when >= 0) replaces the output dimension for
+    sampled-softmax trainers. The virtual-GPU cost model prices each class
+    with a different throughput (:mod:`repro.gpu.cost`).
+    """
+    if len(layer_dims) < 2:
+        raise ConfigurationError(f"need >= 2 layer dims, got {layer_dims}")
+    dims = list(layer_dims)
+    if active_labels >= 0:
+        dims[-1] = int(active_labels)
+    h1 = dims[1]
+    # Input layer: forward X@W1 and backward X.T@delta, each 2*nnz*h1.
+    sparse_flops = 4.0 * batch_nnz * h1
+    # Hidden/output layers: fwd GEMM + two bwd GEMMs each 2*b*din*dout.
+    dense_flops = 0.0
+    for i in range(1, len(dims) - 1):
+        dense_flops += 6.0 * batch_size * dims[i] * dims[i + 1]
+    # Parameter update + bias terms: one pass over every parameter.
+    n_params = sum(dims[i] * dims[i + 1] + dims[i + 1] for i in range(len(dims) - 1))
+    if active_labels >= 0:
+        # Sampled trainers (SLIDE) update only what they touched: the input
+        # rows present in the batch and the active output columns.
+        n_params = (
+            batch_nnz * h1 + h1 + dims[-2] * dims[-1] + dims[-1]
+        )
+    return {
+        "sparse": float(sparse_flops),
+        "dense": float(dense_flops),
+        "update": float(2.0 * n_params),
+    }

@@ -1,0 +1,49 @@
+"""Library logging setup.
+
+The library logs under the ``"repro"`` namespace and never configures the
+root logger (standard library etiquette). :func:`enable_console_logging` is a
+convenience for scripts and examples.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+# Libraries must not emit 'no handler' warnings when the app doesn't
+# configure logging.
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return the library logger, optionally for a subcomponent.
+
+    ``get_logger("core.scheduler")`` -> logger ``repro.core.scheduler``.
+    """
+    if name is None:
+        return logging.getLogger(_ROOT_NAME)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the library logger (for scripts/examples).
+
+    Returns the handler so callers can detach it. Calling twice replaces the
+    previous console handler rather than duplicating output.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_console", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler._repro_console = True  # type: ignore[attr-defined]
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

@@ -1,0 +1,75 @@
+"""Serialization of experiment artifacts (traces, configs, results).
+
+Artifacts are saved as JSON for metadata plus ``.npz`` for bulk arrays, so
+results survive library-version changes and can be inspected with standard
+tools. NumPy scalars/arrays are converted to built-in types on the way out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+__all__ = ["to_jsonable", "save_json", "load_json", "save_arrays", "load_arrays"]
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable built-ins.
+
+    Handles dataclasses, numpy scalars/arrays, mappings, sets, and sequences.
+    Unknown objects raise ``TypeError`` — silent stringification would let
+    corrupted artifacts pass unnoticed.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Mapping):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    raise TypeError(f"cannot serialize object of type {type(obj).__name__}: {obj!r}")
+
+
+def save_json(path: PathLike, obj: Any, *, indent: int = 2) -> Path:
+    """Write ``obj`` (converted via :func:`to_jsonable`) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent) + "\n")
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Read JSON from ``path``."""
+    return json.loads(Path(path).read_text())
+
+
+def save_arrays(path: PathLike, arrays: Dict[str, np.ndarray]) -> Path:
+    """Save named arrays to a compressed ``.npz`` at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a ``.npz`` produced by :func:`save_arrays` into a dict."""
+    with np.load(Path(path)) as data:
+        return {key: data[key] for key in data.files}

@@ -1,0 +1,96 @@
+"""Plain-text table and series rendering for benchmark/report output.
+
+The benchmark harness reproduces the paper's tables and figures as text:
+tables become aligned ASCII grids, figures become per-series rows of
+``(x, y)`` samples. Keeping the renderer dependency-free means benches can
+print paper-style artifacts in any terminal or CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: Optional[str] = None,
+    floatfmt: str = ".4g",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are formatted with ``floatfmt``; all other values via ``str``.
+    Returns the table as a single string (no trailing newline).
+    """
+    str_rows = [[_cell(v, floatfmt) for v in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(ncols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple]],
+    *,
+    title: Optional[str] = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    floatfmt: str = ".4g",
+    max_points: Optional[int] = None,
+) -> str:
+    """Render named ``(x, y)`` series — the text analogue of a figure.
+
+    ``series`` maps a curve label (e.g. ``"Adaptive SGD (4 GPUs)"``) to its
+    samples. When ``max_points`` is given, each curve is decimated evenly to
+    at most that many points so long training traces stay readable.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        pts = list(points)
+        if max_points is not None and len(pts) > max_points:
+            step = (len(pts) - 1) / (max_points - 1)
+            pts = [pts[round(i * step)] for i in range(max_points)]
+        lines.append(f"  {name}  [{xlabel} -> {ylabel}]")
+        rendered = ", ".join(
+            f"({_cell(x, floatfmt)}, {_cell(y, floatfmt)})" for x, y in pts
+        )
+        lines.append(f"    {rendered}")
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, Any], *, floatfmt: str = ".4g") -> str:
+    """Render a mapping as aligned ``key : value`` lines."""
+    if not pairs:
+        return ""
+    width = max(len(str(k)) for k in pairs)
+    return "\n".join(
+        f"{str(k).ljust(width)} : {_cell(v, floatfmt)}" for k, v in pairs.items()
+    )

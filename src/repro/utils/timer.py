@@ -1,0 +1,89 @@
+"""Lightweight wall-clock instrumentation for the (real) host process.
+
+The virtual cluster has its own clock (:mod:`repro.sim`); this module times
+the *host* Python process, following the profiling-first workflow from the
+scientific-Python optimization guide: measure before optimizing. Trainers use
+:class:`StageTimer` to attribute host time to stages (forward, backward,
+merge, ...) so hot spots are visible without an external profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["StageTimer", "Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch (perf_counter based).
+
+    ``start``/``stop`` may be called repeatedly; ``elapsed`` is the running
+    total across intervals. Stopping a non-running watch is an error so tests
+    catch unbalanced instrumentation.
+    """
+
+    elapsed: float = 0.0
+    _started_at: float = field(default=-1.0, repr=False)
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently started."""
+        return self._started_at >= 0.0
+
+    def start(self) -> None:
+        """Begin a timing interval."""
+        if self.running:
+            raise RuntimeError("Stopwatch.start() called while already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the current interval and return the total elapsed time."""
+        if not self.running:
+            raise RuntimeError("Stopwatch.stop() called while not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = -1.0
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time (must not be running)."""
+        if self.running:
+            raise RuntimeError("Stopwatch.reset() called while running")
+        self.elapsed = 0.0
+
+
+class StageTimer:
+    """Named-stage timer: ``with timer.stage("backward"): ...``.
+
+    Accumulates host seconds per stage name. The report is a plain dict so
+    it can be logged, asserted on in tests, or merged across runs.
+    """
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, Stopwatch] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (re-entrant per name: no)."""
+        watch = self._stages.setdefault(name, Stopwatch())
+        watch.start()
+        try:
+            yield
+        finally:
+            watch.stop()
+
+    def seconds(self, name: str) -> float:
+        """Total host seconds accumulated under ``name`` (0.0 if unseen)."""
+        watch = self._stages.get(name)
+        return watch.elapsed if watch is not None else 0.0
+
+    def report(self) -> Dict[str, float]:
+        """Mapping of stage name to accumulated host seconds."""
+        return {name: watch.elapsed for name, watch in self._stages.items()}
+
+    def total(self) -> float:
+        """Sum of all stage times."""
+        return sum(watch.elapsed for watch in self._stages.values())

@@ -1,0 +1,39 @@
+"""Shared fixtures: one small task/server/config reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AdaptiveSGDConfig
+from repro.data.registry import load_task
+from repro.gpu.cluster import make_server
+from repro.gpu.cost import GpuCostParams
+
+
+@pytest.fixture(scope="session")
+def micro_task():
+    """The smallest registered task (session-scoped: generated once)."""
+    return load_task("micro", seed=1)
+
+
+@pytest.fixture()
+def het_server():
+    """A fresh 4-GPU heterogeneous server with the tiny-model cost profile."""
+    return make_server(
+        4, seed=5, cost_params=GpuCostParams.tiny_model_profile()
+    )
+
+
+@pytest.fixture()
+def uniform_server():
+    """A fresh 4-GPU homogeneous server (ablation control)."""
+    return make_server(
+        4, heterogeneity="uniform", seed=5,
+        cost_params=GpuCostParams.tiny_model_profile(),
+    )
+
+
+@pytest.fixture()
+def small_config():
+    """A config sized for fast test runs (small mega-batches)."""
+    return AdaptiveSGDConfig(b_max=64, base_lr=0.2, mega_batch_batches=16)

@@ -1,0 +1,59 @@
+"""Tests for the TF baseline's two distribution strategies (§V-A).
+
+The paper extended the SLIDE testbed's TensorFlow code "to multi-GPUs both
+with the mirrored and central storage strategy. Since the mirrored strategy
+proves superior, we include only these TensorFlow results in the paper."
+These tests reproduce that finding on hardware where the host link/CPU are
+realistically slower than device-to-device collectives.
+"""
+
+import pytest
+
+from repro.baselines.sync_sgd import SyncSGDTrainer
+from repro.core.config import AdaptiveSGDConfig
+from repro.gpu.cluster import make_server
+from repro.gpu.cost import CpuCostParams, GpuCostParams
+
+
+def build(strategy, micro_task):
+    server = make_server(
+        4, seed=5,
+        cost_params=GpuCostParams.tiny_model_profile(),
+        cpu_params=CpuCostParams.tiny_model_profile(),
+    )
+    cfg = AdaptiveSGDConfig(b_max=64, base_lr=0.2, mega_batch_batches=16)
+    return SyncSGDTrainer(
+        micro_task, server, cfg, strategy=strategy, hidden=(32,),
+        init_seed=7, data_seed=3, eval_samples=128,
+    )
+
+
+class TestStrategies:
+    def test_strategy_recorded_in_metadata(self, micro_task):
+        trace = build("central_storage", micro_task).run(0.01)
+        assert trace.metadata["strategy"] == "central_storage"
+
+    def test_mirrored_proves_superior(self, micro_task):
+        """The paper's reason for reporting only mirrored results."""
+        mirrored = build("mirrored", micro_task).run(0.05)
+        central = build("central_storage", micro_task).run(0.05)
+        assert mirrored.total_epochs > central.total_epochs
+
+    def test_same_statistical_path(self, micro_task):
+        """Strategies differ in sync cost only — the numerics are identical,
+        so accuracy-vs-samples curves must coincide."""
+        mirrored = build("mirrored", micro_task).run(0.03)
+        central = build("central_storage", micro_task).run(0.03)
+        n = min(len(mirrored.points), len(central.points))
+        assert [p.accuracy for p in mirrored.points[:n]] == pytest.approx(
+            [p.accuracy for p in central.points[:n]]
+        )
+
+    def test_unknown_strategy_rejected(self, micro_task):
+        server = make_server(2, seed=0)
+        with pytest.raises(ValueError, match="strategy"):
+            SyncSGDTrainer(
+                micro_task, server,
+                AdaptiveSGDConfig(b_max=64, base_lr=0.2),
+                strategy="magic", hidden=(32,),
+            )

@@ -1,0 +1,71 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_dataset_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--dataset", "not-a-dataset"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "micro" in out and "amazon670k-bench" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Amazon-670k" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "gap" in out
+
+    def test_allreduce(self, capsys):
+        assert main(["allreduce"]) == 0
+        out = capsys.readouterr().out
+        assert "ring" in out and "tree" in out
+
+    def test_fig6_small(self, capsys):
+        assert main([
+            "fig6", "--dataset", "micro", "--budget", "0.02", "--gpus", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6a" in out and "Figure 6b" in out
+
+    def test_train_and_save(self, capsys, tmp_path):
+        stem = tmp_path / "run"
+        assert main([
+            "train", "--dataset", "micro", "--budget", "0.02",
+            "--gpus", "2", "--save", str(stem),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best accuracy" in out
+        assert stem.with_suffix(".json").exists()
+        assert stem.with_suffix(".npz").exists()
+
+        from repro.harness.store import load_trace
+
+        trace = load_trace(stem)
+        assert trace.algorithm == "Adaptive SGD"
+
+    def test_fig4_micro(self, capsys):
+        assert main([
+            "fig4", "--dataset", "micro", "--budget", "0.02", "--gpus", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "time-to-accuracy summary" in out

@@ -1,0 +1,121 @@
+"""Tests for repro.core.theory — the §III-A analytical characterization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import (
+    effective_learning_rate,
+    equivalent_batch_envelope,
+    stale_sync_error_bound,
+    updates_balance_index,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestEquivalentBatchEnvelope:
+    def test_basic_envelope(self):
+        history = [(128, 128), (100, 128), (90, 120)]
+        assert equivalent_batch_envelope(history) == (90, 128)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            equivalent_batch_envelope([])
+        with pytest.raises(ConfigurationError):
+            equivalent_batch_envelope([()])
+
+    def test_real_run_nested_in_configured_bounds(self, micro_task, het_server):
+        """§III-A: the realized envelope sits inside [b_min, b_max]."""
+        from repro.core.adaptive import AdaptiveSGDTrainer
+        from repro.core.config import AdaptiveSGDConfig
+
+        cfg = AdaptiveSGDConfig(b_max=64, base_lr=0.2, mega_batch_batches=32)
+        trace = AdaptiveSGDTrainer(
+            micro_task, het_server, cfg, hidden=(32,), init_seed=1,
+            data_seed=1, eval_samples=64,
+        ).run(0.05)
+        lo, hi = equivalent_batch_envelope(trace.batch_size_history)
+        assert cfg.b_min <= lo <= hi <= cfg.b_max
+
+
+class TestStaleSyncBound:
+    def test_zero_staleness_is_classic_rate(self):
+        assert stale_sync_error_bound(100, 0) == pytest.approx(0.1)
+
+    def test_monotone_in_staleness(self):
+        assert stale_sync_error_bound(100, 4) > stale_sync_error_bound(100, 1)
+
+    def test_monotone_decreasing_in_updates(self):
+        assert stale_sync_error_bound(400, 2) < stale_sync_error_bound(100, 2)
+
+    def test_tradeoff_ratio(self):
+        """Removing staleness 3 -> 0 is worth a 4x throughput loss."""
+        with_staleness = stale_sync_error_bound(400, 3)
+        without = stale_sync_error_bound(100, 0)
+        assert with_staleness == pytest.approx(without)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            stale_sync_error_bound(0, 1)
+        with pytest.raises(ConfigurationError):
+            stale_sync_error_bound(10, -1)
+
+
+class TestEffectiveLearningRate:
+    def test_uniform_fleet_is_identity(self):
+        assert effective_learning_rate([64, 64], [0.4, 0.4]) == pytest.approx(0.4)
+
+    def test_linear_scaling_formula(self):
+        """With lr_i = base * b_i / b_max the closed form holds."""
+        base, b_max = 0.8, 128
+        sizes = [128, 98, 90, 118]
+        rates = [base * b / b_max for b in sizes]
+        eff = effective_learning_rate(sizes, rates)
+        expected = base * sum(b * b for b in sizes) / (
+            b_max * sum(sizes)
+        )
+        assert eff == pytest.approx(expected)
+        assert eff < base  # any shrink pulls the effective rate down (D2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            effective_learning_rate([], [])
+        with pytest.raises(ConfigurationError):
+            effective_learning_rate([64], [0.1, 0.2])
+        with pytest.raises(ConfigurationError):
+            effective_learning_rate([0], [0.1])
+
+
+class TestBalanceIndex:
+    def test_perfect_parity(self):
+        assert updates_balance_index([7, 7, 7, 7]) == pytest.approx(1.0)
+
+    def test_single_worker_floor(self):
+        assert updates_balance_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_all_idle_vacuous(self):
+        assert updates_balance_index([0, 0]) == 1.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_property(self, updates):
+        index = updates_balance_index(updates)
+        assert 1.0 / len(updates) - 1e-12 <= index <= 1.0 + 1e-12
+
+    def test_scaling_improves_balance_in_real_run(self, micro_task, het_server):
+        """Algorithm 1's purpose, measured: balance index rises toward 1."""
+        from repro.core.adaptive import AdaptiveSGDTrainer
+        from repro.core.config import AdaptiveSGDConfig
+
+        cfg = AdaptiveSGDConfig(b_max=64, base_lr=0.2, mega_batch_batches=32)
+        trainer = AdaptiveSGDTrainer(
+            micro_task, het_server, cfg, hidden=(32,), init_seed=1,
+            data_seed=1, eval_samples=64,
+        )
+        trainer.run(0.08)
+        records = trainer.staleness.records
+        assert len(records) >= 4
+        early = updates_balance_index(records[0].updates)
+        late = updates_balance_index(records[-1].updates)
+        assert late >= early - 1e-9

@@ -1,0 +1,123 @@
+"""Tests for repro.data.batching — cursors, static batches, mega-batches."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import (
+    Batch,
+    BatchCursor,
+    MegaBatchAccountant,
+    static_batches,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestBatchCursor:
+    def test_serves_requested_sizes(self, micro_task):
+        cursor = BatchCursor(micro_task.train, seed=1)
+        for size in (10, 1, 99, 64):
+            batch = cursor.next_batch(size)
+            assert batch.size == size
+            assert batch.X.shape == (size, micro_task.n_features)
+            assert batch.Y.shape == (size, micro_task.n_labels)
+
+    def test_epoch_covers_every_sample_once(self, micro_task):
+        n = micro_task.train.n_samples
+        cursor = BatchCursor(micro_task.train, seed=1)
+        seen = np.concatenate(
+            [cursor.next_batch(64).indices for _ in range(n // 64)]
+        )
+        assert len(seen) == n
+        assert len(np.unique(seen)) == n  # exactly one epoch, no repeats
+
+    def test_reshuffle_across_epoch_boundary(self, micro_task):
+        n = micro_task.train.n_samples
+        cursor = BatchCursor(micro_task.train, seed=1)
+        batch = cursor.next_batch(n + 10)  # crosses the boundary
+        assert batch.size == n + 10
+        counts = np.bincount(batch.indices, minlength=n)
+        assert counts.max() <= 2  # a sample repeats at most once
+
+    def test_epochs_completed(self, micro_task):
+        n = micro_task.train.n_samples
+        cursor = BatchCursor(micro_task.train, seed=0)
+        cursor.next_batch(n // 2)
+        assert cursor.epochs_completed == pytest.approx(0.5)
+        cursor.next_batch(n // 2)
+        assert cursor.epochs_completed == pytest.approx(1.0)
+
+    def test_sequence_numbers(self, micro_task):
+        cursor = BatchCursor(micro_task.train, seed=0)
+        assert cursor.next_batch(4).sequence == 0
+        assert cursor.next_batch(4).sequence == 1
+        assert cursor.batches_served == 2
+
+    def test_deterministic_given_seed(self, micro_task):
+        a = BatchCursor(micro_task.train, seed=9).next_batch(32)
+        b = BatchCursor(micro_task.train, seed=9).next_batch(32)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_invalid_size_rejected(self, micro_task):
+        with pytest.raises(ConfigurationError):
+            BatchCursor(micro_task.train).next_batch(0)
+
+    def test_nnz_property(self, micro_task):
+        batch = BatchCursor(micro_task.train, seed=0).next_batch(16)
+        assert batch.nnz == batch.X.nnz
+
+
+class TestStaticBatches:
+    def test_partition_covers_epoch(self, micro_task):
+        n = micro_task.train.n_samples
+        batches = list(static_batches(micro_task.train, 60, seed=4))
+        assert sum(b.size for b in batches) == n
+        all_idx = np.concatenate([b.indices for b in batches])
+        assert len(np.unique(all_idx)) == n
+
+    def test_drop_last(self, micro_task):
+        batches = list(
+            static_batches(micro_task.train, 60, seed=4, drop_last=True)
+        )
+        assert all(b.size == 60 for b in batches)
+
+    def test_invalid_size_rejected(self, micro_task):
+        with pytest.raises(ConfigurationError):
+            list(static_batches(micro_task.train, 0))
+
+
+class TestMegaBatchAccountant:
+    def test_budget_flow(self):
+        acc = MegaBatchAccountant(100)
+        assert acc.remaining == 100 and not acc.exhausted
+        acc.charge(60)
+        assert acc.consumed == 60 and acc.remaining == 40
+        assert acc.clamp(64) == 40  # clamped to what's left
+        acc.charge(40)
+        assert acc.exhausted
+        assert acc.clamp(10) == 0
+
+    def test_overcharge_rejected(self):
+        acc = MegaBatchAccountant(10)
+        with pytest.raises(ConfigurationError):
+            acc.charge(11)
+
+    def test_roll_over(self):
+        acc = MegaBatchAccountant(10)
+        acc.charge(10)
+        acc.roll_over()
+        assert acc.mega_batches_completed == 1
+        assert acc.remaining == 10
+
+    def test_early_roll_over_rejected(self):
+        acc = MegaBatchAccountant(10)
+        acc.charge(5)
+        with pytest.raises(ConfigurationError):
+            acc.roll_over()
+
+    def test_zero_charge_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MegaBatchAccountant(10).charge(0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MegaBatchAccountant(0)

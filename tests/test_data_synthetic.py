@@ -1,0 +1,119 @@
+"""Tests for repro.data.synthetic — generator statistics and learnability."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticXMLConfig,
+    generate_xml_task,
+    zipf_probabilities,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestZipf:
+    def test_normalized(self):
+        p = zipf_probabilities(100, 1.1)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        p = zipf_probabilities(50, 1.0)
+        assert np.all(np.diff(p) < 0)
+
+    def test_zero_exponent_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_probabilities(0, 1.0)
+
+
+def small_cfg(**overrides):
+    base = dict(
+        n_features=512, n_labels=128, n_train=1024, n_test=256,
+        avg_features_per_sample=16.0, avg_labels_per_sample=2.5,
+        name="t", seed=3,
+    )
+    base.update(overrides)
+    return SyntheticXMLConfig(**base)
+
+
+class TestGenerateTask:
+    def test_shapes_match_config(self):
+        task = generate_xml_task(small_cfg())
+        assert task.train.n_samples == 1024
+        assert task.test.n_samples == 256
+        assert task.n_features == 512
+        assert task.n_labels == 128
+
+    def test_deterministic(self):
+        a = generate_xml_task(small_cfg())
+        b = generate_xml_task(small_cfg())
+        assert (a.train.X != b.train.X).nnz == 0
+        assert (a.train.Y != b.train.Y).nnz == 0
+
+    def test_seed_changes_data(self):
+        a = generate_xml_task(small_cfg(seed=1))
+        b = generate_xml_task(small_cfg(seed=2))
+        assert (a.train.X != b.train.X).nnz > 0
+
+    def test_mean_feature_count_near_target(self):
+        # Duplicate draws collapse, so the realized mean can sit below the
+        # target; it must stay within a factor-2 band and above 1.
+        task = generate_xml_task(small_cfg())
+        avg = task.train.avg_features_per_sample
+        assert 16.0 / 2 <= avg <= 16.0 * 1.3
+
+    def test_mean_label_count_near_target(self):
+        task = generate_xml_task(small_cfg())
+        avg = task.train.avg_labels_per_sample
+        assert 2.5 / 2 <= avg <= 2.5 * 1.3
+
+    def test_rows_l2_normalized(self):
+        task = generate_xml_task(small_cfg())
+        X = task.train.X
+        norms = np.sqrt(np.asarray(X.multiply(X).sum(axis=1))).ravel()
+        assert np.allclose(norms[norms > 0], 1.0, atol=1e-5)
+
+    def test_nnz_varies_across_samples(self):
+        # The second heterogeneity source: per-sample nnz must spread.
+        task = generate_xml_task(small_cfg())
+        counts = task.train.features_per_sample()
+        assert counts.std() > 0.15 * counts.mean()
+
+    def test_label_popularity_skewed(self):
+        task = generate_xml_task(small_cfg(n_train=4096))
+        freq = np.asarray(task.train.Y.sum(axis=0)).ravel()
+        freq.sort()
+        top = freq[-len(freq) // 10:].sum()
+        assert top > 0.2 * freq.sum()  # top-10% labels dominate
+
+    def test_values_positive(self):
+        task = generate_xml_task(small_cfg())
+        assert (task.train.X.data > 0).all()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_cfg(avg_features_per_sample=0)
+        with pytest.raises(ConfigurationError):
+            small_cfg(signal_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            small_cfg(n_labels=0)
+
+    def test_learnable_structure(self):
+        """A one-step class-prototype classifier must beat random guessing.
+
+        Signal features are drawn from label prototypes, so averaging the
+        feature vectors of each label's samples and scoring by dot product
+        should retrieve the right label far above the 1/128 random rate.
+        """
+        task = generate_xml_task(small_cfg())
+        Xtr, Ytr = task.train.X, task.train.Y
+        centroids = (Ytr.T @ Xtr).toarray()  # (L, D)
+        scores = task.test.X @ centroids.T  # (n_test, L)
+        pred = np.asarray(scores.argmax(axis=1)).ravel()
+        hit = np.asarray(
+            task.test.Y[np.arange(task.test.n_samples), pred]
+        ).ravel()
+        assert hit.mean() > 10.0 / 128

@@ -1,0 +1,175 @@
+"""Tests for repro.data.transforms."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data.dataset import SparseDataset
+from repro.data.transforms import (
+    filter_rare_labels,
+    hash_features,
+    tfidf_transform,
+    train_test_split,
+)
+from repro.exceptions import ConfigurationError, DataFormatError
+
+
+def make_split(n=40, d=100, l=10, seed=0, density=0.1):
+    rng = np.random.default_rng(seed)
+    X = sp.random(n, d, density=density, random_state=rng, format="csr",
+                  dtype=np.float32)
+    X.data = np.abs(X.data) + 0.1
+    cols = rng.integers(0, l, size=n)
+    Y = sp.csr_matrix(
+        (np.ones(n, dtype=np.float32), (np.arange(n), cols)), shape=(n, l)
+    )
+    return SparseDataset(X=X, Y=Y, name="t")
+
+
+class TestHashFeatures:
+    def test_output_dimensionality(self):
+        ds = make_split()
+        hashed = hash_features(ds, 16, seed=1)
+        assert hashed.n_features == 16
+        assert hashed.n_samples == ds.n_samples
+        assert (hashed.Y != ds.Y).nnz == 0
+
+    def test_deterministic(self):
+        ds = make_split()
+        a = hash_features(ds, 16, seed=1)
+        b = hash_features(ds, 16, seed=1)
+        assert (a.X != b.X).nnz == 0
+
+    def test_seed_changes_mapping(self):
+        ds = make_split()
+        a = hash_features(ds, 16, seed=1)
+        b = hash_features(ds, 16, seed=2)
+        assert (a.X != b.X).nnz > 0
+
+    def test_unsigned_preserves_row_mass(self):
+        ds = make_split()
+        hashed = hash_features(ds, 8, seed=0, signed=False)
+        original = np.asarray(ds.X.sum(axis=1)).ravel()
+        mass = np.asarray(hashed.X.sum(axis=1)).ravel()
+        assert np.allclose(mass, original, rtol=1e-5)
+
+    def test_signed_roughly_preserves_inner_products(self):
+        """The hashing-trick guarantee, checked statistically."""
+        ds = make_split(n=60, d=400, density=0.15, seed=3)
+        hashed = hash_features(ds, 256, seed=0, signed=True)
+        G0 = (ds.X @ ds.X.T).toarray()
+        G1 = (hashed.X @ hashed.X.T).toarray()
+        # Relative error of the Gram matrices stays moderate.
+        err = np.abs(G1 - G0).mean() / (np.abs(G0).mean() + 1e-9)
+        assert err < 0.5
+
+    def test_large_ids_supported(self):
+        # Simulate XMLRepository-scale feature ids.
+        X = sp.csr_matrix(
+            (np.ones(2, dtype=np.float32), ([0, 1], [135_000, 782_000])),
+            shape=(2, 800_000),
+        )
+        Y = sp.csr_matrix(np.eye(2, 3, dtype=np.float32))
+        ds = SparseDataset(X=X, Y=Y)
+        hashed = hash_features(ds, 1024)
+        assert hashed.n_features == 1024
+        assert hashed.X.nnz == 2
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hash_features(make_split(), 0)
+
+
+class TestFilterRareLabels:
+    def test_rare_labels_removed(self):
+        train = make_split(n=40, l=10, seed=0)
+        test = make_split(n=10, l=10, seed=1)
+        ftrain, ftest = filter_rare_labels(train, test, min_count=3)
+        counts = np.asarray(ftrain.Y.sum(axis=0)).ravel()
+        assert counts.min() >= 3
+        assert ftrain.n_labels == ftest.n_labels
+
+    def test_label_less_samples_dropped(self):
+        train = make_split(n=40, l=10, seed=0)
+        test = make_split(n=10, l=10, seed=1)
+        ftrain, ftest = filter_rare_labels(train, test, min_count=3)
+        assert ftrain.labels_per_sample().min() >= 1
+        assert ftest.labels_per_sample().min() >= 1
+
+    def test_nothing_left_rejected(self):
+        train = make_split(n=5, l=10, seed=0)
+        test = make_split(n=5, l=10, seed=1)
+        with pytest.raises(DataFormatError):
+            filter_rare_labels(train, test, min_count=100)
+
+    def test_invalid_min_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            filter_rare_labels(make_split(), make_split(), min_count=0)
+
+
+class TestTfidf:
+    def test_rows_l2_normalized(self):
+        train, test = tfidf_transform(make_split(seed=0), make_split(seed=1))
+        for split in (train, test):
+            norms = np.sqrt(
+                np.asarray(split.X.multiply(split.X).sum(axis=1))
+            ).ravel()
+            nz = norms[norms > 0]
+            assert np.allclose(nz, 1.0, atol=1e-5)
+
+    def test_idf_fit_on_train_only(self):
+        """Changing the test split must not change the train transform."""
+        base = make_split(seed=0)
+        t1, _ = tfidf_transform(base, make_split(seed=1))
+        t2, _ = tfidf_transform(base, make_split(seed=2))
+        assert (t1.X != t2.X).nnz == 0
+
+    def test_rare_features_upweighted(self):
+        # A feature appearing in one document gets a higher idf than one
+        # appearing everywhere.
+        X = sp.csr_matrix(np.array(
+            [[1.0, 1.0], [1.0, 0.0], [1.0, 0.0]], dtype=np.float32
+        ))
+        Y = sp.csr_matrix(np.ones((3, 1), dtype=np.float32))
+        ds = SparseDataset(X=X, Y=Y)
+        train, _ = tfidf_transform(ds, ds)
+        # In row 0 both features have tf=1; the rarer feature 1 must
+        # dominate after idf weighting.
+        row = train.X[0].toarray().ravel()
+        assert row[1] > row[0]
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        ds = make_split(n=50)
+        task = train_test_split(ds, test_fraction=0.2, seed=0)
+        assert task.train.n_samples == 40
+        assert task.test.n_samples == 10
+
+    def test_disjoint_and_complete(self):
+        ds = make_split(n=50)
+        task = train_test_split(ds, test_fraction=0.3, seed=4)
+        total = task.train.n_samples + task.test.n_samples
+        assert total == 50
+        # Feature rows must come from the original (spot check by matching
+        # row sums as a multiset).
+        orig = sorted(np.asarray(ds.X.sum(axis=1)).ravel().round(5))
+        got = sorted(
+            np.concatenate([
+                np.asarray(task.train.X.sum(axis=1)).ravel(),
+                np.asarray(task.test.X.sum(axis=1)).ravel(),
+            ]).round(5)
+        )
+        assert orig == got
+
+    def test_deterministic(self):
+        ds = make_split(n=50)
+        a = train_test_split(ds, seed=7)
+        b = train_test_split(ds, seed=7)
+        assert (a.test.X != b.test.X).nnz == 0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            train_test_split(make_split(), test_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            train_test_split(make_split(), test_fraction=1.0)

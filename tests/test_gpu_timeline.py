@@ -1,0 +1,103 @@
+"""Tests for repro.gpu.timeline — trace export and utilization reports."""
+
+import json
+
+import pytest
+
+from repro.core.adaptive import AdaptiveSGDTrainer
+from repro.core.config import AdaptiveSGDConfig
+from repro.exceptions import ConfigurationError
+from repro.gpu.cluster import make_server
+from repro.gpu.cost import GpuCostParams
+from repro.gpu.timeline import ascii_timeline, chrome_trace, utilization_report
+
+
+@pytest.fixture()
+def trained_server(micro_task):
+    server = make_server(
+        4, seed=5, cost_params=GpuCostParams.tiny_model_profile()
+    )
+    cfg = AdaptiveSGDConfig(b_max=64, base_lr=0.2, mega_batch_batches=8)
+    trace = AdaptiveSGDTrainer(
+        micro_task, server, cfg, hidden=(32,), init_seed=1, data_seed=1,
+        eval_samples=64,
+    ).run(0.01)
+    return server, trace
+
+
+class TestIntervalRecording:
+    def test_trainers_record_intervals(self, trained_server):
+        server, _ = trained_server
+        for gpu in server.gpus:
+            intervals = gpu.busy_intervals
+            assert len(intervals) == gpu.steps_executed
+            for start, duration, tag in intervals:
+                assert start >= 0 and duration > 0 and tag == "step"
+
+    def test_intervals_within_run_horizon(self, trained_server):
+        server, trace = trained_server
+        for gpu in server.gpus:
+            for start, duration, _ in gpu.busy_intervals:
+                assert start + duration <= trace.total_time + 1e-9
+
+    def test_intervals_non_overlapping_per_device(self, trained_server):
+        server, _ = trained_server
+        for gpu in server.gpus:
+            intervals = sorted(gpu.busy_intervals)
+            for (s0, d0, _), (s1, _, _) in zip(intervals, intervals[1:]):
+                assert s1 >= s0 + d0 - 1e-9
+
+
+class TestChromeTrace:
+    def test_export_schema(self, trained_server, tmp_path):
+        server, _ = trained_server
+        path = chrome_trace(server, tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        events = data["traceEvents"]
+        names = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(names) == 4
+        assert len(slices) == sum(g.steps_executed for g in server.gpus)
+        for event in slices:
+            assert event["dur"] > 0
+            assert 0 <= event["tid"] < 4
+
+    def test_creates_parent_dirs(self, trained_server, tmp_path):
+        server, _ = trained_server
+        path = chrome_trace(server, tmp_path / "deep" / "trace.json")
+        assert path.exists()
+
+
+class TestUtilizationReport:
+    def test_rows(self, trained_server):
+        server, trace = trained_server
+        rows = utilization_report(server, trace.total_time)
+        assert len(rows) == 4
+        for row in rows:
+            assert 0 < row["utilization"] <= 1.0
+            assert row["steps"] > 0
+
+    def test_invalid_elapsed_rejected(self, trained_server):
+        server, _ = trained_server
+        with pytest.raises(ConfigurationError):
+            utilization_report(server, 0.0)
+
+
+class TestAsciiTimeline:
+    def test_renders_tracks(self, trained_server):
+        server, trace = trained_server
+        out = ascii_timeline(server, until=trace.total_time, width=40)
+        lines = out.splitlines()
+        assert len(lines) == 5  # 4 tracks + axis
+        for line in lines[:4]:
+            assert "#" in line
+
+    def test_width_validation(self, trained_server):
+        server, _ = trained_server
+        with pytest.raises(ConfigurationError):
+            ascii_timeline(server, width=4)
+
+    def test_no_intervals_all_idle(self):
+        server = make_server(2, seed=0)
+        out = ascii_timeline(server, until=1.0, width=20)
+        assert "#" not in out

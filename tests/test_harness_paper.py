@@ -1,0 +1,55 @@
+"""Tests for repro.harness.paper — the one-call reproduction orchestrator."""
+
+import pytest
+
+from repro.harness.paper import reproduce_all
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    """A minimal full pass on the micro dataset (module-scoped)."""
+    progress_log = []
+    report = reproduce_all(
+        time_budget_s=0.02,
+        seed=0,
+        datasets=("micro",),
+        progress=progress_log.append,
+    )
+    return report, progress_log
+
+
+class TestReproduceAll:
+    def test_all_artifacts_present(self, tiny_report):
+        report, _ = tiny_report
+        assert len(report.fig1_rows) == 4
+        assert len(report.table1) == 1
+        assert set(report.fig4) == {"micro"}
+        assert set(report.fig5) == {"micro"}
+        assert report.fig6 is not None
+        assert len(report.allreduce_rows) > 0
+
+    def test_fig4_grid_complete(self, tiny_report):
+        report, _ = tiny_report
+        keys = set(report.fig4["micro"])
+        assert ("adaptive", 4) in keys
+        assert ("elastic", 1) in keys
+        assert ("tensorflow", 2) in keys
+        assert ("crossbow", 4) in keys
+
+    def test_fig5_includes_slide(self, tiny_report):
+        report, _ = tiny_report
+        assert ("slide", 1) in report.fig5["micro"]
+
+    def test_render_covers_every_section(self, tiny_report):
+        report, _ = tiny_report
+        text = report.render()
+        for fragment in (
+            "Figure 1", "Table I", "Figure 4", "Figure 5a", "Figure 5b",
+            "Figure 6a", "Figure 6b", "all-reduce",
+        ):
+            assert fragment in text, f"missing section: {fragment}"
+
+    def test_progress_callback_invoked(self, tiny_report):
+        _, progress_log = tiny_report
+        assert any("Figure 4" in msg for msg in progress_log)
+        assert any("all-reduce" in msg for msg in progress_log)

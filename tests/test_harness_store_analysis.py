@@ -1,0 +1,183 @@
+"""Tests for repro.harness.store and repro.harness.analysis."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ConvergenceWarning, DataFormatError
+from repro.harness.analysis import (
+    auc_accuracy,
+    compare,
+    detect_divergence,
+    detect_plateau,
+    smoothed_accuracy,
+)
+from repro.harness.store import (
+    load_result_set,
+    load_trace,
+    save_result_set,
+    save_trace,
+)
+from repro.harness.traces import TracePoint, TrainingTrace
+
+
+def make_trace(accs, dt=1.0, algorithm="A", n=4, telemetry=True):
+    trace = TrainingTrace(algorithm=algorithm, dataset="d", n_devices=n)
+    for i, acc in enumerate(accs):
+        trace.record_point(TracePoint(
+            time_s=i * dt, epochs=float(i), updates=i * 10,
+            samples=i * 100, accuracy=acc, loss=1.0 / (i + 1),
+        ))
+    if telemetry:
+        boundaries = max(len(accs) - 1, 0)
+        trace.batch_size_history = [(64, 32)] * boundaries
+        trace.perturbation_history = [True] * boundaries
+        trace.merge_branch_history = ["updates"] * boundaries
+        trace.staleness_history = [1] * boundaries
+    trace.metadata = {"seed": 3, "note": "hello"}
+    return trace
+
+
+class TestTraceRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        original = make_trace([0.0, 0.3, 0.5, 0.45])
+        save_trace(original, tmp_path / "run")
+        loaded = load_trace(tmp_path / "run")
+        assert loaded.algorithm == original.algorithm
+        assert loaded.n_devices == original.n_devices
+        assert [p.accuracy for p in loaded.points] == [
+            p.accuracy for p in original.points
+        ]
+        assert [p.updates for p in loaded.points] == [
+            p.updates for p in original.points
+        ]
+        assert loaded.batch_size_history == original.batch_size_history
+        assert loaded.perturbation_history == original.perturbation_history
+        assert loaded.staleness_history == original.staleness_history
+        assert loaded.metadata["seed"] == 3
+
+    def test_metrics_survive_round_trip(self, tmp_path):
+        original = make_trace([0.0, 0.3, 0.5])
+        save_trace(original, tmp_path / "run")
+        loaded = load_trace(tmp_path / "run")
+        assert loaded.time_to_accuracy(0.4) == original.time_to_accuracy(0.4)
+        assert loaded.best_accuracy == original.best_accuracy
+
+    def test_unserializable_metadata_stringified(self, tmp_path):
+        trace = make_trace([0.1])
+        trace.metadata["weird"] = object()
+        save_trace(trace, tmp_path / "run")
+        loaded = load_trace(tmp_path / "run")
+        assert "object" in loaded.metadata["weird"]
+
+    def test_missing_files_rejected(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            load_trace(tmp_path / "nothing")
+
+    def test_real_trainer_trace_round_trips(self, tmp_path, micro_task, het_server):
+        from repro.core.adaptive import AdaptiveSGDTrainer
+        from repro.core.config import AdaptiveSGDConfig
+
+        cfg = AdaptiveSGDConfig(b_max=64, base_lr=0.2, mega_batch_batches=8)
+        trace = AdaptiveSGDTrainer(
+            micro_task, het_server, cfg, hidden=(32,), init_seed=1,
+            data_seed=1, eval_samples=64,
+        ).run(0.01)
+        save_trace(trace, tmp_path / "real")
+        loaded = load_trace(tmp_path / "real")
+        assert loaded.batch_size_history == trace.batch_size_history
+        assert [p.time_s for p in loaded.points] == pytest.approx(
+            [p.time_s for p in trace.points]
+        )
+
+
+class TestResultSetRoundTrip:
+    def test_round_trip(self, tmp_path):
+        results = {
+            ("adaptive", 4): make_trace([0.0, 0.5], algorithm="Adaptive SGD"),
+            ("elastic", 2): make_trace([0.0, 0.4], algorithm="Elastic SGD", n=2),
+        }
+        save_result_set(results, tmp_path / "grid")
+        loaded = load_result_set(tmp_path / "grid")
+        assert set(loaded) == set(results)
+        assert loaded[("adaptive", 4)].best_accuracy == 0.5
+
+    def test_missing_index_rejected(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            load_result_set(tmp_path)
+
+
+class TestSmoothing:
+    def test_window_one_is_identity(self):
+        trace = make_trace([0.1, 0.5, 0.2])
+        assert [a for _, a in smoothed_accuracy(trace, window=1)] == [
+            pytest.approx(v) for v in (0.1, 0.5, 0.2)
+        ]
+
+    def test_window_three_averages(self):
+        trace = make_trace([0.0, 0.3, 0.6])
+        smoothed = smoothed_accuracy(trace, window=3)
+        assert smoothed[1][1] == pytest.approx(0.3)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            smoothed_accuracy(make_trace([0.1]), window=0)
+
+
+class TestAuc:
+    def test_constant_curve(self):
+        trace = make_trace([0.4, 0.4, 0.4])
+        assert auc_accuracy(trace) == pytest.approx(0.4)
+
+    def test_linear_ramp(self):
+        trace = make_trace([0.0, 1.0])
+        assert auc_accuracy(trace) == pytest.approx(0.5)
+
+    def test_better_everywhere_has_larger_auc(self):
+        low = make_trace([0.0, 0.2, 0.3])
+        high = make_trace([0.1, 0.4, 0.6])
+        assert auc_accuracy(high) > auc_accuracy(low)
+
+    def test_until_truncates(self):
+        trace = make_trace([0.0, 1.0, 0.0])
+        assert auc_accuracy(trace, until=1.0) == pytest.approx(0.5)
+
+
+class TestPlateauAndDivergence:
+    def test_plateau_found(self):
+        trace = make_trace([0.0, 0.3, 0.5, 0.5, 0.505, 0.5])
+        plateau = detect_plateau(trace, tolerance=0.01)
+        assert plateau is not None
+        assert plateau.start_index == 2
+
+    def test_still_improving_no_plateau(self):
+        trace = make_trace([0.0, 0.2, 0.4, 0.6])
+        assert detect_plateau(trace, tolerance=0.01) is None
+
+    def test_divergence_warns(self):
+        trace = make_trace([0.0, 0.6, 0.3])
+        with pytest.warns(ConvergenceWarning):
+            assert detect_divergence(trace, drop=0.1)
+
+    def test_stable_run_not_divergent(self):
+        trace = make_trace([0.0, 0.5, 0.48])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert not detect_divergence(trace, drop=0.1)
+
+
+class TestCompare:
+    def test_winner_by_auc(self):
+        a = make_trace([0.1, 0.5, 0.6], algorithm="A")
+        b = make_trace([0.0, 0.2, 0.3], algorithm="B")
+        verdict = compare(a, b)
+        assert verdict.winner == a.label()
+        assert verdict.margin > 0
+
+    def test_common_horizon_used(self):
+        a = make_trace([0.1, 0.2], algorithm="A")  # ends at t=1
+        b = make_trace([0.0, 0.1, 0.9, 0.9], algorithm="B")  # shines later
+        verdict = compare(a, b)
+        # Within [0, 1] trace a leads.
+        assert verdict.winner == a.label()

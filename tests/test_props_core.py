@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for the core algorithms.
+
+Invariants under test:
+
+- Algorithm 1 never leaves the ``[b_min, b_max]`` box, preserves the linear
+  LR-scaling relation exactly, and moves sizes monotonically toward update
+  parity.
+- Algorithm 2's weights are a valid normalization without perturbation; with
+  perturbation the sum shifts by exactly ``δ(α_r − α_s)``.
+- The analytic staleness bound dominates any realizable update allocation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merging import compute_merge_weights
+from repro.core.scaling import scale_batch_sizes
+from repro.core.staleness import staleness_bound
+
+# Strategy: a fleet of 1-8 GPUs with consistent per-GPU state.
+fleets = st.integers(min_value=1, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.integers(min_value=16, max_value=128), min_size=n, max_size=n
+        ),
+        st.lists(
+            st.floats(min_value=1e-4, max_value=1.0, allow_nan=False),
+            min_size=n, max_size=n,
+        ),
+        st.lists(
+            st.integers(min_value=0, max_value=200), min_size=n, max_size=n
+        ),
+    )
+)
+
+
+class TestScalingProperties:
+    @given(fleets, st.floats(min_value=0.5, max_value=32.0))
+    @settings(max_examples=150, deadline=None)
+    def test_bounds_always_respected(self, fleet, beta):
+        sizes, lrs, updates = fleet
+        decision = scale_batch_sizes(
+            sizes, lrs, updates, b_min=16, b_max=128, beta=beta
+        )
+        for b in decision.batch_sizes:
+            assert 16 <= b <= 128
+
+    @given(fleets, st.floats(min_value=0.5, max_value=32.0))
+    @settings(max_examples=150, deadline=None)
+    def test_linear_lr_relation_exact(self, fleet, beta):
+        sizes, lrs, updates = fleet
+        decision = scale_batch_sizes(
+            sizes, lrs, updates, b_min=16, b_max=128, beta=beta
+        )
+        for b_old, lr_old, b_new, lr_new in zip(
+            sizes, lrs, decision.batch_sizes, decision.learning_rates
+        ):
+            assert lr_new == pytest.approx(lr_old * b_new / b_old, rel=1e-9)
+
+    @given(fleets, st.floats(min_value=0.5, max_value=32.0))
+    @settings(max_examples=150, deadline=None)
+    def test_direction_follows_update_deviation(self, fleet, beta):
+        """Above-average GPUs never shrink; below-average never grow."""
+        sizes, lrs, updates = fleet
+        decision = scale_batch_sizes(
+            sizes, lrs, updates, b_min=16, b_max=128, beta=beta
+        )
+        mean = float(np.mean(updates))
+        for b_old, u, b_new in zip(sizes, updates, decision.batch_sizes):
+            if u > mean:
+                assert b_new >= b_old
+            elif u < mean:
+                assert b_new <= b_old
+            else:
+                assert b_new == b_old
+
+    @given(fleets)
+    @settings(max_examples=100, deadline=None)
+    def test_unchanged_flags_consistent(self, fleet):
+        sizes, lrs, updates = fleet
+        decision = scale_batch_sizes(
+            sizes, lrs, updates, b_min=16, b_max=128, beta=4.0
+        )
+        for b_old, b_new, changed in zip(
+            sizes, decision.batch_sizes, decision.changed
+        ):
+            assert changed == (b_old != b_new)
+
+
+class TestMergingProperties:
+    @given(fleets, st.floats(min_value=0.01, max_value=0.3))
+    @settings(max_examples=150, deadline=None)
+    def test_weights_normalized_without_perturbation(self, fleet, delta):
+        sizes, _, updates = fleet
+        norms = [0.01] * len(sizes)
+        w = compute_merge_weights(
+            sizes, updates, norms, pert_thr=0.1, delta=delta,
+            enable_perturbation=False,
+        )
+        if sum(updates) > 0 or w.branch == "batch_size":
+            assert sum(w.alphas) == pytest.approx(1.0, abs=1e-9)
+        assert all(a >= 0 for a in w.alphas)
+
+    @given(fleets, st.floats(min_value=0.01, max_value=0.3))
+    @settings(max_examples=150, deadline=None)
+    def test_perturbation_shifts_sum_by_exact_amount(self, fleet, delta):
+        sizes, _, updates = fleet
+        norms = [0.01] * len(sizes)
+        base = compute_merge_weights(
+            sizes, updates, norms, pert_thr=0.1, delta=delta,
+            enable_perturbation=False,
+        )
+        pert = compute_merge_weights(
+            sizes, updates, norms, pert_thr=0.1, delta=delta,
+        )
+        if not pert.perturbed:
+            assert pert.alphas == base.alphas
+            return
+        r, s = pert.boosted, pert.damped
+        assert r != s
+        expected_shift = delta * (base.alphas[r] - base.alphas[s])
+        assert sum(pert.alphas) - sum(base.alphas) == pytest.approx(
+            expected_shift, abs=1e-9
+        )
+
+    @given(fleets)
+    @settings(max_examples=100, deadline=None)
+    def test_branch_selection_rule(self, fleet):
+        sizes, _, updates = fleet
+        w = compute_merge_weights(
+            sizes, updates, [1.0] * len(sizes),  # gate closed
+            pert_thr=0.1, delta=0.1,
+        )
+        if len(set(updates)) == 1:
+            assert w.branch == "batch_size"
+        else:
+            assert w.branch == "updates"
+        assert not w.perturbed  # norms over threshold
+
+    @given(fleets)
+    @settings(max_examples=100, deadline=None)
+    def test_higher_updates_never_lower_weight(self, fleet):
+        sizes, _, updates = fleet
+        if len(set(updates)) == 1:
+            return
+        w = compute_merge_weights(
+            sizes, updates, [1.0] * len(sizes), pert_thr=0.1, delta=0.1,
+        )
+        order = np.argsort(updates)
+        alphas = np.asarray(w.alphas)
+        assert np.all(np.diff(alphas[order]) >= -1e-12)
+
+
+class TestStalenessProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=2, max_value=64),
+        st.integers(min_value=1, max_value=40),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bound_dominates_any_realizable_allocation(
+        self, n_gpus, b_min, batches, rng
+    ):
+        """Randomly allocate a mega-batch in >= b_min chunks; the observed
+        update spread never exceeds the analytic bound."""
+        b_max = b_min * 8
+        mega = b_max * batches
+        updates = [0] * n_gpus
+        remaining = mega
+        while remaining > 0:
+            gpu = rng.randrange(n_gpus)
+            size = min(remaining, rng.randint(b_min, b_max))
+            updates[gpu] += 1
+            remaining -= size
+        spread = max(updates) - min(updates)
+        assert spread <= staleness_bound(mega, b_min, b_max, n_gpus)

@@ -1,0 +1,83 @@
+"""Tests for repro.sim.monitor."""
+
+import numpy as np
+import pytest
+
+from repro.sim.environment import Environment
+from repro.sim.monitor import Monitor, MonitorSet
+
+
+class TestMonitor:
+    def test_records_at_clock_time(self):
+        env = Environment()
+        mon = Monitor(env, "q")
+
+        def proc():
+            mon.record(1.0)
+            yield env.timeout(2)
+            mon.record(3.0)
+
+        env.process(proc())
+        env.run()
+        assert np.array_equal(mon.times, [0.0, 2.0])
+        assert np.array_equal(mon.values, [1.0, 3.0])
+
+    def test_explicit_time_override(self):
+        mon = Monitor(Environment(), "q")
+        mon.record(5.0, time=1.5)
+        assert mon.last() == (1.5, 5.0)
+
+    def test_last_empty_raises(self):
+        with pytest.raises(IndexError):
+            Monitor(Environment(), "q").last()
+
+    def test_len(self):
+        mon = Monitor(Environment(), "q")
+        assert len(mon) == 0
+        mon.record(1.0)
+        assert len(mon) == 1
+
+
+class TestTimeAverage:
+    def test_step_function_average(self):
+        mon = Monitor(Environment(), "q")
+        mon.record(0.0, time=0.0)
+        mon.record(10.0, time=5.0)
+        # value 0 for t in [0,5), then 10 until t=10 -> mean 5.
+        assert mon.time_average(until=10.0) == pytest.approx(5.0)
+
+    def test_single_sample(self):
+        mon = Monitor(Environment(), "q")
+        mon.record(7.0, time=0.0)
+        assert mon.time_average() == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Monitor(Environment(), "q").time_average()
+
+    def test_until_before_first_sample(self):
+        mon = Monitor(Environment(), "q")
+        mon.record(3.0, time=2.0)
+        assert mon.time_average(until=1.0) == 3.0
+
+
+class TestMonitorSet:
+    def test_get_or_create(self):
+        ms = MonitorSet(Environment())
+        mon1 = ms["a"]
+        mon2 = ms["a"]
+        assert mon1 is mon2
+        assert "a" in ms
+        assert "b" not in ms
+
+    def test_names_in_creation_order(self):
+        ms = MonitorSet(Environment())
+        ms["z"], ms["a"]
+        assert ms.names() == ["z", "a"]
+
+    def test_as_arrays(self):
+        ms = MonitorSet(Environment())
+        ms["q"].record(1.0, time=0.5)
+        arrays = ms.as_arrays()
+        assert np.array_equal(arrays["q_times"], [0.5])
+        assert np.array_equal(arrays["q_values"], [1.0])

@@ -1,0 +1,144 @@
+"""Tests for repro.sim.resources — Resource and Store semantics."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.environment import Environment
+from repro.sim.resources import Resource, Store
+
+
+def run_workers(env, res, holds):
+    """Start one holder per entry in ``holds``; return the event log."""
+    log = []
+
+    def worker(name, hold):
+        yield res.request()
+        log.append((env.now, name, "acquire"))
+        yield env.timeout(hold)
+        res.release()
+        log.append((env.now, name, "release"))
+
+    for i, hold in enumerate(holds):
+        env.process(worker(f"w{i}", hold))
+    env.run()
+    return log
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = run_workers(env, res, [2.0, 1.0])
+        assert log == [
+            (0.0, "w0", "acquire"),
+            (2.0, "w0", "release"),
+            (2.0, "w1", "acquire"),
+            (3.0, "w1", "release"),
+        ]
+
+    def test_capacity_two_overlaps(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        log = run_workers(env, res, [2.0, 2.0, 2.0])
+        acquires = [entry for entry in log if entry[2] == "acquire"]
+        assert acquires[0][0] == 0.0 and acquires[1][0] == 0.0
+        assert acquires[2][0] == 2.0  # third waits for a release
+
+    def test_fifo_granting(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = run_workers(env, res, [1.0, 1.0, 1.0])
+        order = [name for _, name, what in log if what == "acquire"]
+        assert order == ["w0", "w1", "w2"]
+
+    def test_in_use_and_queued_counts(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queued == 1
+
+    def test_release_without_request_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env).release()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+        store.put("a")
+        got = store.get()
+        env.run()
+        assert got.value == "a"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer():
+            item = yield store.get()
+            received.append((env.now, item))
+
+        def producer():
+            yield env.timeout(5)
+            store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert received == [(5.0, "late")]
+
+    def test_fifo_items(self):
+        env = Environment()
+        store = Store(env)
+        for item in ("a", "b", "c"):
+            store.put(item)
+        order = []
+
+        def consumer():
+            for _ in range(3):
+                order.append((yield store.get()))
+
+        env.process(consumer())
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_getters(self):
+        env = Environment()
+        store = Store(env)
+        served = []
+
+        def consumer(name):
+            item = yield store.get()
+            served.append((name, item))
+
+        env.process(consumer("first"))
+        env.process(consumer("second"))
+
+        def producer():
+            yield env.timeout(1)
+            store.put(1)
+            store.put(2)
+
+        env.process(producer())
+        env.run()
+        assert served == [("first", 1), ("second", 2)]
+
+    def test_len_and_waiting(self):
+        env = Environment()
+        store = Store(env)
+        assert len(store) == 0
+        store.put("x")
+        assert len(store) == 1
+        store.get()
+        assert len(store) == 0
+        store.get()
+        assert store.waiting == 1

@@ -1,0 +1,150 @@
+"""Tests for repro.sparse.loss and repro.sparse.metrics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import DataFormatError
+from repro.sparse.loss import (
+    log_softmax,
+    softmax,
+    softmax_cross_entropy,
+    uniform_label_targets,
+)
+from repro.sparse.metrics import precision_at_k, top1_accuracy
+
+
+def indicator(rows_labels, n_labels):
+    rows, cols = [], []
+    for i, labels in enumerate(rows_labels):
+        for lab in labels:
+            rows.append(i)
+            cols.append(lab)
+    return sp.csr_matrix(
+        (np.ones(len(rows), dtype=np.float32), (rows, cols)),
+        shape=(len(rows_labels), n_labels),
+    )
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 7)).astype(np.float32)
+        p = softmax(logits.copy())
+        assert np.allclose(p.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(logits + 100.0), softmax(logits))
+
+    def test_overflow_stability(self):
+        logits = np.array([[1e4, 0.0]])
+        p = softmax(logits)
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 6))
+        assert np.allclose(log_softmax(logits), np.log(softmax(logits)), atol=1e-6)
+
+
+class TestUniformTargets:
+    def test_row_normalization(self):
+        Y = indicator([[0], [1, 3], [0, 2, 4]], 5)
+        T = uniform_label_targets(Y)
+        assert np.allclose(np.asarray(T.sum(axis=1)).ravel(), 1.0)
+        assert T[2, 0] == pytest.approx(1.0 / 3)
+
+    def test_empty_row_rejected(self):
+        Y = sp.csr_matrix((1, 3), dtype=np.float32)
+        with pytest.raises(DataFormatError):
+            uniform_label_targets(Y)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        Y = indicator([[0], [1]], 3)
+        logits = np.array([[50.0, 0.0, 0.0], [0.0, 50.0, 0.0]], dtype=np.float32)
+        loss, grad = softmax_cross_entropy(logits, Y)
+        assert loss < 1e-6
+        assert np.abs(grad).max() < 1e-6
+
+    def test_uniform_logits_loss_is_log_L(self):
+        Y = indicator([[0]], 4)
+        logits = np.zeros((1, 4), dtype=np.float32)
+        loss, _ = softmax_cross_entropy(logits, Y)
+        assert loss == pytest.approx(np.log(4), rel=1e-5)
+
+    def test_gradient_rows_sum_to_zero(self):
+        # softmax minus a distribution: each row must sum to 0.
+        rng = np.random.default_rng(0)
+        Y = indicator([[0, 2], [1], [3, 1]], 5)
+        logits = rng.normal(size=(3, 5)).astype(np.float32)
+        _, grad = softmax_cross_entropy(logits, Y)
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_gradient_finite_difference(self):
+        rng = np.random.default_rng(3)
+        Y = indicator([[0, 2], [1]], 4)
+        logits = rng.normal(size=(2, 4)).astype(np.float64)
+        _, grad = softmax_cross_entropy(logits.astype(np.float32), Y)
+        eps = 1e-4
+        for i in range(2):
+            for j in range(4):
+                up = logits.copy()
+                up[i, j] += eps
+                down = logits.copy()
+                down[i, j] -= eps
+                lu, _ = softmax_cross_entropy(up.astype(np.float32), Y)
+                ld, _ = softmax_cross_entropy(down.astype(np.float32), Y)
+                fd = (lu - ld) / (2 * eps)
+                assert grad[i, j] == pytest.approx(fd, abs=2e-3)
+
+    def test_shape_mismatch_rejected(self):
+        Y = indicator([[0]], 3)
+        with pytest.raises(DataFormatError):
+            softmax_cross_entropy(np.zeros((1, 4), dtype=np.float32), Y)
+
+
+class TestPrecisionAtK:
+    def test_exact_small_case(self):
+        Y = indicator([[0], [1], [2, 0]], 3)
+        scores = np.array(
+            [[0.9, 0.1, 0.0],   # top1 = 0 -> hit
+             [0.9, 0.1, 0.0],   # top1 = 0 -> miss
+             [0.5, 0.1, 0.9]],  # top1 = 2 -> hit
+            dtype=np.float32,
+        )
+        assert top1_accuracy(scores, Y) == pytest.approx(2.0 / 3)
+
+    def test_p_at_3(self):
+        Y = indicator([[0, 1, 2]], 5)
+        scores = np.array([[5.0, 4.0, 3.0, 2.0, 1.0]], dtype=np.float32)
+        out = precision_at_k(scores, Y, ks=(1, 3, 5))
+        assert out[1] == 1.0
+        assert out[3] == 1.0
+        assert out[5] == pytest.approx(3.0 / 5)
+
+    def test_k_larger_than_labels_clamped(self):
+        Y = indicator([[0]], 2)
+        scores = np.array([[1.0, 0.0]], dtype=np.float32)
+        out = precision_at_k(scores, Y, ks=(10,))
+        assert out[10] == pytest.approx(0.5)
+
+    def test_ties_handled_deterministically(self):
+        Y = indicator([[1]], 3)
+        scores = np.zeros((1, 3), dtype=np.float32)
+        out = precision_at_k(scores, Y, ks=(1,))
+        assert out[1] in (0.0, 1.0)  # deterministic either way
+        assert out == precision_at_k(scores, Y, ks=(1,))
+
+    def test_invalid_k_rejected(self):
+        Y = indicator([[0]], 2)
+        with pytest.raises(DataFormatError):
+            precision_at_k(np.zeros((1, 2), dtype=np.float32), Y, ks=(0,))
+
+    def test_shape_mismatch_rejected(self):
+        Y = indicator([[0]], 2)
+        with pytest.raises(DataFormatError):
+            precision_at_k(np.zeros((2, 2), dtype=np.float32), Y)

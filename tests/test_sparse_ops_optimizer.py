@@ -1,0 +1,135 @@
+"""Tests for repro.sparse.ops and repro.sparse.optimizer."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ConfigurationError
+from repro.sparse.model_state import ModelState
+from repro.sparse.ops import (
+    estimate_step_flops,
+    sampled_logits,
+    scatter_columns_add,
+    sparse_row_times_dense,
+)
+from repro.sparse.optimizer import MomentumSGD, sgd_step
+
+SPEC = [("W", (10,))]
+
+
+class TestSparseRowTimesDense:
+    def test_matches_dense_product(self):
+        rng = np.random.default_rng(0)
+        X = sp.random(5, 20, density=0.3, random_state=rng, format="csr",
+                      dtype=np.float32)
+        W = rng.normal(size=(20, 7)).astype(np.float32)
+        for row in range(5):
+            got = sparse_row_times_dense(X, row, W)
+            want = X[row].toarray().ravel() @ W
+            assert np.allclose(got, want, atol=1e-5)
+
+    def test_empty_row(self):
+        X = sp.csr_matrix((2, 4), dtype=np.float32)
+        W = np.ones((4, 3), dtype=np.float32)
+        assert np.allclose(sparse_row_times_dense(X, 0, W), 0.0)
+
+
+class TestSampledLogits:
+    def test_matches_full_computation(self):
+        rng = np.random.default_rng(1)
+        h = rng.normal(size=6).astype(np.float32)
+        W = rng.normal(size=(6, 12)).astype(np.float32)
+        b = rng.normal(size=12).astype(np.float32)
+        active = np.array([0, 3, 11])
+        got = sampled_logits(h, W, b, active)
+        want = (h @ W + b)[active]
+        assert np.allclose(got, want, atol=1e-5)
+
+    def test_2d_hidden(self):
+        rng = np.random.default_rng(1)
+        h = rng.normal(size=(4, 6)).astype(np.float32)
+        W = rng.normal(size=(6, 12)).astype(np.float32)
+        b = np.zeros(12, dtype=np.float32)
+        active = np.array([1, 2])
+        assert sampled_logits(h, W, b, active).shape == (4, 2)
+
+    def test_non_1d_active_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sampled_logits(
+                np.zeros(3, dtype=np.float32),
+                np.zeros((3, 4), dtype=np.float32),
+                np.zeros(4, dtype=np.float32),
+                np.zeros((2, 2), dtype=np.int64),
+            )
+
+
+class TestScatterColumnsAdd:
+    def test_duplicate_indices_accumulate(self):
+        W = np.zeros((2, 5), dtype=np.float32)
+        active = np.array([1, 1, 3])
+        update = np.ones((2, 3), dtype=np.float32)
+        scatter_columns_add(W, active, update)
+        assert W[0, 1] == pytest.approx(2.0)
+        assert W[0, 3] == pytest.approx(1.0)
+
+
+class TestEstimateStepFlops:
+    def test_components_positive_and_scaling(self):
+        f1 = estimate_step_flops(32, 1000, (100, 16, 50))
+        f2 = estimate_step_flops(64, 2000, (100, 16, 50))
+        assert f2["sparse"] == pytest.approx(2 * f1["sparse"])
+        assert f2["dense"] == pytest.approx(2 * f1["dense"])
+        assert all(v > 0 for v in f1.values())
+
+    def test_active_labels_shrinks_cost(self):
+        full = estimate_step_flops(1, 50, (100, 16, 1000))
+        sampled = estimate_step_flops(1, 50, (100, 16, 1000), active_labels=32)
+        assert sampled["dense"] < full["dense"]
+        assert sampled["update"] < full["update"]
+
+    def test_too_few_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_step_flops(1, 1, (10,))
+
+
+class TestSgdStep:
+    def test_in_place_update(self):
+        state = ModelState.from_vector(SPEC, np.ones(10, dtype=np.float32))
+        grad = ModelState.from_vector(SPEC, np.full(10, 2.0, dtype=np.float32))
+        sgd_step(state, grad, lr=0.5)
+        assert np.allclose(state.vector, 0.0)
+
+    def test_invalid_lr_rejected(self):
+        state = ModelState.build(SPEC)
+        with pytest.raises(ConfigurationError):
+            sgd_step(state, state.zeros_like(), lr=0.0)
+
+
+class TestMomentumSGD:
+    def test_first_step_equals_sgd(self):
+        state = ModelState.from_vector(SPEC, np.zeros(10, dtype=np.float32))
+        grad = ModelState.from_vector(SPEC, np.ones(10, dtype=np.float32))
+        MomentumSGD(gamma=0.9).step(state, grad, lr=0.1)
+        assert np.allclose(state.vector, -0.1)
+
+    def test_velocity_accumulates(self):
+        state = ModelState.build(SPEC)
+        grad = ModelState.from_vector(SPEC, np.ones(10, dtype=np.float32))
+        opt = MomentumSGD(gamma=0.5)
+        opt.step(state, grad, lr=1.0)  # v=1, x=-1
+        opt.step(state, grad, lr=1.0)  # v=1.5, x=-2.5
+        assert np.allclose(state.vector, -2.5)
+
+    def test_reset_clears_velocity(self):
+        state = ModelState.build(SPEC)
+        grad = ModelState.from_vector(SPEC, np.ones(10, dtype=np.float32))
+        opt = MomentumSGD(gamma=0.9)
+        opt.step(state, grad, lr=1.0)
+        opt.reset()
+        state.vector[...] = 0.0
+        opt.step(state, grad, lr=1.0)
+        assert np.allclose(state.vector, -1.0)
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MomentumSGD(gamma=1.0)

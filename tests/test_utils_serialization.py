@@ -1,0 +1,67 @@
+"""Tests for repro.utils.serialization."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import (
+    load_arrays,
+    load_json,
+    save_arrays,
+    save_json,
+    to_jsonable,
+)
+
+
+@dataclasses.dataclass
+class _Sample:
+    name: str
+    values: np.ndarray
+
+
+class TestToJsonable:
+    def test_passthrough_builtins(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(value) == value
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int32(4)) == 4
+        assert to_jsonable(np.float64(0.5)) == 0.5
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_numpy_arrays(self):
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_dataclass(self):
+        out = to_jsonable(_Sample(name="x", values=np.ones(2)))
+        assert out == {"name": "x", "values": [1.0, 1.0]}
+
+    def test_nested_containers(self):
+        out = to_jsonable({"k": (1, {2, 3})})
+        assert out["k"][0] == 1
+        assert sorted(out["k"][1]) == [2, 3]
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = save_json(tmp_path / "out.json", {"a": np.float32(1.5)})
+        assert load_json(path) == {"a": 1.5}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_json(tmp_path / "deep" / "dir" / "f.json", [1, 2])
+        assert path.exists()
+
+
+class TestArraysRoundTrip:
+    def test_round_trip(self, tmp_path):
+        arrays = {"x": np.arange(5, dtype=np.float32), "y": np.eye(3)}
+        path = save_arrays(tmp_path / "arrs.npz", arrays)
+        back = load_arrays(path)
+        assert set(back) == {"x", "y"}
+        assert np.array_equal(back["x"], arrays["x"])
+        assert np.array_equal(back["y"], arrays["y"])

@@ -1,0 +1,69 @@
+"""Tests for repro.utils.tables — text table/series rendering."""
+
+import pytest
+
+from repro.utils.tables import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        # All rows have equal width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title_line(self):
+        out = format_table(["h"], [[1]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456789]], floatfmt=".2f")
+        assert "0.12" in out
+
+    def test_bool_rendering(self):
+        out = format_table(["flag"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_basic_series(self):
+        out = format_series({"curve": [(0, 0.1), (1, 0.2)]}, xlabel="t", ylabel="acc")
+        assert "curve" in out
+        assert "(0, 0.1)" in out and "(1, 0.2)" in out
+
+    def test_decimation_keeps_endpoints(self):
+        pts = [(i, i * 0.1) for i in range(100)]
+        out = format_series({"c": pts}, max_points=5)
+        assert "(0, 0)" in out
+        assert "(99," in out
+        # exactly 5 points rendered
+        assert out.count("(") == 5
+
+    def test_no_decimation_below_limit(self):
+        pts = [(0, 1), (1, 2)]
+        out = format_series({"c": pts}, max_points=10)
+        assert out.count("(") == 2
+
+    def test_multiple_series(self):
+        out = format_series({"a": [(0, 1)], "b": [(0, 2)]})
+        assert "a" in out and "b" in out
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        out = format_kv({"a": 1, "long-key": 2.5})
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert format_kv({}) == ""

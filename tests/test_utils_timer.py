@@ -1,0 +1,81 @@
+"""Tests for repro.utils.timer."""
+
+import pytest
+
+from repro.utils.timer import StageTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates_across_intervals(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        first = watch.elapsed
+        watch.start()
+        total = watch.stop()
+        assert total >= first >= 0.0
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+
+    def test_reset_while_running_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.reset()
+
+    def test_running_property(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+
+class TestStageTimer:
+    def test_stage_accumulates(self):
+        timer = StageTimer()
+        with timer.stage("fwd"):
+            pass
+        with timer.stage("fwd"):
+            pass
+        assert timer.seconds("fwd") >= 0.0
+        assert "fwd" in timer.report()
+
+    def test_unknown_stage_reports_zero(self):
+        assert StageTimer().seconds("nothing") == 0.0
+
+    def test_total_sums_stages(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("b"):
+            pass
+        assert timer.total() == pytest.approx(
+            timer.seconds("a") + timer.seconds("b")
+        )
+
+    def test_stage_timing_survives_exception(self):
+        timer = StageTimer()
+        with pytest.raises(ValueError):
+            with timer.stage("x"):
+                raise ValueError("boom")
+        # The watch must have been stopped despite the exception.
+        with timer.stage("x"):
+            pass
+        assert timer.seconds("x") >= 0.0
