@@ -66,7 +66,8 @@ class AsyncSGDTrainer(TrainerBase):
                 yield env.timeout(dt)
                 gpu.record_busy(dt, start=env.now - dt)
                 loss, grad = self.mlp.loss_and_grad(
-                    batch, snapshot, grad_out=grads[gpu_id]
+                    batch, snapshot, grad_out=grads[gpu_id],
+                    workspace=self.workspace,
                 )
                 # ...and applied to whatever the shared model is *now* —
                 # that gap is the staleness.

@@ -87,7 +87,8 @@ class CrossbowTrainer(TrainerBase):
             yield env.timeout(dt)
             gpu.record_busy(dt, start=env.now - dt)
             return self.mlp.loss_and_grad(
-                batch, learners[gpu_id], grad_out=grads[gpu_id]
+                batch, learners[gpu_id], grad_out=grads[gpu_id],
+                workspace=self.workspace,
             )
 
         def driver():

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.comm.allreduce import AllReduceAlgorithm
 from repro.comm.ring import RingAllReduce
 from repro.core.config import AdaptiveSGDConfig
@@ -63,6 +65,7 @@ class ElasticSGDTrainer(TrainerBase):
         replicas: List[ModelState] = [global_model.copy() for _ in range(n)]
         grads = [self.mlp.zeros_state() for _ in range(n)]
         model_bytes = global_model.nbytes
+        reduce_work = np.empty((n, global_model.n_params), dtype=np.float32)
         uniform = MergeWeights(
             alphas=tuple(1.0 / n for _ in range(n)),
             branch="uniform",
@@ -86,7 +89,8 @@ class ElasticSGDTrainer(TrainerBase):
                 yield env.timeout(dt)
                 gpu.record_busy(dt, start=env.now - dt)
                 loss, grad = self.mlp.loss_and_grad(
-                    batch, replicas[gpu_id], grad_out=grads[gpu_id]
+                    batch, replicas[gpu_id], grad_out=grads[gpu_id],
+                    workspace=self.workspace,
                 )
                 sgd_step(replicas[gpu_id], grad, cfg.base_lr)
                 loss_acc["sum"] += loss
@@ -112,7 +116,8 @@ class ElasticSGDTrainer(TrainerBase):
                 if timing.total_s > 0:
                     yield env.timeout(timing.total_s)
                 reduced_vec = self.allreduce.reduce(
-                    [r.vector for r in replicas], uniform.alphas
+                    [r.vector for r in replicas], uniform.alphas,
+                    work=reduce_work,
                 )
                 merge_models(
                     replicas, uniform, global_model, prev_global,

@@ -60,7 +60,9 @@ class MiniBatchSGDTrainer(TrainerBase):
                 dt = gpu.step_time(work, env.now, n_active_gpus=1)
                 yield env.timeout(dt)
                 gpu.record_busy(dt, start=env.now - dt)
-                loss, g = self.mlp.loss_and_grad(batch, state, grad_out=grad)
+                loss, g = self.mlp.loss_and_grad(
+                    batch, state, grad_out=grad, workspace=self.workspace
+                )
                 sgd_step(state, g, cfg.base_lr)
                 updates += 1
                 loss_sum += loss

@@ -102,6 +102,26 @@ class SimHashLSH:
                 f"query vector must have shape ({self.dim},), got {vector.shape}"
             )
         codes = self._codes(vector[None, :])[:, 0]  # (T,)
+        return self._lookup(codes)
+
+    def query_batch(self, vectors: np.ndarray) -> List[np.ndarray]:
+        """Per-row retrieval for a ``(n, dim)`` query block.
+
+        All signature projections run as one einsum over the block (the
+        expensive part); only the bucket lookups remain per-row. Row *i* of
+        the result equals ``query(vectors[i])``.
+        """
+        if self._tables is None:
+            raise ConfigurationError("query_batch() before rebuild()")
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ConfigurationError(
+                f"query block must be (n, {self.dim}), got {vectors.shape}"
+            )
+        codes = self._codes(vectors)  # (T, n)
+        return [self._lookup(codes[:, i]) for i in range(vectors.shape[0])]
+
+    def _lookup(self, codes: np.ndarray) -> np.ndarray:
+        """Union of the bucket hits for one sample's per-table codes."""
         hits = [
             self._tables[t].get(int(codes[t])) for t in range(self.n_tables)
         ]

@@ -14,7 +14,7 @@ portion (true labels are never dropped).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -55,7 +55,37 @@ class ActiveLabelSampler:
         true_labels = np.asarray(true_labels, dtype=np.int64)
         if true_labels.size == 0:
             raise ConfigurationError("a sample must have at least one true label")
-        retrieved = self.lsh.query(hidden)
+        return self._assemble(self.lsh.query(hidden), true_labels)
+
+    def sample_batch(
+        self, hidden: np.ndarray, label_sets: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Active sets for a ``(n, dim)`` block of hidden activations.
+
+        LSH signatures are computed in one batched projection; subsampling
+        and negative fill consume the RNG in row order, so the result is
+        identical to calling :meth:`sample` per row.
+        """
+        if hidden.ndim != 2 or hidden.shape[0] != len(label_sets):
+            raise ConfigurationError(
+                f"hidden block {hidden.shape} does not match "
+                f"{len(label_sets)} label sets"
+            )
+        retrieved_all = self.lsh.query_batch(hidden)
+        out: List[np.ndarray] = []
+        for retrieved, labels in zip(retrieved_all, label_sets):
+            labels = np.asarray(labels, dtype=np.int64)
+            if labels.size == 0:
+                raise ConfigurationError(
+                    "a sample must have at least one true label"
+                )
+            out.append(self._assemble(retrieved, labels))
+        return out
+
+    def _assemble(
+        self, retrieved: np.ndarray, true_labels: np.ndarray
+    ) -> np.ndarray:
+        """Cap/fill one retrieval into the final active set."""
         # Drop the true labels from the retrieved pool (kept separately).
         retrieved = retrieved[~np.isin(retrieved, true_labels)]
 

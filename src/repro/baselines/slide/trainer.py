@@ -31,8 +31,11 @@ from repro.exceptions import ConfigurationError
 from repro.gpu.cluster import MultiGPUServer
 from repro.harness.trainer_base import TrainerBase
 from repro.harness.traces import TrainingTrace
+from repro.perf.gather import RowGatherer
+from repro.perf.slide_kernel import slide_chunk_step
+from repro.perf.workspace import Workspace, spmm_into
 from repro.sim.environment import Environment
-from repro.sparse.ops import estimate_step_flops, sparse_row_times_dense
+from repro.sparse.ops import estimate_step_flops
 from repro.utils.rng import RngFactory
 
 __all__ = ["SlideTrainer"]
@@ -147,69 +150,74 @@ class SlideTrainer(TrainerBase):
 
         X, Y = train.X, train.Y
         layer_dims = tuple(self.arch.layer_dims)
-        lr = np.float32(self.lr)
+        gather_x = RowGatherer(X)
+        row_nnz_y = train.row_nnz_y
+        workspace = self.workspace
 
         samples_done = 0
         since_rebuild = 0
         loss_sum, loss_count = 0.0, 0
         samples_per_checkpoint = cfg.mega_batch_size
 
-        def train_one(row: int) -> float:
-            """One real per-sample sampled-softmax SGD update; returns loss."""
-            nonlocal since_rebuild
-            start, stop = X.indptr[row], X.indptr[row + 1]
-            cols = X.indices[start:stop]
-            vals = X.data[start:stop]
-            labels = Y.indices[Y.indptr[row]:Y.indptr[row + 1]]
+        def take_rows(count: int) -> np.ndarray:
+            """Next ``count`` rows of the shuffled order (wrapping an epoch)."""
+            nonlocal pos, order
+            out = np.empty(count, dtype=np.int64)
+            filled = 0
+            while filled < count:
+                take = min(count - filled, len(order) - pos)
+                out[filled:filled + take] = order[pos:pos + take]
+                pos += take
+                filled += take
+                if pos >= len(order):
+                    order = order_rng.permutation(train.n_samples)
+                    pos = 0
+            return out
 
-            z1 = vals @ W1[cols] + b1
-            h1 = np.maximum(z1, 0.0)
-            active = sampler.sample(h1, labels)
-            k = labels.size  # true labels occupy active[:k] (sampler contract)
+        def train_chunk(rows: np.ndarray) -> float:
+            """One vectorized chunk of per-sample updates; returns (loss, nnz).
 
-            logits = h1 @ W2[:, active] + b2[active]
-            logits -= logits.max()
-            p = np.exp(logits)
-            p /= p.sum()
-            loss = float(-np.log(np.maximum(p[:k], 1e-30)).mean())
-
-            dlog = p
-            dlog[:k] -= np.float32(1.0 / k)
-            # Backprop through the active columns (pre-update weights).
-            dh = W2[:, active] @ dlog
-            dz1 = dh * (z1 > 0.0)
-            # Sampled updates: only touched rows/columns move.
-            W2[:, active] -= lr * np.outer(h1, dlog)
-            b2[active] -= lr * dlog
-            W1[cols] -= lr * np.outer(vals, dz1)
-            b1[...] -= lr * dz1
-            since_rebuild += 1
-            return loss
+            The numerics live in :func:`repro.perf.slide_kernel.slide_chunk_step`:
+            every sample's gradient is evaluated at the chunk-start weights
+            (SLIDE's Hogwild stale-read regime) and applied in one batched
+            sampled-softmax update.
+            """
+            Xc = gather_x.gather(rows)
+            H1 = workspace.buffer("slide-h1", rows.size, h_dim)
+            spmm_into(Xc, W1, H1)
+            H1 += b1
+            np.maximum(H1, 0.0, out=H1)
+            label_sets = [
+                Y.indices[Y.indptr[r]:Y.indptr[r + 1]] for r in rows
+            ]
+            actives = sampler.sample_batch(H1, label_sets)
+            loss = slide_chunk_step(
+                Xc, H1, row_nnz_y[rows], actives,
+                W1, b1, W2, b2, self.lr, workspace=workspace,
+            )
+            return loss, Xc.nnz
 
         def driver():
-            nonlocal pos, samples_done, since_rebuild, loss_sum, loss_count
+            nonlocal samples_done, since_rebuild, loss_sum, loss_count
             self.record_checkpoint(
                 trace, env, epochs=0.0, updates=0, samples=0,
                 state=state, loss=float("nan"),
             )
             next_checkpoint = samples_per_checkpoint
             while env.now < time_budget_s:
-                chunk = min(self.chunk_samples, next_checkpoint - samples_done)
-                nnz_total = 0
-                active_total = 0
-                for _ in range(chunk):
-                    row = int(order[pos])
-                    pos += 1
-                    if pos >= len(order):
-                        order[:] = order_rng.permutation(train.n_samples)
-                        pos = 0
-                    nnz_total += int(X.indptr[row + 1] - X.indptr[row])
-                    loss_sum += train_one(row)
-                    loss_count += 1
-                    if since_rebuild >= self.rebuild_every:
-                        since_rebuild = 0
-                        lsh.rebuild(W2)
-                        yield env.timeout(self._rebuild_time())
+                # Chunk boundaries align with both the checkpoint cadence and
+                # the LSH rebuild cadence, so rebuilds happen at exactly the
+                # same sample counts as the per-sample reference loop.
+                chunk = min(
+                    self.chunk_samples,
+                    next_checkpoint - samples_done,
+                    self.rebuild_every - since_rebuild,
+                )
+                rows = take_rows(chunk)
+                chunk_loss, nnz_total = train_chunk(rows)
+                loss_sum += chunk_loss
+                loss_count += chunk
+                since_rebuild += chunk
                 samples_done += chunk
                 # Price the chunk: mean per-sample flops across the chunk.
                 flops = estimate_step_flops(
@@ -220,6 +228,11 @@ class SlideTrainer(TrainerBase):
                 dt = cpu.samples_time(per_sample, chunk)
                 cpu.record_busy(dt)
                 yield env.timeout(dt)
+
+                if since_rebuild >= self.rebuild_every:
+                    since_rebuild = 0
+                    lsh.rebuild(W2)
+                    yield env.timeout(self._rebuild_time())
 
                 if samples_done >= next_checkpoint:
                     next_checkpoint += samples_per_checkpoint

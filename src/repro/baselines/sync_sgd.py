@@ -120,7 +120,9 @@ class SyncSGDTrainer(TrainerBase):
             dt *= self.framework_overhead
             yield env.timeout(dt)
             gpu.record_busy(dt, start=env.now - dt)
-            return self.mlp.loss_and_grad(batch, model, grad_out=grads[gpu_id])
+            return self.mlp.loss_and_grad(
+                batch, model, grad_out=grads[gpu_id], workspace=self.workspace
+            )
 
         def driver():
             nonlocal total_updates

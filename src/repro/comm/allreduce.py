@@ -26,7 +26,12 @@ import numpy as np
 from repro.comm.topology import InterconnectTopology
 from repro.exceptions import CommunicationError
 
-__all__ = ["AllReduceAlgorithm", "AllReduceTiming", "validate_operands"]
+__all__ = [
+    "AllReduceAlgorithm",
+    "AllReduceTiming",
+    "validate_operands",
+    "weighted_locals",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,34 @@ def validate_operands(
     return out
 
 
+def weighted_locals(
+    vecs: Sequence[np.ndarray],
+    weights: Sequence[float],
+    work: Optional[np.ndarray] = None,
+) -> List[np.ndarray]:
+    """Device-local contributions ``w_i * v_i`` for a schedule to consume.
+
+    ``work`` (a ``(n, size)`` float32 buffer) receives the products in place
+    — merge-heavy trainers preallocate it once so every mega-batch's reduce
+    is allocation-free. Falls back to fresh arrays when the buffer is absent
+    or mis-shaped. Callers must treat the returned result as valid only
+    until the next ``reduce`` with the same buffer.
+    """
+    n, size = len(vecs), vecs[0].size
+    if (
+        work is not None
+        and work.dtype == np.float32
+        and work.ndim == 2
+        and work.shape[0] >= n
+        and work.shape[1] == size
+    ):
+        return [
+            np.multiply(v, np.float32(w), out=work[i])
+            for i, (v, w) in enumerate(zip(vecs, weights))
+        ]
+    return [v * np.float32(w) for v, w in zip(vecs, weights)]
+
+
 class AllReduceAlgorithm(ABC):
     """A weighted-average all-reduce schedule."""
 
@@ -78,12 +111,20 @@ class AllReduceAlgorithm(ABC):
 
     @abstractmethod
     def reduce(
-        self, vectors: Sequence[np.ndarray], weights: Sequence[float]
+        self,
+        vectors: Sequence[np.ndarray],
+        weights: Sequence[float],
+        *,
+        work: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Execute the schedule numerically; return ``sum_i w_i * v_i``.
 
         Implementations move real chunks the way the hardware schedule
         would, so chunking/addition-order effects are faithfully present.
+        ``work`` optionally supplies an ``(n, size)`` float32 scratch buffer
+        for the device-local contributions (see :func:`weighted_locals`);
+        the returned vector may alias it, and is only valid until the next
+        ``reduce`` call with the same buffer.
         """
 
     @abstractmethod

@@ -29,7 +29,12 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.comm.allreduce import AllReduceAlgorithm, AllReduceTiming, validate_operands
+from repro.comm.allreduce import (
+    AllReduceAlgorithm,
+    AllReduceTiming,
+    validate_operands,
+    weighted_locals,
+)
 from repro.comm.topology import InterconnectTopology
 from repro.exceptions import CommunicationError
 
@@ -48,17 +53,19 @@ class RingAllReduce(AllReduceAlgorithm):
 
     # -- numerics ------------------------------------------------------------
     def reduce(
-        self, vectors: Sequence[np.ndarray], weights: Sequence[float]
+        self,
+        vectors: Sequence[np.ndarray],
+        weights: Sequence[float],
+        *,
+        work: np.ndarray = None,
     ) -> np.ndarray:
         vecs = validate_operands(vectors, weights)
         n = len(vecs)
         if n == 1:
             return (vecs[0] * np.float32(weights[0])).copy()
         size = vecs[0].size
-        # Device-local contributions w_i * v_i.
-        local: List[np.ndarray] = [
-            v * np.float32(w) for v, w in zip(vecs, weights)
-        ]
+        # Device-local contributions w_i * v_i (into ``work`` when provided).
+        local: List[np.ndarray] = weighted_locals(vecs, weights, work)
         # Chunk boundaries: n near-equal chunks (some possibly empty).
         bounds = np.linspace(0, size, n + 1).astype(np.int64)
 

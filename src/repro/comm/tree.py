@@ -17,7 +17,12 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.comm.allreduce import AllReduceAlgorithm, AllReduceTiming, validate_operands
+from repro.comm.allreduce import (
+    AllReduceAlgorithm,
+    AllReduceTiming,
+    validate_operands,
+    weighted_locals,
+)
 from repro.comm.topology import InterconnectTopology
 from repro.exceptions import CommunicationError
 
@@ -31,13 +36,15 @@ class TreeAllReduce(AllReduceAlgorithm):
 
     # -- numerics ------------------------------------------------------------
     def reduce(
-        self, vectors: Sequence[np.ndarray], weights: Sequence[float]
+        self,
+        vectors: Sequence[np.ndarray],
+        weights: Sequence[float],
+        *,
+        work: np.ndarray = None,
     ) -> np.ndarray:
         vecs = validate_operands(vectors, weights)
         n = len(vecs)
-        local: List[np.ndarray] = [
-            v * np.float32(w) for v, w in zip(vecs, weights)
-        ]
+        local: List[np.ndarray] = weighted_locals(vecs, weights, work)
         # Reduce phase: at stride s, device d receives from d+s when both
         # exist and d % (2s) == 0 — a textbook binomial tree.
         stride = 1

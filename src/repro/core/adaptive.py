@@ -82,6 +82,9 @@ class AdaptiveSGDTrainer(TrainerBase):
         replicas: List[ModelState] = [global_model.copy() for _ in range(n)]
         grads: List[ModelState] = [self.mlp.zeros_state() for _ in range(n)]
         model_bytes = global_model.nbytes
+        # Scratch rows for the merge collective's w_i * v_i contributions —
+        # one allocation for the whole run instead of n per mega-batch.
+        reduce_work = np.empty((n, global_model.n_params), dtype=np.float32)
 
         trace = self.new_trace(n)
         trace.metadata["config"] = self.config
@@ -110,7 +113,8 @@ class AdaptiveSGDTrainer(TrainerBase):
                     yield env.timeout(dt)
                     gpu.record_busy(dt, start=env.now - dt)
                     loss, grad = self.mlp.loss_and_grad(
-                        batch, replicas[gpu_id], grad_out=grads[gpu_id]
+                        batch, replicas[gpu_id], grad_out=grads[gpu_id],
+                        workspace=self.workspace,
                     )
                     sgd_step(
                         replicas[gpu_id], grad, scheduler.learning_rates[gpu_id]
@@ -155,7 +159,8 @@ class AdaptiveSGDTrainer(TrainerBase):
                 if timing.total_s > 0:
                     yield env.timeout(timing.total_s)
                 reduced_vec = self.allreduce.reduce(
-                    [r.vector for r in replicas], weights.alphas
+                    [r.vector for r in replicas], weights.alphas,
+                    work=reduce_work,
                 )
                 reduced = ModelState.from_vector(global_model.spec, reduced_vec)
                 merge_models(

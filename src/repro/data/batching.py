@@ -22,6 +22,7 @@ import scipy.sparse as sp
 
 from repro.data.dataset import SparseDataset
 from repro.exceptions import ConfigurationError
+from repro.perf.gather import RowGatherer
 from repro.utils.rng import make_rng
 
 __all__ = ["Batch", "BatchCursor", "static_batches", "MegaBatchAccountant"]
@@ -32,7 +33,9 @@ class Batch:
     """A training batch: row-sliced features/labels plus provenance.
 
     ``nnz`` (non-zero feature count) is what the GPU cost model keys on —
-    sparse kernels are sensitive to input cardinality (§I).
+    sparse kernels are sensitive to input cardinality (§I). Batch builders
+    precompute it from the dataset's cached per-row counts so reading it
+    never triggers a sparse-slice side effect.
     """
 
     X: sp.csr_matrix
@@ -40,16 +43,18 @@ class Batch:
     indices: np.ndarray
     #: Sequence number of the batch within the run (dispatch order).
     sequence: int = -1
+    #: Non-zero feature count (drives sparse-kernel cost); derived from X
+    #: when the builder does not supply it.
+    nnz: int = -1
+
+    def __post_init__(self) -> None:
+        if self.nnz < 0:
+            object.__setattr__(self, "nnz", int(self.X.nnz))
 
     @property
     def size(self) -> int:
         """Number of samples in the batch."""
         return self.X.shape[0]
-
-    @property
-    def nnz(self) -> int:
-        """Non-zero feature count (drives sparse-kernel cost)."""
-        return self.X.nnz
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Batch(size={self.size}, nnz={self.nnz}, seq={self.sequence})"
@@ -73,6 +78,10 @@ class BatchCursor:
         self._pos = 0
         self._samples_served = 0
         self._sequence = 0
+        # Per-cursor gather kernels with reusable output buffers; replaces
+        # dataset.X[idx] / dataset.Y[idx] fancy indexing on every dispatch.
+        self._gather_x = RowGatherer(dataset.X)
+        self._gather_y = RowGatherer(dataset.Y)
 
     @property
     def samples_served(self) -> int:
@@ -110,10 +119,11 @@ class BatchCursor:
             raise ConfigurationError(f"batch size must be >= 1, got {size}")
         idx = self._take(int(size))
         batch = Batch(
-            X=self.dataset.X[idx],
-            Y=self.dataset.Y[idx],
+            X=self._gather_x.gather(idx),
+            Y=self._gather_y.gather(idx),
             indices=idx,
             sequence=self._sequence,
+            nnz=self.dataset.nnz_of(idx),
         )
         self._sequence += 1
         self._samples_served += batch.size
@@ -131,12 +141,18 @@ def static_batches(
     if batch_size < 1:
         raise ConfigurationError(f"batch size must be >= 1, got {batch_size}")
     order = make_rng(seed).permutation(dataset.n_samples)
+    gather_x = RowGatherer(dataset.X)
+    gather_y = RowGatherer(dataset.Y)
     for seq, start in enumerate(range(0, dataset.n_samples, batch_size)):
         idx = order[start:start + batch_size]
         if drop_last and len(idx) < batch_size:
             return
         yield Batch(
-            X=dataset.X[idx], Y=dataset.Y[idx], indices=idx, sequence=seq
+            X=gather_x.gather(idx),
+            Y=gather_y.gather(idx),
+            indices=idx,
+            sequence=seq,
+            nnz=dataset.nnz_of(idx),
         )
 
 

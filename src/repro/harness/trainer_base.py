@@ -25,6 +25,7 @@ from repro.data.dataset import XMLTask
 from repro.exceptions import ConfigurationError
 from repro.gpu.cluster import MultiGPUServer
 from repro.harness.traces import TracePoint, TrainingTrace
+from repro.perf.workspace import Workspace
 from repro.sim.environment import Environment
 from repro.sparse.metrics import top1_accuracy
 from repro.sparse.mlp import MLPArchitecture, SparseMLP
@@ -72,6 +73,12 @@ class TrainerBase(ABC):
             rng = RngFactory(data_seed).get("eval-subset")
             idx = rng.choice(n_test, size=eval_samples, replace=False)
             self._eval_split = task.test.take(np.sort(idx), name="eval-subset")
+        # Hot-path scratch shared by every step and evaluation this trainer
+        # runs: bucketed activation/delta buffers (see repro.perf.workspace).
+        self.workspace = Workspace()
+        # The accuracy probe runs after every mega-batch; cache the boolean
+        # label matrix once instead of re-casting Y per evaluation.
+        self._eval_Y_bool = self._eval_split.Y.astype(bool)
 
     # -- shared protocol -----------------------------------------------------
     def initial_state(self) -> ModelState:
@@ -80,8 +87,11 @@ class TrainerBase(ABC):
 
     def evaluate(self, state: ModelState) -> float:
         """Top-1 test accuracy of ``state`` (host-side; zero simulated time)."""
-        scores = self.mlp.evaluate(self._eval_split.X, self._eval_split.Y, state)
-        return top1_accuracy(scores, self._eval_split.Y)
+        scores = self.mlp.evaluate(
+            self._eval_split.X, self._eval_split.Y, state,
+            workspace=self.workspace,
+        )
+        return top1_accuracy(scores, self._eval_split.Y, Y_bool=self._eval_Y_bool)
 
     def new_trace(self, n_devices: int) -> TrainingTrace:
         """A trace pre-filled with run identity metadata."""

@@ -1,0 +1,32 @@
+"""The fused hot-path execution engine.
+
+This package is the reproduction's analogue of HeteroGPU's kernel-fusion
+layer (§IV): the paper's system wins not only through adaptive scheduling
+but because every per-batch constant cost — kernel launches, temporary
+allocations, gather/scatter bookkeeping — is driven to zero. That matters
+*more* under Algorithm 1 than under static SGD, because adaptive batch
+scaling deliberately shrinks batch sizes on slow devices, so fixed per-batch
+overheads are paid more often per epoch.
+
+Components:
+
+- :mod:`repro.perf.gather` — allocation-free CSR row gather
+  (:func:`gather_rows`, :class:`RowGatherer`) replacing scipy fancy
+  indexing in the batching layer;
+- :mod:`repro.perf.workspace` — :class:`Workspace`, batch-size-bucketed
+  activation/delta/logits buffers reused by ``SparseMLP`` forward/backward,
+  plus zero-copy CSC-transpose handling for the ``X.T @ delta`` product;
+- :mod:`repro.perf.slide_kernel` — the vectorized chunked SLIDE kernel
+  (:func:`slide_chunk_step`) replacing the per-sample Python loop.
+
+Every kernel here is numerically equivalent to the path it replaces
+(bit-for-bit for gather/forward/backward; fp32 tolerance for the SLIDE
+chunk, which batches the sampled softmax) — enforced by
+``tests/test_perf_*``.
+"""
+
+from repro.perf.gather import RowGatherer, gather_rows
+from repro.perf.slide_kernel import slide_chunk_step
+from repro.perf.workspace import Workspace
+
+__all__ = ["RowGatherer", "gather_rows", "Workspace", "slide_chunk_step"]

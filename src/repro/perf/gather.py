@@ -1,0 +1,228 @@
+"""Fast CSR row gather — the batching layer's hot kernel.
+
+``dataset.X[idx]`` goes through scipy's generic fancy-indexing machinery:
+index validation, bounds canonicalization, a C gather, and a checked matrix
+construction — tens of microseconds of constant overhead per call before any
+data moves. Batch construction runs once per dispatched batch, and Algorithm
+1 shrinks batch sizes on slow GPUs, so this constant is paid at the highest
+possible rate exactly where the device is already the bottleneck.
+
+:func:`gather_rows` performs the same row gather with cached segment
+lengths, one cumsum, and a direct call to scipy's ``csr_row_index`` C
+kernel (per-row memcpy — the same routine fancy indexing bottoms out in,
+minus all the layers above it), handing the result to a validated fast CSR
+constructor. :class:`RowGatherer` additionally reuses per-cursor output
+buffers: a small slot pool whose slots are reclaimed when the batch that
+borrowed them is garbage collected (detected by the buffer refcount), so
+steady-state batch construction allocates almost nothing.
+
+The output is bit-for-bit identical to ``matrix[idx]``: same data, same
+column indices, same row pointer, same dtypes (``tests/test_perf_gather``).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+try:  # pragma: no cover - import guard exercised implicitly
+    from scipy.sparse import _sparsetools
+
+    _HAVE_ROW_INDEX = hasattr(_sparsetools, "csr_row_index")
+except ImportError:  # pragma: no cover - version-dependent fallback
+    _sparsetools = None
+    _HAVE_ROW_INDEX = False
+
+__all__ = ["gather_rows", "RowGatherer"]
+
+
+def _build_csr_fast(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    shape: Tuple[int, int],
+) -> sp.csr_matrix:
+    """Wrap pre-validated CSR arrays without constructor checks."""
+    m = sp.csr_matrix.__new__(sp.csr_matrix)
+    m.data = data
+    m.indices = indices
+    m.indptr = indptr
+    m._shape = shape
+    # Rows are copied verbatim from a canonical matrix, so both flags hold.
+    m.has_sorted_indices = True
+    m.has_canonical_format = True
+    return m
+
+
+def _fast_ctor_works() -> bool:
+    """One-time self-test of the unchecked constructor against scipy."""
+    try:
+        data = np.array([1.0, 2.0], dtype=np.float32)
+        indices = np.array([1, 0], dtype=np.int32)
+        indptr = np.array([0, 1, 1, 2], dtype=np.int32)
+        fast = _build_csr_fast(data, indices, indptr, (3, 2))
+        ref = sp.csr_matrix((data, indices, indptr), shape=(3, 2))
+        if (fast != ref).nnz != 0:
+            return False
+        probe = np.ones((2, 2), dtype=np.float32)
+        if not np.array_equal(fast @ probe, ref @ probe):
+            return False
+        return bool(np.array_equal(fast[np.array([0, 2])].data, np.array([1.0, 2.0])))
+    except Exception:  # pragma: no cover - version-dependent fallback
+        return False
+
+
+_FAST_CTOR = _fast_ctor_works()
+
+
+def _make_csr(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    shape: Tuple[int, int],
+) -> sp.csr_matrix:
+    if _FAST_CTOR:
+        return _build_csr_fast(data, indices, indptr, shape)
+    return sp.csr_matrix((data, indices, indptr), shape=shape)  # pragma: no cover
+
+
+def _copy_rows(
+    m: sp.csr_matrix,
+    idx: np.ndarray,
+    lens: np.ndarray,
+    out_indptr: np.ndarray,
+    data: np.ndarray,
+    indices: np.ndarray,
+) -> None:
+    """Copy the selected rows' (data, indices) segments into the buffers.
+
+    Fills ``out_indptr`` as a side effect. Uses scipy's ``csr_row_index``
+    per-row-memcpy kernel when available (≈4× faster than an element-wise
+    position gather on large matrices); falls back to pure numpy otherwise.
+    """
+    out_indptr[0] = 0
+    np.cumsum(lens, out=out_indptr[1:])
+    if _HAVE_ROW_INDEX and m.indptr.dtype == m.indices.dtype:
+        _sparsetools.csr_row_index(
+            idx.size,
+            idx.astype(m.indptr.dtype, copy=False),
+            m.indptr,
+            m.indices,
+            m.data,
+            indices,
+            data,
+        )
+        return
+    # Fallback: per-element source positions (row start + in-row offset).
+    pos = np.repeat(m.indptr[idx].astype(np.int64) - out_indptr[:-1], lens)
+    pos += np.arange(int(out_indptr[-1]), dtype=np.int64)
+    m.data.take(pos, out=data)
+    m.indices.take(pos, out=indices)
+
+
+def gather_rows(
+    matrix: sp.csr_matrix,
+    idx: np.ndarray,
+    row_nnz: Optional[np.ndarray] = None,
+) -> sp.csr_matrix:
+    """``matrix[idx]`` without scipy's fancy-indexing overhead.
+
+    ``row_nnz`` (``np.diff(matrix.indptr)``, precomputed once per dataset)
+    avoids re-deriving segment lengths on every call.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    if row_nnz is None:
+        row_nnz = np.diff(matrix.indptr)
+    lens = row_nnz[idx]
+    nnz = int(lens.sum())
+    out_indptr = np.empty(idx.size + 1, dtype=matrix.indptr.dtype)
+    data = np.empty(nnz, dtype=matrix.data.dtype)
+    indices = np.empty(nnz, dtype=matrix.indices.dtype)
+    _copy_rows(matrix, idx, lens, out_indptr, data, indices)
+    return _make_csr(data, indices, out_indptr, (idx.size, matrix.shape[1]))
+
+
+class _Slot:
+    """One reusable set of CSR output buffers."""
+
+    __slots__ = ("data", "indices", "indptr")
+
+    def __init__(self, data_dtype, index_dtype, indptr_dtype, nnz_cap: int, row_cap: int):
+        self.data = np.empty(nnz_cap, dtype=data_dtype)
+        self.indices = np.empty(nnz_cap, dtype=index_dtype)
+        self.indptr = np.empty(row_cap + 1, dtype=indptr_dtype)
+
+
+class RowGatherer:
+    """Row gather with a reclaiming buffer pool (one gatherer per cursor).
+
+    Returned matrices are views into pool slots. A slot is considered free
+    again once every external reference to the batch it backed is gone —
+    checked via the buffer refcount — so simultaneously *live* batches (one
+    per GPU manager in the multi-GPU trainers) each get their own slot. If
+    more than ``max_slots`` batches are alive at once, the overflow gathers
+    fall back to freshly allocated arrays; nothing ever aliases.
+    """
+
+    #: Refcount of a slot array referenced only by the slot itself, as seen
+    #: by ``sys.getrefcount`` (the slot attribute + the getrefcount arg).
+    _FREE_REFCOUNT = 2
+
+    def __init__(self, matrix: sp.csr_matrix, *, max_slots: int = 16) -> None:
+        self.matrix = matrix
+        self.row_nnz = np.diff(matrix.indptr)
+        self.max_slots = int(max_slots)
+        self._slots: List[_Slot] = []
+
+    def _free_slot(self, nnz: int, rows: int) -> Optional[_Slot]:
+        m = self.matrix
+        for slot in self._slots:
+            if (
+                sys.getrefcount(slot.data) == self._FREE_REFCOUNT
+                and sys.getrefcount(slot.indices) == self._FREE_REFCOUNT
+                and sys.getrefcount(slot.indptr) == self._FREE_REFCOUNT
+            ):
+                if slot.data.size < nnz:
+                    cap = max(nnz, int(slot.data.size * 1.5))
+                    slot.data = np.empty(cap, dtype=m.data.dtype)
+                    slot.indices = np.empty(cap, dtype=m.indices.dtype)
+                if slot.indptr.size < rows + 1:
+                    slot.indptr = np.empty(
+                        max(rows + 1, int(slot.indptr.size * 1.5)),
+                        dtype=m.indptr.dtype,
+                    )
+                return slot
+        if len(self._slots) < self.max_slots:
+            slot = _Slot(
+                m.data.dtype, m.indices.dtype, m.indptr.dtype, max(nnz, 1), rows
+            )
+            self._slots.append(slot)
+            return slot
+        return None
+
+    def gather(self, idx: np.ndarray) -> sp.csr_matrix:
+        """Gather ``matrix[idx]`` into pooled buffers (bit-for-bit equal)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        m = self.matrix
+        rows = idx.size
+        lens = self.row_nnz[idx]
+        nnz = int(lens.sum())
+        slot = self._free_slot(nnz, rows)
+        if slot is None:
+            out_indptr = np.empty(rows + 1, dtype=m.indptr.dtype)
+            data = np.empty(nnz, dtype=m.data.dtype)
+            indices = np.empty(nnz, dtype=m.indices.dtype)
+        else:
+            out_indptr = slot.indptr[:rows + 1]
+            data = slot.data[:nnz]
+            indices = slot.indices[:nnz]
+        _copy_rows(m, idx, lens, out_indptr, data, indices)
+        return _make_csr(data, indices, out_indptr, (rows, m.shape[1]))
+
+    @property
+    def n_slots(self) -> int:
+        """Pool slots allocated so far (observability for tests/benches)."""
+        return len(self._slots)

@@ -27,9 +27,16 @@ def log_softmax(logits: np.ndarray) -> np.ndarray:
     return shifted - lse
 
 
-def softmax(logits: np.ndarray) -> np.ndarray:
-    """Row-wise softmax, stable via max-subtraction."""
-    shifted = logits - logits.max(axis=1, keepdims=True)
+def softmax(logits: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    """Row-wise softmax, stable via max-subtraction.
+
+    ``out`` (when given) receives the result in place of a fresh
+    allocation — the training hot path passes a workspace buffer.
+    """
+    if out is None:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+    else:
+        shifted = np.subtract(logits, logits.max(axis=1, keepdims=True), out=out)
     np.exp(shifted, out=shifted)
     shifted /= shifted.sum(axis=1, keepdims=True)
     return shifted
@@ -49,13 +56,16 @@ def uniform_label_targets(Y: sp.csr_matrix) -> sp.csr_matrix:
 
 
 def softmax_cross_entropy(
-    logits: np.ndarray, Y: sp.csr_matrix
+    logits: np.ndarray, Y: sp.csr_matrix, grad_out: np.ndarray = None
 ) -> Tuple[float, np.ndarray]:
     """Mean cross-entropy and its gradient w.r.t. ``logits``.
 
     Returns ``(loss, dlogits)`` where ``dlogits = (softmax(logits) - T) / n``
     for the uniform-over-true-labels target ``T`` — the ``1/n`` folds the
-    batch-mean into the gradient so callers apply it directly.
+    batch-mean into the gradient so callers apply it directly. ``grad_out``
+    (a float32 ``(n, L)`` buffer, e.g. from a
+    :class:`~repro.perf.workspace.Workspace`) receives ``dlogits`` without
+    allocating.
     """
     n, L = logits.shape
     if Y.shape != (n, L):
@@ -69,7 +79,9 @@ def softmax_cross_entropy(
     cols = targets.indices
     loss = float(-(targets.data * logp[rows, cols]).sum() / n)
 
-    dlogits = softmax(logits).astype(np.float32, copy=False)
+    dlogits = softmax(logits, out=grad_out)
+    if dlogits.dtype != np.float32:  # float64 logits without a buffer
+        dlogits = dlogits.astype(np.float32)
     # subtract sparse targets in place, then scale by 1/n
     dlogits[rows, cols] -= targets.data
     dlogits /= np.float32(n)

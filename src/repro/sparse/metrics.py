@@ -20,13 +20,20 @@ __all__ = ["precision_at_k", "top1_accuracy"]
 
 
 def precision_at_k(
-    scores: np.ndarray, Y: sp.csr_matrix, ks: Sequence[int] = (1, 3, 5)
+    scores: np.ndarray,
+    Y: sp.csr_matrix,
+    ks: Sequence[int] = (1, 3, 5),
+    *,
+    Y_bool: sp.csr_matrix = None,
 ) -> Dict[int, float]:
     """Precision@k for each k in ``ks``.
 
     ``P@k = mean_i |topk(scores_i) ∩ true_i| / k``. Uses ``argpartition`` so
     the cost is O(L) per sample rather than a full sort over the (huge in
-    XML) label space.
+    XML) label space. ``Y_bool`` optionally supplies a precomputed
+    ``Y.astype(bool)`` — repeated evaluators (the per-checkpoint accuracy
+    probe) cache it once per split instead of re-casting the whole label
+    matrix on every call.
     """
     n, L = scores.shape
     if Y.shape != (n, L):
@@ -38,15 +45,20 @@ def precision_at_k(
         raise DataFormatError(f"ks must be positive integers, got {ks}")
     kmax = min(ks[-1], L)
 
-    # Top-kmax label ids per row (unordered), then rank them by score.
-    part = np.argpartition(scores, L - kmax, axis=1)[:, L - kmax:]
-    part_scores = np.take_along_axis(scores, part, axis=1)
-    order = np.argsort(-part_scores, axis=1, kind="stable")
-    topk = np.take_along_axis(part, order, axis=1)  # (n, kmax) best-first
+    if kmax == L:
+        # Every column is requested: the partition step would be a no-op
+        # pass over all L columns, so go straight to the full ranking.
+        topk = np.argsort(-scores, axis=1, kind="stable")  # (n, L) best-first
+    else:
+        # Top-kmax label ids per row (unordered), then rank them by score.
+        part = np.argpartition(scores, L - kmax, axis=1)[:, L - kmax:]
+        part_scores = np.take_along_axis(scores, part, axis=1)
+        order = np.argsort(-part_scores, axis=1, kind="stable")
+        topk = np.take_along_axis(part, order, axis=1)  # (n, kmax) best-first
 
     # Membership test against the sparse truth without densifying Y.
-    Y_bool = Y.astype(bool)
-    hits = np.zeros((n, kmax), dtype=bool)
+    if Y_bool is None:
+        Y_bool = Y.astype(bool)
     rows = np.repeat(np.arange(n), kmax)
     flat = topk.ravel()
     # CSR membership: for each (row, label) pair check Y[row, label] != 0.
@@ -60,6 +72,8 @@ def precision_at_k(
     return out
 
 
-def top1_accuracy(scores: np.ndarray, Y: sp.csr_matrix) -> float:
+def top1_accuracy(
+    scores: np.ndarray, Y: sp.csr_matrix, *, Y_bool: sp.csr_matrix = None
+) -> float:
     """The paper's headline metric: P@1 on the given scores."""
-    return precision_at_k(scores, Y, ks=(1,))[1]
+    return precision_at_k(scores, Y, ks=(1,), Y_bool=Y_bool)[1]

@@ -25,6 +25,7 @@ import scipy.sparse as sp
 
 from repro.data.batching import Batch
 from repro.exceptions import ConfigurationError
+from repro.perf.workspace import Workspace, spmm_into, spmm_t_into
 from repro.sparse.init import initialize
 from repro.sparse.loss import softmax_cross_entropy
 from repro.sparse.model_state import ModelState, ParameterSpec
@@ -108,21 +109,38 @@ class SparseMLP:
         return ModelState.build(self._spec)
 
     # -- inference ---------------------------------------------------------
-    def forward(self, X: sp.csr_matrix, state: ModelState) -> ForwardCache:
-        """Compute activations for ``X``; retain what backward needs."""
+    def forward(
+        self,
+        X: sp.csr_matrix,
+        state: ModelState,
+        workspace: Optional[Workspace] = None,
+    ) -> ForwardCache:
+        """Compute activations for ``X``; retain what backward needs.
+
+        With a ``workspace``, every activation is written into a reusable
+        bucketed buffer (no per-step allocation) — numerically identical to
+        the allocating path, since the same BLAS/sparsetools routines run
+        with an ``out=`` destination. Buffers stay valid until the next
+        ``forward`` with the same workspace, which covers the backward pass.
+        """
         if X.shape[1] != self.arch.n_features:
             raise ConfigurationError(
                 f"X has {X.shape[1]} features, model expects {self.arch.n_features}"
             )
+        n = X.shape[0]
         cache = ForwardCache(X=X)
         current: object = X
         for layer in range(1, self._n_layers + 1):
             W = state[f"W{layer}"]
             b = state[f"b{layer}"]
-            if layer == 1:
-                z = X @ W  # CSR × dense -> dense, cost ∝ nnz(X) · width
+            if workspace is None:
+                z = X @ W if layer == 1 else current @ W
             else:
-                z = current @ W
+                z = workspace.buffer(f"act{layer}", n, W.shape[1])
+                if layer == 1:
+                    spmm_into(X, W, z)  # CSR × dense, cost ∝ nnz(X) · width
+                else:
+                    np.matmul(current, W, out=z)
             z += b  # broadcast add, in place
             if layer < self._n_layers:
                 np.maximum(z, 0.0, out=z)  # ReLU in place
@@ -130,9 +148,14 @@ class SparseMLP:
             current = z
         return cache
 
-    def predict(self, X: sp.csr_matrix, state: ModelState) -> np.ndarray:
+    def predict(
+        self,
+        X: sp.csr_matrix,
+        state: ModelState,
+        workspace: Optional[Workspace] = None,
+    ) -> np.ndarray:
         """Label scores (logits) for ``X`` — ranking them gives predictions."""
-        return self.forward(X, state).logits
+        return self.forward(X, state, workspace).logits
 
     # -- training ------------------------------------------------------------
     def loss_and_grad(
@@ -140,14 +163,24 @@ class SparseMLP:
         batch: Batch,
         state: ModelState,
         grad_out: Optional[ModelState] = None,
+        workspace: Optional[Workspace] = None,
     ) -> Tuple[float, ModelState]:
         """Mean loss on ``batch`` and the gradient w.r.t. ``state``.
 
         ``grad_out`` (when given) is overwritten and returned, letting
-        trainers reuse one gradient buffer across steps.
+        trainers reuse one gradient buffer across steps. ``workspace``
+        additionally routes every intermediate (activations, dlogits,
+        per-layer deltas) through reusable buffers and the sparsetools
+        out-param kernels; results are bit-for-bit identical.
         """
-        cache = self.forward(batch.X, state)
-        loss, delta = softmax_cross_entropy(cache.logits, batch.Y)
+        n = batch.X.shape[0]
+        cache = self.forward(batch.X, state, workspace)
+        dlogits_buf = (
+            workspace.buffer("dlogits", n, self.arch.n_labels)
+            if workspace is not None
+            else None
+        )
+        loss, delta = softmax_cross_entropy(cache.logits, batch.Y, grad_out=dlogits_buf)
         grad = grad_out if grad_out is not None else self.zeros_state()
 
         # Backward through layers L..1; delta is dLoss/dz for current layer.
@@ -159,13 +192,19 @@ class SparseMLP:
             gb = grad[f"b{layer}"]
             if layer >= 2:
                 np.matmul(below.T, delta, out=gW)
-            else:
+            elif workspace is not None:
                 # CSC × dense; cost ∝ nnz(X) · width of delta.
+                spmm_t_into(below, delta, gW)
+            else:
                 gW[...] = (below.T @ delta).astype(np.float32, copy=False)
             delta.sum(axis=0, out=gb)
             if layer >= 2:
                 W = state[f"W{layer}"]
-                delta = delta @ W.T
+                if workspace is not None:
+                    nxt = workspace.buffer(f"delta{layer - 1}", n, W.shape[0])
+                    delta = np.matmul(delta, W.T, out=nxt)
+                else:
+                    delta = delta @ W.T
                 # ReLU mask of the layer below (its activations are post-ReLU).
                 delta *= cache.activations[layer - 2] > 0.0
         return loss, grad
@@ -177,6 +216,7 @@ class SparseMLP:
         state: ModelState,
         *,
         chunk: int = 2048,
+        workspace: Optional[Workspace] = None,
     ) -> np.ndarray:
         """Scores for a (possibly large) eval split, computed in chunks.
 
@@ -187,5 +227,5 @@ class SparseMLP:
         scores = np.empty((n, self.arch.n_labels), dtype=np.float32)
         for start in range(0, n, chunk):
             stop = min(start + chunk, n)
-            scores[start:stop] = self.predict(X[start:stop], state)
+            scores[start:stop] = self.predict(X[start:stop], state, workspace)
         return scores

@@ -121,9 +121,14 @@ class ModelState:
         self.vector *= np.float32(alpha)
 
     def l2_norm(self) -> float:
-        """Euclidean norm of the flat parameter vector."""
-        # float64 accumulation avoids catastrophic rounding on big models.
-        return float(np.linalg.norm(self.vector.astype(np.float64, copy=False)))
+        """Euclidean norm of the flat parameter vector.
+
+        One pass over the float32 buffer with float64 accumulation — no
+        float64 copy of the (model-sized) vector is materialized.
+        """
+        return float(
+            np.sqrt(np.einsum("i,i->", self.vector, self.vector, dtype=np.float64))
+        )
 
     def l2_norm_per_param(self) -> float:
         """L2 norm divided by model dimensionality.

@@ -40,16 +40,26 @@ def sparse_row_times_dense(
 
 
 def sampled_logits(
-    hidden: np.ndarray, W_out: np.ndarray, b_out: np.ndarray, active: np.ndarray
+    hidden: np.ndarray,
+    W_out: np.ndarray,
+    b_out: np.ndarray,
+    active: np.ndarray,
+    *,
+    W_active: np.ndarray = None,
 ) -> np.ndarray:
     """Output logits restricted to the ``active`` label subset.
 
     ``hidden`` is ``(h,)`` or ``(n, h)``; result covers only ``active``
-    columns, costing O(h * |active|) instead of O(h * L).
+    columns, costing O(h * |active|) instead of O(h * L). Callers that
+    already gathered ``W_out[:, active]`` (the chunked SLIDE kernel reuses
+    the gather for backprop) pass it as ``W_active`` to skip the second
+    column gather.
     """
     if active.ndim != 1:
         raise ConfigurationError("active label set must be a 1-D index array")
-    return hidden @ W_out[:, active] + b_out[active]
+    if W_active is None:
+        W_active = W_out[:, active]
+    return hidden @ W_active + b_out[active]
 
 
 def scatter_columns_add(

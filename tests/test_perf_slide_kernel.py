@@ -1,0 +1,149 @@
+"""Chunked SLIDE kernel vs the per-sample reference at identical weights.
+
+The kernel evaluates every sample's sampled-softmax gradient at the
+chunk-start weights and applies them in one batched update. The reference
+below does exactly that with the original per-sample numpy code, so the two
+must agree to fp32 accumulation tolerance (different summation orders).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.slide.lsh import SimHashLSH
+from repro.baselines.slide.sampler import ActiveLabelSampler
+from repro.perf.slide_kernel import slide_chunk_step
+from repro.perf.workspace import Workspace
+
+
+def make_problem(chunk=32, F=150, H=24, L=80, seed=0, empty_row=None):
+    rng = np.random.default_rng(seed)
+    Xc = sp.random(
+        chunk, F, density=0.08, format="csr", dtype=np.float32,
+        random_state=rng,
+    )
+    if empty_row is not None:
+        lil = Xc.tolil()
+        lil[empty_row] = 0
+        Xc = lil.tocsr()
+    Xc.sum_duplicates()
+    Xc.sort_indices()
+    W1 = rng.normal(scale=0.2, size=(F, H)).astype(np.float32)
+    b1 = rng.normal(scale=0.05, size=H).astype(np.float32)
+    W2 = rng.normal(scale=0.2, size=(H, L)).astype(np.float32)
+    b2 = rng.normal(scale=0.05, size=L).astype(np.float32)
+    label_sets = [
+        np.sort(rng.choice(L, size=rng.integers(1, 4), replace=False))
+        for _ in range(chunk)
+    ]
+    return Xc, W1, b1, W2, b2, label_sets
+
+
+def reference_chunk(Xc, H1, label_sets, actives, W1, b1, W2, b2, lr):
+    """Per-sample reference: every gradient at chunk-start weights."""
+    lr = np.float32(lr)
+    W1_0, b1_0, W2_0, b2_0 = W1.copy(), b1.copy(), W2.copy(), b2.copy()
+    dW1 = np.zeros_like(W1)
+    db1 = np.zeros_like(b1)
+    dW2 = np.zeros_like(W2)
+    db2 = np.zeros_like(b2)
+    loss_sum = 0.0
+    for i, active in enumerate(actives):
+        start, stop = Xc.indptr[i], Xc.indptr[i + 1]
+        cols = Xc.indices[start:stop]
+        vals = Xc.data[start:stop]
+        h1 = H1[i]
+        k = label_sets[i].size
+
+        logits = h1 @ W2_0[:, active] + b2_0[active]
+        logits = logits - logits.max()
+        p = np.exp(logits)
+        p /= p.sum()
+        loss_sum += float(-np.log(np.maximum(p[:k], 1e-30)).mean())
+
+        dlog = p.copy()
+        dlog[:k] -= np.float32(1.0 / k)
+        dh = W2_0[:, active] @ dlog
+        dz1 = dh * (h1 > 0.0)
+        np.add.at(dW2, (slice(None), active), np.outer(h1, dlog))
+        np.add.at(db2, active, dlog)
+        dW1[cols] += np.outer(vals, dz1)
+        db1 += dz1
+    W1 -= lr * dW1
+    b1 -= lr * db1
+    W2 -= lr * dW2
+    b2 -= lr * db2
+    return loss_sum
+
+
+def run_both(chunk=32, seed=0, lr=0.01, empty_row=None, workspace=None):
+    Xc, W1, b1, W2, b2, label_sets = make_problem(
+        chunk=chunk, seed=seed, empty_row=empty_row
+    )
+    H1 = np.maximum(np.asarray(Xc @ W1) + b1, 0.0).astype(np.float32)
+
+    lsh = SimHashLSH(W1.shape[1], n_tables=8, n_bits=5, seed=seed)
+    lsh.rebuild(W2)
+    sampler = ActiveLabelSampler(
+        W2.shape[1], lsh, min_active=16, max_active=40, seed=seed
+    )
+    actives = sampler.sample_batch(H1, label_sets)
+    label_counts = np.array([ls.size for ls in label_sets], dtype=np.int64)
+
+    # Reference on copies, kernel on the originals.
+    W1r, b1r, W2r, b2r = W1.copy(), b1.copy(), W2.copy(), b2.copy()
+    loss_ref = reference_chunk(
+        Xc, H1, label_sets, actives, W1r, b1r, W2r, b2r, lr
+    )
+    loss_ker = slide_chunk_step(
+        Xc, H1.copy(), label_counts, actives, W1, b1, W2, b2, lr,
+        workspace=workspace,
+    )
+    return (loss_ref, W1r, b1r, W2r, b2r), (loss_ker, W1, b1, W2, b2)
+
+
+def assert_close(ref, ker):
+    loss_ref, W1r, b1r, W2r, b2r = ref
+    loss_ker, W1, b1, W2, b2 = ker
+    assert loss_ker == pytest.approx(loss_ref, rel=1e-4)
+    np.testing.assert_allclose(W1, W1r, rtol=1e-4, atol=1e-6)
+    np.testing.assert_allclose(b1, b1r, rtol=1e-4, atol=1e-6)
+    np.testing.assert_allclose(W2, W2r, rtol=1e-4, atol=1e-6)
+    np.testing.assert_allclose(b2, b2r, rtol=1e-4, atol=1e-6)
+
+
+class TestSlideChunkStep:
+    def test_matches_per_sample_reference(self):
+        ref, ker = run_both(chunk=32, seed=1)
+        assert_close(ref, ker)
+
+    def test_single_sample_chunk(self):
+        ref, ker = run_both(chunk=1, seed=2)
+        assert_close(ref, ker)
+
+    def test_empty_feature_row(self):
+        ref, ker = run_both(chunk=16, seed=3, empty_row=5)
+        assert_close(ref, ker)
+
+    def test_with_workspace(self):
+        ref, ker = run_both(chunk=24, seed=4, workspace=Workspace())
+        assert_close(ref, ker)
+
+    def test_larger_lr_still_matches(self):
+        ref, ker = run_both(chunk=32, seed=5, lr=0.05)
+        assert_close(ref, ker)
+
+    def test_sample_batch_matches_per_sample_sampling(self):
+        """Batched active-set construction replays the per-sample RNG."""
+        Xc, W1, b1, W2, b2, label_sets = make_problem(seed=6)
+        H1 = np.maximum(np.asarray(Xc @ W1) + b1, 0.0).astype(np.float32)
+        lsh = SimHashLSH(W1.shape[1], n_tables=8, n_bits=5, seed=6)
+        lsh.rebuild(W2)
+        batched = ActiveLabelSampler(
+            W2.shape[1], lsh, min_active=16, max_active=40, seed=7
+        ).sample_batch(H1, label_sets)
+        singly = ActiveLabelSampler(
+            W2.shape[1], lsh, min_active=16, max_active=40, seed=7
+        )
+        for i, ls in enumerate(label_sets):
+            assert np.array_equal(batched[i], singly.sample(H1[i], ls))
