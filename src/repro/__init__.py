@@ -33,14 +33,16 @@ Quickstart::
     print(trace.best_accuracy, trace.time_to_accuracy(0.5))
 """
 
+from repro.api import make_trainer, register_trainer, trainer_names
 from repro.core.adaptive import AdaptiveSGDTrainer
 from repro.core.config import AdaptiveSGDConfig
 from repro.data.registry import dataset_names, load_task
 from repro.gpu.cluster import make_server
 from repro.harness.experiment import ALGORITHMS, ExperimentSpec, run_experiment
 from repro.harness.traces import TrainingTrace
+from repro.telemetry import Telemetry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AdaptiveSGDTrainer",
@@ -48,6 +50,10 @@ __all__ = [
     "dataset_names",
     "load_task",
     "make_server",
+    "make_trainer",
+    "register_trainer",
+    "trainer_names",
+    "Telemetry",
     "ALGORITHMS",
     "ExperimentSpec",
     "run_experiment",

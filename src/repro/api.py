@@ -1,0 +1,188 @@
+"""The unified trainer construction API.
+
+Every training algorithm in the reproduction is registered here under the
+name the paper's figures use, and :func:`make_trainer` is the one front door
+that builds any of them under the shared §V-A methodology (same initial
+model, same evaluation subset, same hardware builder) with an optional
+telemetry recorder attached::
+
+    from repro import ExperimentSpec, make_trainer
+    from repro.telemetry import Telemetry
+
+    tel = Telemetry()
+    spec = ExperimentSpec(dataset="micro", time_budget_s=0.05)
+    trainer = make_trainer("adaptive", spec, telemetry=tel)
+    trace = trainer.run(time_budget_s=spec.time_budget_s)
+
+The direct constructors (``AdaptiveSGDTrainer(task, server, config)`` etc.)
+keep working — they and :func:`make_trainer` produce bit-identical runs for
+the same seeds (parity-tested). ``make_trainer`` adds name-based selection,
+spec-driven defaults, early validation of unknown options, and uniform
+handling of deprecated keyword spellings.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Dict, Iterable, List, Optional, Type
+
+from repro.baselines.async_sgd import AsyncSGDTrainer
+from repro.baselines.crossbow import CrossbowTrainer
+from repro.baselines.elastic import ElasticSGDTrainer
+from repro.baselines.minibatch import MiniBatchSGDTrainer
+from repro.baselines.slide.trainer import SlideTrainer
+from repro.baselines.sync_sgd import SyncSGDTrainer
+from repro.core.adaptive import AdaptiveSGDTrainer
+from repro.data.dataset import XMLTask
+from repro.exceptions import ConfigurationError
+from repro.gpu.cluster import MultiGPUServer
+from repro.harness.trainer_base import TrainerBase
+from repro.telemetry import Telemetry
+
+__all__ = [
+    "TRAINER_REGISTRY",
+    "register_trainer",
+    "trainer_names",
+    "trainer_class",
+    "make_trainer",
+]
+
+#: Paper-figure algorithm names -> trainer classes. Mutate only through
+#: :func:`register_trainer` (exported as ``ALGORITHMS`` for compatibility).
+TRAINER_REGISTRY: Dict[str, Type[TrainerBase]] = {}
+
+#: Deprecated constructor-keyword spellings still accepted per class (the
+#: classes themselves emit the DeprecationWarning and remap the value).
+_DEPRECATED_KWARGS: Dict[str, Dict[str, str]] = {}
+
+
+def register_trainer(
+    name: str,
+    cls: Type[TrainerBase],
+    *,
+    deprecated_kwargs: Optional[Dict[str, str]] = None,
+    overwrite: bool = False,
+) -> Type[TrainerBase]:
+    """Register ``cls`` under ``name`` for :func:`make_trainer`.
+
+    ``deprecated_kwargs`` maps old keyword spellings to their current names
+    so option validation accepts both. Returns ``cls`` (usable as a
+    decorator factory for downstream extensions).
+    """
+    if not name:
+        raise ConfigurationError("trainer name must be non-empty")
+    if not (isinstance(cls, type) and issubclass(cls, TrainerBase)):
+        raise ConfigurationError(
+            f"trainer {name!r} must be a TrainerBase subclass, got {cls!r}"
+        )
+    if name in TRAINER_REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"trainer {name!r} is already registered "
+            f"({TRAINER_REGISTRY[name].__name__}); pass overwrite=True"
+        )
+    TRAINER_REGISTRY[name] = cls
+    _DEPRECATED_KWARGS[name] = dict(deprecated_kwargs or {})
+    return cls
+
+
+def trainer_names() -> List[str]:
+    """Registered algorithm names, in registration order."""
+    return list(TRAINER_REGISTRY)
+
+
+def trainer_class(name: str) -> Type[TrainerBase]:
+    """The trainer class registered under ``name``."""
+    try:
+        return TRAINER_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown trainer {name!r}; available: {trainer_names()}"
+        ) from None
+
+
+def _accepted_options(cls: Type[TrainerBase]) -> Iterable[str]:
+    """Keyword options ``cls(task, server, config, **options)`` accepts.
+
+    Union of the subclass's own keywords and :class:`TrainerBase`'s (every
+    trainer forwards ``**kwargs`` to ``super().__init__``).
+    """
+    skip = {"self", "task", "server", "config", "kwargs", "args"}
+    for owner in (cls, TrainerBase):
+        for pname, param in inspect.signature(owner.__init__).parameters.items():
+            if pname in skip or param.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            yield pname
+
+
+def make_trainer(
+    name: str,
+    spec=None,
+    *,
+    task: Optional[XMLTask] = None,
+    server: Optional[MultiGPUServer] = None,
+    n_gpus: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+    **options,
+) -> TrainerBase:
+    """Build the trainer registered under ``name``.
+
+    ``spec`` (an :class:`~repro.harness.experiment.ExperimentSpec`, default
+    constructed when omitted) supplies the methodology: the dataset, the
+    hardware builder, the hyperparameter config, seeds, and the evaluation
+    subset. ``task`` / ``server`` override the spec-built ones (pass both to
+    skip dataset generation and server construction entirely); ``n_gpus``
+    sizes the spec-built server (default: the spec's first grid entry).
+    Remaining ``options`` go to the trainer constructor and are validated
+    against its signature up front.
+    """
+    cls = trainer_class(name)
+    if spec is None:
+        # Deferred: repro.harness.experiment imports this module.
+        from repro.harness.experiment import ExperimentSpec
+
+        spec = ExperimentSpec()
+    unknown = [
+        k for k in options
+        if k not in set(_accepted_options(cls))
+        and k not in _DEPRECATED_KWARGS.get(name, {})
+    ]
+    if unknown:
+        raise ConfigurationError(
+            f"trainer {name!r} ({cls.__name__}) got unknown option(s) "
+            f"{sorted(unknown)}; accepted: {sorted(set(_accepted_options(cls)))}"
+        )
+    if task is None:
+        from repro.data.registry import load_task
+
+        task = load_task(spec.dataset, seed=spec.seed)
+    if server is None:
+        if n_gpus is None:
+            n_gpus = spec.gpu_counts[0]
+        server = spec.build_server(n_gpus)
+    kwargs = dict(
+        hidden=spec.hidden,
+        init_seed=spec.seed,
+        data_seed=spec.seed,
+        eval_samples=spec.eval_samples,
+        telemetry=telemetry,
+    )
+    kwargs.update(options)  # explicit options beat spec-derived defaults
+    return cls(task, server, spec.config, **kwargs)
+
+
+# -- the built-in algorithms (names match the paper's figures) ---------------
+register_trainer(
+    "adaptive", AdaptiveSGDTrainer,
+    deprecated_kwargs={"use_governor": "governor"},
+)
+register_trainer("elastic", ElasticSGDTrainer)
+register_trainer("tensorflow", SyncSGDTrainer)
+register_trainer(
+    "crossbow", CrossbowTrainer, deprecated_kwargs={"mu": "elasticity"}
+)
+register_trainer("slide", SlideTrainer)
+register_trainer("async", AsyncSGDTrainer)
+register_trainer("minibatch", MiniBatchSGDTrainer)

@@ -22,6 +22,7 @@ from repro.harness.trainer_base import TrainerBase
 from repro.harness.traces import TrainingTrace
 from repro.sim.environment import Environment
 from repro.sparse.optimizer import sgd_step
+from repro.telemetry.events import COUNTER_UPDATES, SPAN_STEP
 
 __all__ = ["AsyncSGDTrainer"]
 
@@ -38,8 +39,7 @@ class AsyncSGDTrainer(TrainerBase):
         config: AdaptiveSGDConfig,
         **kwargs,
     ) -> None:
-        super().__init__(task, server, **kwargs)
-        self.config = config
+        super().__init__(task, server, config, **kwargs)
 
     def _execute(self, env: Environment, time_budget_s: float) -> TrainingTrace:
         n = self.server.n_gpus
@@ -54,6 +54,8 @@ class AsyncSGDTrainer(TrainerBase):
         counters = {"updates": 0, "loss_sum": 0.0, "loss_count": 0}
         stop = {"flag": False}
 
+        tel = self.telemetry
+
         def worker(gpu_id: int):
             gpu = self.server.gpus[gpu_id]
             while not stop["flag"]:
@@ -63,21 +65,26 @@ class AsyncSGDTrainer(TrainerBase):
                 snapshot = shared.copy()
                 work = StepWorkload(batch.size, batch.nnz, layer_dims)
                 dt = gpu.step_time(work, env.now, n_active_gpus=n)
-                yield env.timeout(dt)
-                gpu.record_busy(dt, start=env.now - dt)
-                loss, grad = self.mlp.loss_and_grad(
-                    batch, snapshot, grad_out=grads[gpu_id],
-                    workspace=self.workspace,
-                )
-                # ...and applied to whatever the shared model is *now* —
-                # that gap is the staleness.
-                sgd_step(shared, grad, cfg.base_lr)
+                with tel.span(
+                    SPAN_STEP, device=gpu_id, size=batch.size, nnz=batch.nnz
+                ):
+                    yield env.timeout(dt)
+                    gpu.record_busy(dt, start=env.now - dt)
+                    loss, grad = self.mlp.loss_and_grad(
+                        batch, snapshot, grad_out=grads[gpu_id],
+                        workspace=self.workspace,
+                    )
+                    # ...and applied to whatever the shared model is *now* —
+                    # that gap is the staleness.
+                    sgd_step(shared, grad, cfg.base_lr)
+                tel.counter(COUNTER_UPDATES, 1, device=gpu_id)
                 counters["updates"] += 1
                 counters["loss_sum"] += loss
                 counters["loss_count"] += 1
             return gpu_id
 
         def driver():
+            self.record_device_controls([cfg.b_max] * n, [cfg.base_lr] * n)
             self.record_checkpoint(
                 trace, env, epochs=0.0, updates=0, samples=0,
                 state=shared, loss=float("nan"),
@@ -101,6 +108,9 @@ class AsyncSGDTrainer(TrainerBase):
                 )
                 counters["loss_sum"] = 0.0
                 counters["loss_count"] = 0
+                self.record_device_controls(
+                    [cfg.b_max] * n, [cfg.base_lr] * n
+                )
                 self.record_checkpoint(
                     trace, env,
                     epochs=cursor.epochs_completed,

@@ -36,7 +36,13 @@ from repro.harness.trainer_base import TrainerBase
 from repro.harness.traces import TrainingTrace
 from repro.sim.environment import Environment
 from repro.sparse.model_state import ModelState
-from repro.utils.validation import check_in_range
+from repro.telemetry.events import (
+    COUNTER_UPDATES,
+    SPAN_ALLREDUCE,
+    SPAN_MERGE,
+    SPAN_STEP,
+)
+from repro.utils.validation import check_in_range, resolve_renamed_kwargs
 
 __all__ = ["CrossbowTrainer"]
 
@@ -52,15 +58,23 @@ class CrossbowTrainer(TrainerBase):
         server: MultiGPUServer,
         config: AdaptiveSGDConfig,
         *,
-        mu: float = 0.1,
+        elasticity: float = 0.1,
         allreduce: AllReduceAlgorithm = None,
         **kwargs,
     ) -> None:
-        super().__init__(task, server, **kwargs)
-        self.config = config
-        check_in_range("mu", mu, 0.0, 1.0)
-        self.mu = float(mu)
+        resolve_renamed_kwargs(
+            kwargs, {"mu": "elasticity"}, type(self).__name__
+        )
+        elasticity = kwargs.pop("elasticity", elasticity)
+        super().__init__(task, server, config, **kwargs)
+        check_in_range("elasticity", elasticity, 0.0, 1.0)
+        self.elasticity = float(elasticity)
         self.allreduce = allreduce or RingAllReduce(n_streams=server.n_gpus)
+
+    @property
+    def mu(self) -> float:
+        """Deprecated alias for :attr:`elasticity` (the EASGD ``mu``)."""
+        return self.elasticity
 
     def _execute(self, env: Environment, time_budget_s: float) -> TrainingTrace:
         n = self.server.n_gpus
@@ -75,24 +89,31 @@ class CrossbowTrainer(TrainerBase):
 
         trace = self.new_trace(n)
         trace.metadata["config"] = cfg
-        trace.metadata["mu"] = self.mu
+        trace.metadata["mu"] = self.elasticity
 
         total_updates = 0
         samples_per_checkpoint = cfg.mega_batch_size
+        tel = self.telemetry
 
         def learner_step(gpu_id: int, batch):
             gpu = self.server.gpus[gpu_id]
             work = StepWorkload(batch.size, batch.nnz, layer_dims)
             dt = gpu.step_time(work, env.now, n_active_gpus=n)
-            yield env.timeout(dt)
-            gpu.record_busy(dt, start=env.now - dt)
-            return self.mlp.loss_and_grad(
-                batch, learners[gpu_id], grad_out=grads[gpu_id],
-                workspace=self.workspace,
-            )
+            with tel.span(
+                SPAN_STEP, device=gpu_id, size=batch.size, nnz=batch.nnz
+            ):
+                yield env.timeout(dt)
+                gpu.record_busy(dt, start=env.now - dt)
+                out = self.mlp.loss_and_grad(
+                    batch, learners[gpu_id], grad_out=grads[gpu_id],
+                    workspace=self.workspace,
+                )
+            tel.counter(COUNTER_UPDATES, 1, device=gpu_id)
+            return out
 
         def driver():
             nonlocal total_updates
+            self.record_device_controls([cfg.b_max] * n, [cfg.base_lr] * n)
             self.record_checkpoint(
                 trace, env, epochs=0.0, updates=0, samples=0,
                 state=central, loss=float("nan"),
@@ -106,28 +127,38 @@ class CrossbowTrainer(TrainerBase):
                     for i in range(n)
                 ]
                 results = yield env.all_of(steps)
-                # Correction exchange: one collective over the learner models.
-                timing = self.allreduce.time_seconds(
-                    model_bytes, self.server.topology
-                )
-                if timing.total_s > 0:
-                    yield env.timeout(timing.total_s)
+                with tel.span(SPAN_MERGE, branch="sma"):
+                    # Correction exchange: one collective over the learners.
+                    timing = self.allreduce.time_seconds(
+                        model_bytes, self.server.topology
+                    )
+                    with tel.span(
+                        SPAN_ALLREDUCE,
+                        algorithm=self.allreduce.name,
+                        nbytes=model_bytes,
+                        **timing.to_args(),
+                    ):
+                        if timing.total_s > 0:
+                            yield env.timeout(timing.total_s)
 
-                # SMA update: gradients + elastic corrections, then central.
-                for i, (loss, grad) in enumerate(results):
-                    w = learners[i]
-                    # c_i = mu (w_i - z); applied to both learner and center.
-                    correction = w.vector - central.vector
-                    correction *= self.mu
-                    w.add_scaled(grad, -cfg.base_lr)
-                    w.vector -= correction
-                    central.vector += correction
-                    total_updates += 1
-                    loss_sum += loss
-                    loss_count += 1
+                    # SMA update: gradients + elastic corrections, central.
+                    for i, (loss, grad) in enumerate(results):
+                        w = learners[i]
+                        # c_i = mu (w_i - z); applied to learner and center.
+                        correction = w.vector - central.vector
+                        correction *= self.elasticity
+                        w.add_scaled(grad, -cfg.base_lr)
+                        w.vector -= correction
+                        central.vector += correction
+                        total_updates += 1
+                        loss_sum += loss
+                        loss_count += 1
 
                 if cursor.samples_served >= next_checkpoint:
                     next_checkpoint += samples_per_checkpoint
+                    self.record_device_controls(
+                        [cfg.b_max] * n, [cfg.base_lr] * n
+                    )
                     self.record_checkpoint(
                         trace, env,
                         epochs=cursor.epochs_completed,

@@ -29,6 +29,14 @@ from repro.harness.traces import TrainingTrace
 from repro.sim.environment import Environment
 from repro.sparse.model_state import ModelState
 from repro.sparse.optimizer import sgd_step
+from repro.telemetry.events import (
+    COUNTER_UPDATES,
+    GAUGE_STALENESS,
+    SPAN_ALLREDUCE,
+    SPAN_MERGE,
+    SPAN_STEP,
+    SPAN_TRANSFER,
+)
 
 __all__ = ["ElasticSGDTrainer"]
 
@@ -47,8 +55,7 @@ class ElasticSGDTrainer(TrainerBase):
         allreduce: AllReduceAlgorithm = None,
         **kwargs,
     ) -> None:
-        super().__init__(task, server, **kwargs)
-        self.config = config
+        super().__init__(task, server, config, **kwargs)
         self.allreduce = allreduce or RingAllReduce(n_streams=server.n_gpus)
 
     def _execute(self, env: Environment, time_budget_s: float) -> TrainingTrace:
@@ -77,28 +84,36 @@ class ElasticSGDTrainer(TrainerBase):
         total_updates = 0
         loss_acc = {"sum": 0.0, "count": 0}
 
+        tel = self.telemetry
+
         def worker(gpu_id: int):
             nonlocal total_updates
             gpu = self.server.gpus[gpu_id]
-            yield env.timeout(gpu.model_transfer_time(model_bytes))
+            with tel.span(SPAN_TRANSFER, device=gpu_id, nbytes=model_bytes):
+                yield env.timeout(gpu.model_transfer_time(model_bytes))
             for _ in range(batches_per_gpu):
                 # Static partitioning: batch size never adapts.
                 batch = cursor.next_batch(cfg.b_max)
                 work = StepWorkload(batch.size, batch.nnz, layer_dims)
                 dt = gpu.step_time(work, env.now, n_active_gpus=n)
-                yield env.timeout(dt)
-                gpu.record_busy(dt, start=env.now - dt)
-                loss, grad = self.mlp.loss_and_grad(
-                    batch, replicas[gpu_id], grad_out=grads[gpu_id],
-                    workspace=self.workspace,
-                )
-                sgd_step(replicas[gpu_id], grad, cfg.base_lr)
+                with tel.span(
+                    SPAN_STEP, device=gpu_id, size=batch.size, nnz=batch.nnz
+                ):
+                    yield env.timeout(dt)
+                    gpu.record_busy(dt, start=env.now - dt)
+                    loss, grad = self.mlp.loss_and_grad(
+                        batch, replicas[gpu_id], grad_out=grads[gpu_id],
+                        workspace=self.workspace,
+                    )
+                    sgd_step(replicas[gpu_id], grad, cfg.base_lr)
+                tel.counter(COUNTER_UPDATES, 1, device=gpu_id)
                 loss_acc["sum"] += loss
                 loss_acc["count"] += 1
                 total_updates += 1
             return gpu_id
 
         def driver():
+            self.record_device_controls([cfg.b_max] * n, [cfg.base_lr] * n)
             self.record_checkpoint(
                 trace, env, epochs=0.0, updates=0, samples=0,
                 state=global_model, loss=float("nan"),
@@ -110,19 +125,32 @@ class ElasticSGDTrainer(TrainerBase):
                 ]
                 # The merge barrier: wait for the slowest GPU.
                 yield env.all_of(workers)
-                timing = self.allreduce.time_seconds(
-                    model_bytes, self.server.topology
-                )
-                if timing.total_s > 0:
-                    yield env.timeout(timing.total_s)
-                reduced_vec = self.allreduce.reduce(
-                    [r.vector for r in replicas], uniform.alphas,
-                    work=reduce_work,
-                )
-                merge_models(
-                    replicas, uniform, global_model, prev_global,
-                    gamma=cfg.gamma,
-                    reduced=ModelState.from_vector(global_model.spec, reduced_vec),
+                tel.gauge(GAUGE_STALENESS, 0)
+                with tel.span(SPAN_MERGE, branch="uniform"):
+                    timing = self.allreduce.time_seconds(
+                        model_bytes, self.server.topology
+                    )
+                    with tel.span(
+                        SPAN_ALLREDUCE,
+                        algorithm=self.allreduce.name,
+                        nbytes=model_bytes,
+                        **timing.to_args(),
+                    ):
+                        if timing.total_s > 0:
+                            yield env.timeout(timing.total_s)
+                        reduced_vec = self.allreduce.reduce(
+                            [r.vector for r in replicas], uniform.alphas,
+                            work=reduce_work,
+                        )
+                    merge_models(
+                        replicas, uniform, global_model, prev_global,
+                        gamma=cfg.gamma,
+                        reduced=ModelState.from_vector(
+                            global_model.spec, reduced_vec
+                        ),
+                    )
+                self.record_device_controls(
+                    [cfg.b_max] * n, [cfg.base_lr] * n
                 )
                 trace.batch_size_history.append(tuple([cfg.b_max] * n))
                 trace.perturbation_history.append(False)

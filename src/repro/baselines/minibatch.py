@@ -17,6 +17,7 @@ from repro.harness.trainer_base import TrainerBase
 from repro.harness.traces import TrainingTrace
 from repro.sim.environment import Environment
 from repro.sparse.optimizer import sgd_step
+from repro.telemetry.events import COUNTER_UPDATES, SPAN_STEP
 
 __all__ = ["MiniBatchSGDTrainer"]
 
@@ -33,8 +34,7 @@ class MiniBatchSGDTrainer(TrainerBase):
         config: AdaptiveSGDConfig,
         **kwargs,
     ) -> None:
-        super().__init__(task, server, **kwargs)
-        self.config = config
+        super().__init__(task, server, config, **kwargs)
 
     def _execute(self, env: Environment, time_budget_s: float) -> TrainingTrace:
         cfg = self.config
@@ -47,6 +47,7 @@ class MiniBatchSGDTrainer(TrainerBase):
         trace.metadata["config"] = cfg
 
         def driver():
+            self.record_device_controls([cfg.b_max], [cfg.base_lr])
             self.record_checkpoint(
                 trace, env, epochs=0.0, updates=0, samples=0,
                 state=state, loss=float("nan"),
@@ -54,21 +55,27 @@ class MiniBatchSGDTrainer(TrainerBase):
             updates = 0
             loss_sum, loss_count = 0.0, 0
             next_checkpoint = cfg.mega_batch_size
+            tel = self.telemetry
             while env.now < time_budget_s:
                 batch = cursor.next_batch(cfg.b_max)
                 work = StepWorkload(batch.size, batch.nnz, layer_dims)
                 dt = gpu.step_time(work, env.now, n_active_gpus=1)
-                yield env.timeout(dt)
-                gpu.record_busy(dt, start=env.now - dt)
-                loss, g = self.mlp.loss_and_grad(
-                    batch, state, grad_out=grad, workspace=self.workspace
-                )
-                sgd_step(state, g, cfg.base_lr)
+                with tel.span(
+                    SPAN_STEP, device=0, size=batch.size, nnz=batch.nnz
+                ):
+                    yield env.timeout(dt)
+                    gpu.record_busy(dt, start=env.now - dt)
+                    loss, g = self.mlp.loss_and_grad(
+                        batch, state, grad_out=grad, workspace=self.workspace
+                    )
+                    sgd_step(state, g, cfg.base_lr)
+                tel.counter(COUNTER_UPDATES, 1, device=0)
                 updates += 1
                 loss_sum += loss
                 loss_count += 1
                 if cursor.samples_served >= next_checkpoint:
                     next_checkpoint += cfg.mega_batch_size
+                    self.record_device_controls([cfg.b_max], [cfg.base_lr])
                     self.record_checkpoint(
                         trace, env,
                         epochs=cursor.epochs_completed,

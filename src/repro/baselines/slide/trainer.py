@@ -36,6 +36,11 @@ from repro.perf.slide_kernel import slide_chunk_step
 from repro.perf.workspace import Workspace, spmm_into
 from repro.sim.environment import Environment
 from repro.sparse.ops import estimate_step_flops
+from repro.telemetry.events import (
+    COUNTER_UPDATES,
+    SPAN_LSH_REBUILD,
+    SPAN_STEP,
+)
 from repro.utils.rng import RngFactory
 
 __all__ = ["SlideTrainer"]
@@ -67,8 +72,7 @@ class SlideTrainer(TrainerBase):
         chunk_samples: int = 256,
         **kwargs,
     ) -> None:
-        super().__init__(task, server, **kwargs)
-        self.config = config
+        super().__init__(task, server, config, **kwargs)
         # Per-sample LR: linear scaling rule (batch size 1), clipped to the
         # sampled-softmax stability ceiling.
         self.lr = (
@@ -199,6 +203,8 @@ class SlideTrainer(TrainerBase):
 
         def driver():
             nonlocal samples_done, since_rebuild, loss_sum, loss_count
+            tel = self.telemetry
+            self.record_device_controls([self.chunk_samples], [self.lr])
             self.record_checkpoint(
                 trace, env, epochs=0.0, updates=0, samples=0,
                 state=state, loss=float("nan"),
@@ -214,28 +220,40 @@ class SlideTrainer(TrainerBase):
                     self.rebuild_every - since_rebuild,
                 )
                 rows = take_rows(chunk)
-                chunk_loss, nnz_total = train_chunk(rows)
-                loss_sum += chunk_loss
-                loss_count += chunk
-                since_rebuild += chunk
-                samples_done += chunk
-                # Price the chunk: mean per-sample flops across the chunk.
-                flops = estimate_step_flops(
-                    1, max(1, nnz_total // max(chunk, 1)), layer_dims,
-                    active_labels=self.max_active,
-                )
-                per_sample = flops["sparse"] + flops["dense"] + flops["update"]
-                dt = cpu.samples_time(per_sample, chunk)
-                cpu.record_busy(dt)
-                yield env.timeout(dt)
+                # The CPU is SLIDE's single compute device: device=0.
+                with tel.span(SPAN_STEP, device=0, size=chunk, nnz=None) as sp:
+                    chunk_loss, nnz_total = train_chunk(rows)
+                    sp.args["nnz"] = int(nnz_total)
+                    loss_sum += chunk_loss
+                    loss_count += chunk
+                    since_rebuild += chunk
+                    samples_done += chunk
+                    # Price the chunk: mean per-sample flops across the chunk.
+                    flops = estimate_step_flops(
+                        1, max(1, nnz_total // max(chunk, 1)), layer_dims,
+                        active_labels=self.max_active,
+                    )
+                    per_sample = (
+                        flops["sparse"] + flops["dense"] + flops["update"]
+                    )
+                    dt = cpu.samples_time(per_sample, chunk)
+                    cpu.record_busy(dt)
+                    yield env.timeout(dt)
+                # SLIDE applies one model update per sample.
+                tel.counter(COUNTER_UPDATES, chunk, device=0)
 
                 if since_rebuild >= self.rebuild_every:
                     since_rebuild = 0
-                    lsh.rebuild(W2)
-                    yield env.timeout(self._rebuild_time())
+                    with tel.span(
+                        SPAN_LSH_REBUILD, device=0,
+                        n_tables=self.n_tables, n_bits=self.n_bits,
+                    ):
+                        lsh.rebuild(W2)
+                        yield env.timeout(self._rebuild_time())
 
                 if samples_done >= next_checkpoint:
                     next_checkpoint += samples_per_checkpoint
+                    self.record_device_controls([self.chunk_samples], [self.lr])
                     self.record_checkpoint(
                         trace, env,
                         epochs=samples_done / train.n_samples,

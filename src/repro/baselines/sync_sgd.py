@@ -37,6 +37,12 @@ from repro.harness.traces import TrainingTrace
 from repro.sim.environment import Environment
 from repro.sparse.model_state import ModelState, weighted_average
 from repro.sparse.optimizer import sgd_step
+from repro.telemetry.events import (
+    COUNTER_UPDATES,
+    SPAN_ALLREDUCE,
+    SPAN_MERGE,
+    SPAN_STEP,
+)
 
 __all__ = ["SyncSGDTrainer"]
 
@@ -59,8 +65,7 @@ class SyncSGDTrainer(TrainerBase):
         strategy: str = "mirrored",
         **kwargs,
     ) -> None:
-        super().__init__(task, server, **kwargs)
-        self.config = config
+        super().__init__(task, server, config, **kwargs)
         # Mirrored NCCL-style aggregation: single-stream collective.
         self.allreduce = allreduce or TreeAllReduce()
         if framework_overhead < 1.0:
@@ -112,20 +117,29 @@ class SyncSGDTrainer(TrainerBase):
         total_updates = 0
         samples_per_checkpoint = cfg.mega_batch_size
 
+        tel = self.telemetry
+
         def gpu_step(gpu_id: int, batch):
             """One shard's gradient computation (a simulation process)."""
             gpu = self.server.gpus[gpu_id]
             work = StepWorkload(batch.size, batch.nnz, layer_dims)
             dt = gpu.step_time(work, env.now, n_active_gpus=n)
             dt *= self.framework_overhead
-            yield env.timeout(dt)
-            gpu.record_busy(dt, start=env.now - dt)
-            return self.mlp.loss_and_grad(
-                batch, model, grad_out=grads[gpu_id], workspace=self.workspace
-            )
+            with tel.span(
+                SPAN_STEP, device=gpu_id, size=batch.size, nnz=batch.nnz
+            ):
+                yield env.timeout(dt)
+                gpu.record_busy(dt, start=env.now - dt)
+                out = self.mlp.loss_and_grad(
+                    batch, model, grad_out=grads[gpu_id],
+                    workspace=self.workspace,
+                )
+            tel.counter(COUNTER_UPDATES, 1, device=gpu_id)
+            return out
 
         def driver():
             nonlocal total_updates
+            self.record_device_controls([shard] * n, [cfg.base_lr] * n)
             self.record_checkpoint(
                 trace, env, epochs=0.0, updates=0, samples=0,
                 state=model, loss=float("nan"),
@@ -141,21 +155,33 @@ class SyncSGDTrainer(TrainerBase):
                 # Per-batch barrier: the step takes as long as its slowest shard.
                 results = yield env.all_of(steps)
                 # Per-batch gradient synchronization (strategy-dependent).
-                sync = self._sync_time(model_bytes)
-                if sync > 0:
-                    yield env.timeout(sync)
-                # Average the shard gradients (they cover equal sample counts)
-                # and apply the identical update on every (mirrored) replica.
-                grad = weighted_average(
-                    [g for _, g in results], [1.0 / n] * n
-                )
-                sgd_step(model, grad, cfg.base_lr)
+                with tel.span(SPAN_MERGE, strategy=self.strategy):
+                    sync = self._sync_time(model_bytes)
+                    with tel.span(
+                        SPAN_ALLREDUCE,
+                        algorithm=self.allreduce.name
+                        if self.strategy == "mirrored" else "host-aggregate",
+                        nbytes=model_bytes,
+                        total_s=sync,
+                    ):
+                        if sync > 0:
+                            yield env.timeout(sync)
+                    # Average the shard gradients (they cover equal sample
+                    # counts) and apply the identical update on every
+                    # (mirrored) replica.
+                    grad = weighted_average(
+                        [g for _, g in results], [1.0 / n] * n
+                    )
+                    sgd_step(model, grad, cfg.base_lr)
                 total_updates += 1
                 loss_sum += sum(loss for loss, _ in results) / n
                 loss_count += 1
 
                 if cursor.samples_served >= next_checkpoint:
                     next_checkpoint += samples_per_checkpoint
+                    self.record_device_controls(
+                        [shard] * n, [cfg.base_lr] * n
+                    )
                     self.record_checkpoint(
                         trace, env,
                         epochs=cursor.epochs_completed,

@@ -10,13 +10,20 @@ Every paper artifact is reachable from the shell without writing code:
 - ``python -m repro fig6`` — batch-scaling / perturbation telemetry;
 - ``python -m repro allreduce`` — the §IV merge comparison;
 - ``python -m repro train`` — one Adaptive SGD run with a trace summary,
-  optionally saved with ``--save <stem>``.
+  optionally saved with ``--save <stem>``;
+- ``python -m repro trace`` — run a grid with telemetry enabled and export
+  a Chrome/Perfetto timeline + JSONL event stream + summary tables.
+
+Time budgets use the canonical ``--time-budget-s`` flag (matching the
+Python API's ``time_budget_s`` keyword); the old ``--budget`` spelling is a
+deprecated alias.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional
 
 from repro.data.registry import dataset_names
@@ -40,6 +47,29 @@ from repro.harness.report import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+class _BudgetAction(argparse.Action):
+    """Store the time budget; warn when set via the deprecated spelling."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string == "--budget":
+            warnings.warn(
+                "--budget is deprecated; use --time-budget-s",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        setattr(namespace, self.dest, values)
+
+
+def _add_time_budget(p: argparse.ArgumentParser, default: float) -> None:
+    """The canonical ``--time-budget-s`` flag (+ deprecated ``--budget``)."""
+    p.add_argument(
+        "--time-budget-s", "--budget",
+        dest="time_budget_s", type=float, default=default,
+        action=_BudgetAction, metavar="SECONDS",
+        help="simulated seconds per run (deprecated alias: --budget)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,14 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--dataset", default="amazon670k-bench",
                        choices=dataset_names())
-        p.add_argument("--budget", type=float, default=0.3)
+        _add_time_budget(p, 0.3)
         p.add_argument("--gpus", type=int, nargs="+", default=[1, 2, 4])
         p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("fig6", help="batch scaling + perturbation telemetry")
     p.add_argument("--dataset", default="amazon670k-bench",
                    choices=dataset_names())
-    p.add_argument("--budget", type=float, default=0.3)
+    _add_time_budget(p, 0.3)
     p.add_argument("--gpus", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
 
@@ -83,11 +113,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("train", help="run Adaptive SGD once")
     p.add_argument("--dataset", default="amazon670k-bench",
                    choices=dataset_names())
-    p.add_argument("--budget", type=float, default=0.3)
+    _add_time_budget(p, 0.3)
     p.add_argument("--gpus", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save", metavar="STEM",
                    help="save the trace as STEM.json + STEM.npz")
+
+    p = sub.add_parser(
+        "trace",
+        help="run a grid with telemetry; export Chrome trace + JSONL",
+    )
+    p.add_argument("--dataset", default="micro", choices=dataset_names())
+    _add_time_budget(p, 0.05)
+    p.add_argument("--gpus", type=int, nargs="+", default=[4])
+    p.add_argument(
+        "--algorithms", nargs="+", default=["adaptive"],
+        help="algorithm names (see repro.api.trainer_names)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out", metavar="STEM", default="repro-trace",
+        help="output stem: STEM.trace.json + STEM.telemetry.jsonl",
+    )
     return parser
 
 
@@ -112,7 +159,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fig4":
         traces = fig4_time_to_accuracy(
             args.dataset, gpu_counts=tuple(args.gpus),
-            time_budget_s=args.budget, seed=args.seed,
+            time_budget_s=args.time_budget_s, seed=args.seed,
         )
         print(render_tta_curves(traces, title=f"Figure 4 — {args.dataset}"))
         print()
@@ -122,7 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fig5":
         traces = fig5_scalability(
             args.dataset, gpu_counts=tuple(args.gpus),
-            time_budget_s=args.budget, seed=args.seed,
+            time_budget_s=args.time_budget_s, seed=args.seed,
         )
         print(render_tta_curves(traces, title=f"Figure 5a — {args.dataset}"))
         print()
@@ -133,8 +180,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "fig6":
         result = fig6_adaptivity(
-            args.dataset, n_gpus=args.gpus, time_budget_s=args.budget,
-            seed=args.seed,
+            args.dataset, n_gpus=args.gpus,
+            time_budget_s=args.time_budget_s, seed=args.seed,
         )
         print(render_fig6(result))
         return 0
@@ -144,22 +191,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "train":
-        from repro.core.adaptive import AdaptiveSGDTrainer
-        from repro.data.registry import load_task
-        from repro.gpu.cluster import make_server
-        from repro.gpu.cost import GpuCostParams
+        from repro.api import make_trainer
+        from repro.harness.experiment import ExperimentSpec
         from repro.utils.tables import format_kv
 
-        task = load_task(args.dataset, seed=args.seed)
-        server = make_server(
-            args.gpus, seed=args.seed,
-            cost_params=GpuCostParams.tiny_model_profile(),
+        spec = ExperimentSpec(
+            dataset=args.dataset,
+            algorithms=("adaptive",),
+            gpu_counts=(args.gpus,),
+            time_budget_s=args.time_budget_s,
+            config=default_config_for(args.dataset),
+            seed=args.seed,
         )
-        trainer = AdaptiveSGDTrainer(
-            task, server, default_config_for(args.dataset), hidden=(64,),
-            init_seed=args.seed, data_seed=args.seed, eval_samples=512,
-        )
-        trace = trainer.run(args.budget)
+        trainer = make_trainer("adaptive", spec)
+        trace = trainer.run(time_budget_s=args.time_budget_s)
         print(format_kv({
             "dataset": args.dataset,
             "gpus": args.gpus,
@@ -174,6 +219,37 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             json_path, npz_path = save_trace(trace, args.save)
             print(f"saved: {json_path} {npz_path}")
+        return 0
+
+    if args.command == "trace":
+        from pathlib import Path
+
+        from repro.harness.experiment import ExperimentSpec, run_experiment
+        from repro.harness.report import render_telemetry_summary
+        from repro.telemetry import Telemetry
+        from repro.telemetry.export import write_chrome_trace, write_jsonl
+
+        spec = ExperimentSpec(
+            dataset=args.dataset,
+            algorithms=tuple(args.algorithms),
+            gpu_counts=tuple(args.gpus),
+            time_budget_s=args.time_budget_s,
+            config=default_config_for(args.dataset),
+            seed=args.seed,
+        )
+        tel = Telemetry(label=args.out)
+        run_experiment(spec, telemetry=tel)
+        stem = Path(args.out)
+        chrome = write_chrome_trace(tel, stem.parent / f"{stem.name}.trace.json")
+        jsonl = write_jsonl(tel, stem.parent / f"{stem.name}.telemetry.jsonl")
+        print(render_telemetry_summary(tel))
+        print()
+        print(f"chrome trace: {chrome}")
+        print(f"event stream: {jsonl}")
+        print(
+            "open the trace in Perfetto (https://ui.perfetto.dev) or "
+            "chrome://tracing — one process per run, one thread per device"
+        )
         return 0
 
     return 2  # pragma: no cover - unreachable with required=True

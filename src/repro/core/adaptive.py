@@ -39,6 +39,15 @@ from repro.harness.traces import TrainingTrace
 from repro.sim.environment import Environment
 from repro.sparse.model_state import ModelState
 from repro.sparse.optimizer import sgd_step
+from repro.telemetry.events import (
+    COUNTER_UPDATES,
+    GAUGE_STALENESS,
+    SPAN_ALLREDUCE,
+    SPAN_MERGE,
+    SPAN_STEP,
+    SPAN_TRANSFER,
+)
+from repro.utils.validation import resolve_renamed_kwargs
 
 __all__ = ["AdaptiveSGDTrainer"]
 
@@ -55,16 +64,24 @@ class AdaptiveSGDTrainer(TrainerBase):
         config: AdaptiveSGDConfig,
         *,
         allreduce: Optional[AllReduceAlgorithm] = None,
-        use_governor: bool = False,
+        governor: bool = False,
         **kwargs,
     ) -> None:
-        super().__init__(task, server, **kwargs)
-        self.config = config
+        resolve_renamed_kwargs(
+            kwargs, {"use_governor": "governor"}, type(self).__name__
+        )
+        governor = kwargs.pop("governor", governor)
+        super().__init__(task, server, config, **kwargs)
         # HeteroGPU's production merge: multi-stream ring with one stream
         # per GPU (the empirically optimal partition count, §IV).
         self.allreduce = allreduce or RingAllReduce(n_streams=server.n_gpus)
-        self.use_governor = use_governor
+        self.governor = bool(governor)
         self.staleness = StalenessTracker()
+
+    @property
+    def use_governor(self) -> bool:
+        """Deprecated alias for :attr:`governor`."""
+        return self.governor
 
     # -- the training loop ------------------------------------------------------
     def _execute(self, env: Environment, time_budget_s: float) -> TrainingTrace:
@@ -75,7 +92,8 @@ class AdaptiveSGDTrainer(TrainerBase):
             self.config,
             n,
             seed=self.data_seed,
-            use_governor=self.use_governor,
+            use_governor=self.governor,
+            telemetry=self.telemetry,
         )
         global_model = self.initial_state()
         prev_global = global_model.copy()
@@ -95,13 +113,16 @@ class AdaptiveSGDTrainer(TrainerBase):
         loss_count = 0
         active = {"count": 0}
 
+        tel = self.telemetry
+
         def manager(gpu_id: int):
             nonlocal loss_sum, loss_count, total_updates
             gpu = self.server.gpus[gpu_id]
             active["count"] += 1
             try:
                 # Replica download at the start of the mega-batch.
-                yield env.timeout(gpu.model_transfer_time(model_bytes))
+                with tel.span(SPAN_TRANSFER, device=gpu_id, nbytes=model_bytes):
+                    yield env.timeout(gpu.model_transfer_time(model_bytes))
                 while True:
                     batch = scheduler.try_dispatch(gpu_id)
                     if batch is None:
@@ -110,16 +131,22 @@ class AdaptiveSGDTrainer(TrainerBase):
                     dt = gpu.step_time(
                         work, env.now, n_active_gpus=max(1, active["count"])
                     )
-                    yield env.timeout(dt)
-                    gpu.record_busy(dt, start=env.now - dt)
-                    loss, grad = self.mlp.loss_and_grad(
-                        batch, replicas[gpu_id], grad_out=grads[gpu_id],
-                        workspace=self.workspace,
-                    )
-                    sgd_step(
-                        replicas[gpu_id], grad, scheduler.learning_rates[gpu_id]
-                    )
+                    with tel.span(
+                        SPAN_STEP, device=gpu_id,
+                        size=batch.size, nnz=batch.nnz,
+                    ):
+                        yield env.timeout(dt)
+                        gpu.record_busy(dt, start=env.now - dt)
+                        loss, grad = self.mlp.loss_and_grad(
+                            batch, replicas[gpu_id], grad_out=grads[gpu_id],
+                            workspace=self.workspace,
+                        )
+                        sgd_step(
+                            replicas[gpu_id], grad,
+                            scheduler.learning_rates[gpu_id],
+                        )
                     scheduler.record_completion(gpu_id)
+                    tel.counter(COUNTER_UPDATES, 1, device=gpu_id)
                     loss_sum += loss
                     loss_count += 1
                     total_updates += 1
@@ -128,7 +155,10 @@ class AdaptiveSGDTrainer(TrainerBase):
 
         def driver():
             nonlocal loss_sum, loss_count
-            # Checkpoint 0: the shared initial model.
+            # Checkpoint 0: the shared initial model and initial controls.
+            self.record_device_controls(
+                scheduler.batch_sizes, scheduler.learning_rates
+            )
             self.record_checkpoint(
                 trace, env, epochs=0.0, updates=0, samples=0,
                 state=global_model, loss=float("nan"),
@@ -143,33 +173,47 @@ class AdaptiveSGDTrainer(TrainerBase):
                 # ---- merge stage (Algorithm 2) --------------------------
                 updates = tuple(scheduler.updates)
                 self.staleness.observe(len(trace.batch_size_history), updates)
-                weights = compute_merge_weights(
-                    scheduler.batch_sizes,
-                    updates,
-                    [r.l2_norm_per_param() for r in replicas],
-                    pert_thr=self.config.pert_thr,
-                    delta=self.config.delta,
-                    enable_perturbation=self.config.enable_perturbation,
-                    weighting=self.config.merge_weighting,
-                    renormalize=self.config.renormalize_perturbation,
-                )
-                timing = self.allreduce.time_seconds(
-                    model_bytes, self.server.topology
-                )
-                if timing.total_s > 0:
-                    yield env.timeout(timing.total_s)
-                reduced_vec = self.allreduce.reduce(
-                    [r.vector for r in replicas], weights.alphas,
-                    work=reduce_work,
-                )
-                reduced = ModelState.from_vector(global_model.spec, reduced_vec)
-                merge_models(
-                    replicas, weights, global_model, prev_global,
-                    gamma=self.config.gamma, reduced=reduced,
-                )
+                tel.gauge(GAUGE_STALENESS, max(updates) - min(updates))
+                with tel.span(SPAN_MERGE, branch=None) as merge_span:
+                    weights = compute_merge_weights(
+                        scheduler.batch_sizes,
+                        updates,
+                        [r.l2_norm_per_param() for r in replicas],
+                        pert_thr=self.config.pert_thr,
+                        delta=self.config.delta,
+                        enable_perturbation=self.config.enable_perturbation,
+                        weighting=self.config.merge_weighting,
+                        renormalize=self.config.renormalize_perturbation,
+                    )
+                    merge_span.args["branch"] = weights.branch
+                    timing = self.allreduce.time_seconds(
+                        model_bytes, self.server.topology
+                    )
+                    with tel.span(
+                        SPAN_ALLREDUCE,
+                        algorithm=self.allreduce.name,
+                        nbytes=model_bytes,
+                        **timing.to_args(),
+                    ):
+                        if timing.total_s > 0:
+                            yield env.timeout(timing.total_s)
+                        reduced_vec = self.allreduce.reduce(
+                            [r.vector for r in replicas], weights.alphas,
+                            work=reduce_work,
+                        )
+                    reduced = ModelState.from_vector(
+                        global_model.spec, reduced_vec
+                    )
+                    merge_models(
+                        replicas, weights, global_model, prev_global,
+                        gamma=self.config.gamma, reduced=reduced,
+                    )
 
                 # ---- batch size scaling (Algorithm 1) + bookkeeping ------
                 report = scheduler.mega_batch_boundary()
+                self.record_device_controls(
+                    report.batch_sizes_after, scheduler.learning_rates
+                )
                 trace.batch_size_history.append(report.batch_sizes_before)
                 trace.perturbation_history.append(weights.perturbed)
                 trace.merge_branch_history.append(weights.branch)

@@ -30,6 +30,8 @@ from repro.core.stability import ScalingGovernor, StabilityDetector
 from repro.data.batching import Batch, BatchCursor, MegaBatchAccountant
 from repro.data.dataset import SparseDataset
 from repro.exceptions import ScheduleError
+from repro.telemetry import NULL, Telemetry
+from repro.telemetry.events import EVENT_DISPATCH
 
 __all__ = ["DynamicScheduler", "BoundaryReport"]
 
@@ -58,10 +60,12 @@ class DynamicScheduler:
         *,
         seed: int = 0,
         use_governor: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if n_gpus < 1:
             raise ScheduleError(f"n_gpus must be >= 1, got {n_gpus}")
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else NULL
         self.n_gpus = n_gpus
         self.cursor = BatchCursor(dataset, seed=seed)
         self.accountant = MegaBatchAccountant(config.mega_batch_size)
@@ -92,6 +96,10 @@ class DynamicScheduler:
         batch = self.cursor.next_batch(size)
         self.accountant.charge(batch.size)
         self._dispatched_open[gpu_id] += 1
+        if self.telemetry.enabled:
+            self.telemetry.instant(
+                EVENT_DISPATCH, device=gpu_id, size=batch.size, nnz=batch.nnz
+            )
         return batch
 
     def record_completion(self, gpu_id: int) -> None:

@@ -12,15 +12,9 @@ trainer classes, so benches and examples select methods by string.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.baselines.async_sgd import AsyncSGDTrainer
-from repro.baselines.crossbow import CrossbowTrainer
-from repro.baselines.elastic import ElasticSGDTrainer
-from repro.baselines.minibatch import MiniBatchSGDTrainer
-from repro.baselines.slide.trainer import SlideTrainer
-from repro.baselines.sync_sgd import SyncSGDTrainer
-from repro.core.adaptive import AdaptiveSGDTrainer
+from repro.api import TRAINER_REGISTRY, make_trainer
 from repro.core.config import AdaptiveSGDConfig
 from repro.data.dataset import XMLTask
 from repro.data.registry import load_task
@@ -29,19 +23,13 @@ from repro.gpu.cluster import make_server
 from repro.gpu.cost import CpuCostParams, GpuCostParams
 from repro.harness.trainer_base import TrainerBase
 from repro.harness.traces import TrainingTrace
+from repro.telemetry import Telemetry
 
 __all__ = ["ALGORITHMS", "ExperimentSpec", "RunKey", "run_experiment"]
 
-#: Paper-figure algorithm names -> trainer classes.
-ALGORITHMS: Dict[str, Type[TrainerBase]] = {
-    "adaptive": AdaptiveSGDTrainer,
-    "elastic": ElasticSGDTrainer,
-    "tensorflow": SyncSGDTrainer,
-    "crossbow": CrossbowTrainer,
-    "slide": SlideTrainer,
-    "async": AsyncSGDTrainer,
-    "minibatch": MiniBatchSGDTrainer,
-}
+#: Paper-figure algorithm names -> trainer classes (the live registry of
+#: :mod:`repro.api`; extend it with :func:`repro.api.register_trainer`).
+ALGORITHMS = TRAINER_REGISTRY
 
 RunKey = Tuple[str, int]  # (algorithm name, n_gpus)
 
@@ -101,37 +89,48 @@ class ExperimentSpec:
         )
 
     def build_trainer(
-        self, algorithm: str, task: XMLTask, n_gpus: int
+        self,
+        algorithm: str,
+        task: XMLTask,
+        n_gpus: int,
+        *,
+        telemetry: Optional[Telemetry] = None,
     ) -> TrainerBase:
-        """Instantiate one trainer under the shared methodology."""
-        cls = ALGORITHMS[algorithm]
-        return cls(
-            task,
-            self.build_server(n_gpus),
-            self.config,
-            hidden=self.hidden,
-            init_seed=self.seed,
-            data_seed=self.seed,
-            eval_samples=self.eval_samples,
+        """Instantiate one trainer under the shared methodology.
+
+        Funnels through :func:`repro.api.make_trainer`, the unified
+        construction front door.
+        """
+        return make_trainer(
+            algorithm, self, task=task, n_gpus=n_gpus, telemetry=telemetry
         )
 
 
 def run_experiment(
-    spec: ExperimentSpec, *, task: Optional[XMLTask] = None
+    spec: ExperimentSpec,
+    *,
+    task: Optional[XMLTask] = None,
+    time_budget_s: Optional[float] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[RunKey, TrainingTrace]:
     """Run the full grid; returns ``{(algorithm, n_gpus): trace}``.
 
     The dataset is generated once and shared; every run gets a fresh server
     (device utilization counters are per-run) and the same simulated budget.
     SLIDE is CPU-only, so it runs once (``n_gpus`` recorded as 1) regardless
-    of the GPU grid.
+    of the GPU grid. ``time_budget_s`` overrides the spec's budget;
+    ``telemetry`` records every run of the grid into one recorder (the
+    Chrome exporter shows each run as its own process).
     """
     task = task or load_task(spec.dataset, seed=spec.seed)
+    budget = time_budget_s if time_budget_s is not None else spec.time_budget_s
     results: Dict[RunKey, TrainingTrace] = {}
     for algorithm in spec.algorithms:
         counts: Sequence[int] = spec.gpu_counts if algorithm != "slide" else (1,)
         for n_gpus in counts:
-            trainer = spec.build_trainer(algorithm, task, n_gpus)
-            trace = trainer.run(spec.time_budget_s)
+            trainer = spec.build_trainer(
+                algorithm, task, n_gpus, telemetry=telemetry
+            )
+            trace = trainer.run(time_budget_s=budget)
             results[(algorithm, n_gpus)] = trace
     return results

@@ -21,7 +21,19 @@ __all__ = [
     "render_tta_summary",
     "render_fig6",
     "render_allreduce",
+    "render_telemetry_summary",
 ]
+
+
+def render_telemetry_summary(telemetry) -> str:
+    """Span/kernel summary tables for a telemetry recorder.
+
+    Thin façade over :func:`repro.telemetry.export.summary_table`, kept here
+    so report consumers find all text renderers in one module.
+    """
+    from repro.telemetry.export import summary_table
+
+    return summary_table(telemetry)
 
 
 def render_fig1(rows: Sequence[Mapping[str, float]]) -> str:

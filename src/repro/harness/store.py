@@ -9,12 +9,14 @@ experiment grid saves as a directory with an ``index.json``.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Mapping, Tuple, Union
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import DataFormatError
 from repro.harness.traces import TracePoint, TrainingTrace
+from repro.telemetry import Telemetry
+from repro.telemetry.export import write_chrome_trace, write_jsonl
 from repro.utils.serialization import (
     load_arrays,
     load_json,
@@ -30,9 +32,22 @@ PathLike = Union[str, Path]
 _POINT_FIELDS = ("time_s", "epochs", "updates", "samples", "accuracy", "loss")
 
 
-def save_trace(trace: TrainingTrace, stem: PathLike) -> Tuple[Path, Path]:
-    """Save ``trace`` as ``<stem>.json`` + ``<stem>.npz``; return both paths."""
+def save_trace(
+    trace: TrainingTrace,
+    stem: PathLike,
+    *,
+    telemetry: Optional[Telemetry] = None,
+) -> Tuple[Path, Path]:
+    """Save ``trace`` as ``<stem>.json`` + ``<stem>.npz``; return both paths.
+
+    With ``telemetry``, the recorder's event stream rides along as
+    ``<stem>.telemetry.jsonl`` plus a Chrome/Perfetto-loadable
+    ``<stem>.trace.json``.
+    """
     stem = Path(stem)
+    if telemetry is not None:
+        write_jsonl(telemetry, stem.parent / f"{stem.name}.telemetry.jsonl")
+        write_chrome_trace(telemetry, stem.parent / f"{stem.name}.trace.json")
     meta = {
         "algorithm": trace.algorithm,
         "dataset": trace.dataset,
@@ -101,12 +116,17 @@ def load_trace(stem: PathLike) -> TrainingTrace:
 
 
 def save_result_set(
-    results: Mapping[Tuple[str, int], TrainingTrace], directory: PathLike
+    results: Mapping[Tuple[str, int], TrainingTrace],
+    directory: PathLike,
+    *,
+    telemetry: Optional[Telemetry] = None,
 ) -> Path:
     """Save a ``run_experiment`` result dict into ``directory``.
 
     Each trace goes to ``<algorithm>_<n>gpu.{json,npz}``; an ``index.json``
-    records the key mapping.
+    records the key mapping. With ``telemetry`` (the recorder the whole grid
+    ran through), the set also gets ``telemetry.jsonl`` and a combined
+    ``trace.json`` timeline with one process per run.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -117,6 +137,9 @@ def save_result_set(
         index.append({"algorithm": algorithm, "n_gpus": n_gpus,
                       "stem": stem.name})
     save_json(directory / "index.json", index)
+    if telemetry is not None:
+        write_jsonl(telemetry, directory / "telemetry.jsonl")
+        write_chrome_trace(telemetry, directory / "trace.json")
     return directory
 
 

@@ -9,14 +9,22 @@ The paper's methodology (§V-A) imposes the same protocol on every algorithm:
 
 :class:`TrainerBase` implements that protocol once: it owns the model
 architecture, the shared initializer, the (optionally subsampled) test-set
-evaluator, and trace bookkeeping. Subclasses implement :meth:`_execute`,
-which runs the algorithm on the simulation environment until the time
-budget expires.
+evaluator, trace bookkeeping, and the telemetry stream. Subclasses implement
+:meth:`_execute`, which runs the algorithm on the simulation environment
+until the time budget expires.
+
+Telemetry: every trainer holds ``self.telemetry`` — a
+:class:`repro.telemetry.Telemetry` recorder, or the shared zero-cost
+:data:`repro.telemetry.NULL` sink when none was configured — and emits the
+uniform schema of :mod:`repro.telemetry.events` through it. ``run`` attaches
+the recorder to the fresh simulation clock for the duration of the run.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
+from time import perf_counter
 from typing import Optional, Tuple
 
 import numpy as np
@@ -30,6 +38,15 @@ from repro.sim.environment import Environment
 from repro.sparse.metrics import top1_accuracy
 from repro.sparse.mlp import MLPArchitecture, SparseMLP
 from repro.sparse.model_state import ModelState
+from repro.telemetry import NULL, Telemetry
+from repro.telemetry.events import (
+    EVENT_CHECKPOINT,
+    GAUGE_ACCURACY,
+    GAUGE_BATCH_SIZE,
+    GAUGE_LOSS,
+    GAUGE_LR,
+    SPAN_RUN,
+)
 from repro.utils.rng import RngFactory
 
 __all__ = ["TrainerBase"]
@@ -45,20 +62,26 @@ class TrainerBase(ABC):
         self,
         task: XMLTask,
         server: MultiGPUServer,
+        config=None,
         *,
         hidden: Tuple[int, ...] = (128,),
         init_seed: int = 0,
         data_seed: int = 0,
         eval_samples: Optional[int] = 1024,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.task = task
         self.server = server
+        #: The shared hyperparameter bundle (an ``AdaptiveSGDConfig``).
+        #: Owned here so every trainer exposes one construction surface.
+        self.config = config
         self.arch = MLPArchitecture(
             n_features=task.n_features, n_labels=task.n_labels, hidden=hidden
         )
         self.mlp = SparseMLP(self.arch)
         self.init_seed = init_seed
         self.data_seed = data_seed
+        self.telemetry: Telemetry = telemetry if telemetry is not None else NULL
 
         # Fixed evaluation subset: deterministic, identical across algorithms
         # (they share the task + seed), sized to keep host-side eval cheap.
@@ -119,6 +142,8 @@ class TrainerBase(ABC):
         loss: float,
     ) -> TracePoint:
         """Evaluate ``state`` and append a checkpoint at the current sim time."""
+        tel = self.telemetry
+        host_t0 = perf_counter() if tel.enabled else 0.0
         point = TracePoint(
             time_s=env.now,
             epochs=epochs,
@@ -128,17 +153,91 @@ class TrainerBase(ABC):
             loss=loss,
         )
         trace.record_point(point)
+        if tel.enabled:
+            # Evaluation is host-side (§V-A excludes it from the clock), so
+            # it appears as an instant event carrying its real wall cost.
+            tel.instant(
+                EVENT_CHECKPOINT,
+                accuracy=point.accuracy, loss=point.loss,
+                updates=updates, samples=samples, epochs=epochs,
+                host_eval_us=(perf_counter() - host_t0) * 1e6,
+            )
+            tel.gauge(GAUGE_ACCURACY, point.accuracy)
+            tel.gauge(GAUGE_LOSS, point.loss)
         return point
 
+    def record_device_controls(self, batch_sizes, learning_rates=None) -> None:
+        """Gauge every device's current batch size (and optionally LR).
+
+        All trainers emit ``batch_size`` — static algorithms once per
+        boundary at their fixed size, Adaptive SGD at each Algorithm-1
+        rescale — so the Figure-6a telemetry is uniformly available.
+        """
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        for device, size in enumerate(batch_sizes):
+            tel.gauge(GAUGE_BATCH_SIZE, size, device=device)
+        if learning_rates is not None:
+            for device, lr in enumerate(learning_rates):
+                tel.gauge(GAUGE_LR, lr, device=device)
+
     # -- entry point ---------------------------------------------------------
-    def run(self, time_budget_s: float) -> TrainingTrace:
-        """Train for ``time_budget_s`` simulated seconds; return the trace."""
+    def run(
+        self,
+        *args,
+        time_budget_s: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> TrainingTrace:
+        """Train for ``time_budget_s`` simulated seconds; return the trace.
+
+        ``time_budget_s`` is keyword-only; the positional spelling
+        ``run(0.3)`` still works but is deprecated. ``telemetry`` overrides
+        the constructor-level recorder for this run only.
+        """
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    f"run() takes at most one positional argument "
+                    f"({len(args)} given); use run(time_budget_s=..., "
+                    f"telemetry=...)"
+                )
+            if time_budget_s is not None:
+                raise TypeError(
+                    "run() got time_budget_s both positionally and by keyword"
+                )
+            warnings.warn(
+                "positional time_budget_s is deprecated; call "
+                "run(time_budget_s=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            time_budget_s = args[0]
+        if time_budget_s is None:
+            raise ConfigurationError("run() requires time_budget_s")
         if not (time_budget_s > 0):
             raise ConfigurationError(
                 f"time budget must be > 0, got {time_budget_s}"
             )
         env = Environment()
-        return self._execute(env, time_budget_s)
+        tel = telemetry if telemetry is not None else self.telemetry
+        prev_tel = self.telemetry
+        self.telemetry = tel
+        tel.attach(
+            env,
+            algorithm=self.algorithm,
+            dataset=self.task.name,
+            n_devices=self.server.n_gpus,
+            time_budget_s=time_budget_s,
+            init_seed=self.init_seed,
+            data_seed=self.data_seed,
+        )
+        try:
+            with tel.span(SPAN_RUN, time_budget_s=time_budget_s):
+                return self._execute(env, time_budget_s)
+        finally:
+            tel.detach()
+            self.telemetry = prev_tel
 
     @abstractmethod
     def _execute(self, env: Environment, time_budget_s: float) -> TrainingTrace:

@@ -25,8 +25,15 @@ chunk, which batches the sampled softmax) — enforced by
 ``tests/test_perf_*``.
 """
 
+from repro.perf.profile import KernelProfile
 from repro.perf.gather import RowGatherer, gather_rows
 from repro.perf.slide_kernel import slide_chunk_step
 from repro.perf.workspace import Workspace
 
-__all__ = ["RowGatherer", "gather_rows", "Workspace", "slide_chunk_step"]
+__all__ = [
+    "RowGatherer",
+    "gather_rows",
+    "Workspace",
+    "slide_chunk_step",
+    "KernelProfile",
+]

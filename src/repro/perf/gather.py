@@ -23,10 +23,13 @@ column indices, same row pointer, same dtypes (``tests/test_perf_gather``).
 from __future__ import annotations
 
 import sys
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.perf import profile as _profile
 
 try:  # pragma: no cover - import guard exercised implicitly
     from scipy.sparse import _sparsetools
@@ -205,6 +208,15 @@ class RowGatherer:
 
     def gather(self, idx: np.ndarray) -> sp.csr_matrix:
         """Gather ``matrix[idx]`` into pooled buffers (bit-for-bit equal)."""
+        prof = _profile.active
+        if prof is not None:
+            t0 = perf_counter()
+            out = self._gather(idx)
+            prof.add("gather", perf_counter() - t0, units=idx.size)
+            return out
+        return self._gather(idx)
+
+    def _gather(self, idx: np.ndarray) -> sp.csr_matrix:
         idx = np.asarray(idx, dtype=np.int64)
         m = self.matrix
         rows = idx.size

@@ -37,11 +37,13 @@ weights to fp32 tolerance.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.perf import profile as _profile
 from repro.perf.gather import _FAST_CTOR, _make_csr
 from repro.perf.workspace import Workspace, spmm_into, spmm_t_into
 
@@ -103,6 +105,31 @@ def slide_chunk_step(
     All gradients are evaluated at the passed-in (chunk-start) weights;
     updates are applied once at the end.
     """
+    prof = _profile.active
+    if prof is not None:
+        t0 = perf_counter()
+        loss = _slide_chunk_step(
+            Xc, H1, label_counts, actives, W1, b1, W2, b2, lr, workspace
+        )
+        prof.add("slide_chunk", perf_counter() - t0, units=H1.shape[0])
+        return loss
+    return _slide_chunk_step(
+        Xc, H1, label_counts, actives, W1, b1, W2, b2, lr, workspace
+    )
+
+
+def _slide_chunk_step(
+    Xc: sp.csr_matrix,
+    H1: np.ndarray,
+    label_counts: np.ndarray,
+    actives: Sequence[np.ndarray],
+    W1: np.ndarray,
+    b1: np.ndarray,
+    W2: np.ndarray,
+    b2: np.ndarray,
+    lr: float,
+    workspace: Optional[Workspace] = None,
+) -> float:
     chunk, h_dim = H1.shape
     n_labels = W2.shape[1]
     lr32 = np.float32(lr)

@@ -28,10 +28,13 @@ next step reuses them. The discrete-event trainers interleave GPU managers
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.perf import profile as _profile
 
 try:  # pragma: no cover - import guard exercised implicitly
     from scipy.sparse import _sparsetools
@@ -60,6 +63,16 @@ def spmm_into(X: sp.csr_matrix, W: np.ndarray, out: np.ndarray) -> np.ndarray:
     Matches scipy's ``X @ W`` bit-for-bit: scipy runs the identical
     ``csr_matvecs`` accumulation, just on a buffer it allocates per call.
     """
+    prof = _profile.active
+    if prof is not None:
+        t0 = perf_counter()
+        _spmm_into(X, W, out)
+        prof.add("spmm", perf_counter() - t0, units=X.nnz)
+        return out
+    return _spmm_into(X, W, out)
+
+
+def _spmm_into(X: sp.csr_matrix, W: np.ndarray, out: np.ndarray) -> np.ndarray:
     if _HAVE_SPARSETOOLS and W.flags.c_contiguous and out.flags.c_contiguous:
         out[...] = 0.0
         n, f = X.shape
@@ -79,6 +92,18 @@ def spmm_t_into(X: sp.csr_matrix, delta: np.ndarray, out: np.ndarray) -> np.ndar
     ``(n_features, h)`` temporary. Bit-for-bit equal to scipy's
     ``X.T @ delta`` (same C routine).
     """
+    prof = _profile.active
+    if prof is not None:
+        t0 = perf_counter()
+        _spmm_t_into(X, delta, out)
+        prof.add("spmm_t", perf_counter() - t0, units=X.nnz)
+        return out
+    return _spmm_t_into(X, delta, out)
+
+
+def _spmm_t_into(
+    X: sp.csr_matrix, delta: np.ndarray, out: np.ndarray
+) -> np.ndarray:
     if _HAVE_SPARSETOOLS and delta.flags.c_contiguous and out.flags.c_contiguous:
         out[...] = 0.0
         n, f = X.shape

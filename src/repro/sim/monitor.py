@@ -51,21 +51,33 @@ class Monitor:
             raise IndexError(f"monitor {self.name!r} has no samples")
         return self._times[-1], self._values[-1]
 
-    def time_average(self, until: Optional[float] = None) -> float:
+    def time_average(
+        self, until: Optional[float] = None, *, default: Optional[float] = None
+    ) -> float:
         """Time-weighted average treating the series as a step function.
 
         Each value holds from its sample time to the next sample (or
-        ``until``, default: the last sample time). Requires >= 1 sample.
+        ``until``, default: the last sample time). Samples recorded after
+        ``until`` are excluded, and the last included value is weighted only
+        up to ``until``. An empty series raises ``ValueError`` unless
+        ``default`` is given, in which case it is returned instead.
         """
         times = self.times
         values = self.values
         if times.size == 0:
+            if default is not None:
+                return float(default)
             raise ValueError(f"monitor {self.name!r} has no samples")
         end = times[-1] if until is None else float(until)
-        if times.size == 1 or end <= times[0]:
-            return float(values[0])
-        edges = np.append(times, end)
-        widths = np.clip(np.diff(edges), 0.0, None)
+        # Truncate to the samples visible at `end`; `end` before the first
+        # sample degenerates to the first value (the step extends backwards).
+        k = int(np.searchsorted(times, end, side="right"))
+        if k <= 1 or end <= times[0]:
+            return float(values[0]) if k <= 1 else float(values[k - 1])
+        times = times[:k]
+        values = values[:k]
+        edges = np.append(times, max(end, times[-1]))
+        widths = np.diff(edges)
         total = widths.sum()
         if total == 0.0:
             return float(values[-1])
@@ -101,3 +113,57 @@ class MonitorSet:
             out[f"{name}_times"] = monitor.times
             out[f"{name}_values"] = monitor.values
         return out
+
+    def to_frame(self) -> Dict[str, np.ndarray]:
+        """Long-format columns: ``monitor`` / ``time`` / ``value``.
+
+        All series are concatenated into three aligned columns (one row per
+        sample) — the tabular shape the telemetry exporters and external
+        dataframe tooling consume.
+        """
+        names: List[str] = []
+        times: List[np.ndarray] = []
+        values: List[np.ndarray] = []
+        for name, monitor in self._monitors.items():
+            names.extend([name] * len(monitor))
+            times.append(monitor.times)
+            values.append(monitor.values)
+        return {
+            "monitor": np.asarray(names, dtype=object),
+            "time": (
+                np.concatenate(times) if times
+                else np.empty(0, dtype=np.float64)
+            ),
+            "value": (
+                np.concatenate(values) if values
+                else np.empty(0, dtype=np.float64)
+            ),
+        }
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """:meth:`to_frame` as a list of per-sample dicts (JSON-friendly)."""
+        frame = self.to_frame()
+        return [
+            {"monitor": str(m), "time": float(t), "value": float(v)}
+            for m, t, v in zip(frame["monitor"], frame["time"], frame["value"])
+        ]
+
+    def dump_jsonl(self, path) -> "Path":
+        """Write one JSON object per sample to ``path``; returns the path.
+
+        Non-finite values are serialized as ``null`` so the output is strict
+        JSON Lines.
+        """
+        import json
+        import math
+        from pathlib import Path
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            for record in self.to_records():
+                value = record["value"]
+                if isinstance(value, float) and not math.isfinite(value):
+                    record["value"] = None
+                fh.write(json.dumps(record, allow_nan=False) + "\n")
+        return path

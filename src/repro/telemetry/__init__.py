@@ -1,0 +1,49 @@
+"""Structured tracing and per-GPU metrics for every trainer.
+
+The observability layer the paper's claims call for: *where time goes* on
+heterogeneous GPUs — per-device step spans, merge and all-reduce rounds,
+update-count convergence — captured as one uniform event stream no matter
+which of the six training algorithms produced it.
+
+Quickstart::
+
+    from repro import ExperimentSpec, run_experiment
+    from repro.telemetry import Telemetry
+    from repro.telemetry.export import write_chrome_trace, summary_table
+
+    tel = Telemetry()
+    run_experiment(ExperimentSpec(dataset="micro"), telemetry=tel)
+    write_chrome_trace(tel, "trace.json")   # open in chrome://tracing
+    print(summary_table(tel))
+
+Or from the shell: ``python -m repro trace --dataset micro --out out/``.
+
+Components:
+
+- :mod:`repro.telemetry.core` — :class:`Telemetry` (the recorder) and
+  :data:`NULL` (the zero-cost disabled sink);
+- :mod:`repro.telemetry.events` — event records and the uniform schema;
+- :mod:`repro.telemetry.export` — JSONL, Chrome ``trace_event``, and
+  summary-table exporters.
+"""
+
+from repro.telemetry.core import NULL, NullTelemetry, Telemetry
+from repro.telemetry.events import InstantEvent, SpanEvent
+from repro.telemetry.export import (
+    summary_table,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "SpanEvent",
+    "InstantEvent",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "summary_table",
+]

@@ -1,0 +1,107 @@
+"""Telemetry event records and the uniform trainer schema.
+
+Every trainer — Adaptive SGD and all baselines — emits the *same* event
+vocabulary through :class:`~repro.telemetry.core.Telemetry`, so any run can
+be compared against any other in the same tooling. The schema mirrors where
+the paper says time goes on heterogeneous GPUs:
+
+Spans (simulated-clock duration events):
+
+- ``run`` — one full training run (the root span);
+- ``transfer.model`` — host→device replica download at a mega-batch start;
+- ``step.compute`` — one batch (or SLIDE chunk) of compute + local update
+  on a device;
+- ``merge`` — the whole merge/synchronization stage of one boundary;
+- ``merge.allreduce`` — the collective inside the merge stage;
+- ``slide.rebuild`` — SLIDE's periodic LSH re-hash.
+
+Instant events:
+
+- ``batch.dispatch`` — the scheduler handing a batch to a device;
+- ``checkpoint`` — a §V-A accuracy probe (host-side; zero simulated time).
+
+Counters / gauges (per-device monitors stamped with the simulated clock):
+
+- ``updates`` — cumulative replica updates per device;
+- ``batch_size`` / ``lr`` — the Algorithm-1 controls per device;
+- ``staleness`` — per-boundary update-count spread;
+- ``accuracy`` / ``loss`` — the checkpoint curve.
+
+Span/instant ``device`` is the GPU index (``None`` for driver-level events:
+merges, checkpoints, the run span itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "SpanEvent",
+    "InstantEvent",
+    "SPAN_RUN",
+    "SPAN_TRANSFER",
+    "SPAN_STEP",
+    "SPAN_MERGE",
+    "SPAN_ALLREDUCE",
+    "SPAN_LSH_REBUILD",
+    "EVENT_DISPATCH",
+    "EVENT_CHECKPOINT",
+    "COUNTER_UPDATES",
+    "GAUGE_BATCH_SIZE",
+    "GAUGE_LR",
+    "GAUGE_STALENESS",
+    "GAUGE_ACCURACY",
+    "GAUGE_LOSS",
+    "CORE_SPANS",
+    "CORE_GAUGES",
+]
+
+# -- the uniform schema ------------------------------------------------------
+SPAN_RUN = "run"
+SPAN_TRANSFER = "transfer.model"
+SPAN_STEP = "step.compute"
+SPAN_MERGE = "merge"
+SPAN_ALLREDUCE = "merge.allreduce"
+SPAN_LSH_REBUILD = "slide.rebuild"
+
+EVENT_DISPATCH = "batch.dispatch"
+EVENT_CHECKPOINT = "checkpoint"
+
+COUNTER_UPDATES = "updates"
+GAUGE_BATCH_SIZE = "batch_size"
+GAUGE_LR = "lr"
+GAUGE_STALENESS = "staleness"
+GAUGE_ACCURACY = "accuracy"
+GAUGE_LOSS = "loss"
+
+#: Every trainer must emit at least these spans / gauges (parity-tested).
+CORE_SPANS = (SPAN_RUN, SPAN_STEP)
+CORE_GAUGES = (GAUGE_ACCURACY, GAUGE_BATCH_SIZE)
+
+
+@dataclass
+class SpanEvent:
+    """One completed duration event on the simulated clock."""
+
+    name: str
+    #: Simulated start time (seconds).
+    ts: float
+    #: Simulated duration (seconds, >= 0).
+    dur: float
+    #: Run index within the owning :class:`Telemetry` (Chrome ``pid``).
+    run: int
+    #: Device index, or ``None`` for driver-level spans.
+    device: Optional[int] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class InstantEvent:
+    """One zero-duration event on the simulated clock."""
+
+    name: str
+    ts: float
+    run: int
+    device: Optional[int] = None
+    args: Dict[str, object] = field(default_factory=dict)

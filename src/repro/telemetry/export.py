@@ -1,0 +1,219 @@
+"""Telemetry exporters: JSONL event log, Chrome trace, summary table.
+
+Three consumers, three formats:
+
+- :func:`write_jsonl` — one JSON object per line (runs, spans, instants,
+  counter samples, kernel aggregates): the machine-greppable archive that
+  experiment runs persist next to their traces;
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON object format, loadable in ``chrome://tracing`` and
+  https://ui.perfetto.dev. Each run is a "process" (pid), the driver and
+  each GPU are "threads" (tid), simulated seconds become microseconds;
+- :func:`summary_table` — an aligned text table (per-span totals + kernel
+  profile) via :mod:`repro.utils.tables` for terminals and CI logs.
+
+All emitted JSON is strict (``allow_nan=False``): non-finite floats are
+serialized as ``null`` rather than the invalid bare ``NaN`` token.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.telemetry.core import Telemetry
+from repro.utils.tables import format_table
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "iter_jsonl_records",
+    "write_jsonl",
+    "summary_table",
+]
+
+PathLike = Union[str, Path]
+
+#: Chrome trace tid layout: driver-level events on 0, device ``i`` on i+1.
+DRIVER_TID = 0
+
+
+def _tid(device: Optional[int]) -> int:
+    return DRIVER_TID if device is None else int(device) + 1
+
+
+def _clean(value):
+    """JSON-safe scalar: non-finite floats become ``None``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def _clean_args(args: dict) -> dict:
+    return {str(k): _clean(v) for k, v in args.items()}
+
+
+# -- Chrome trace_event ------------------------------------------------------
+def to_chrome_trace(tel: Telemetry) -> dict:
+    """``tel`` as a Chrome ``trace_event`` JSON object (not yet serialized)."""
+    events: List[dict] = []
+    devices_per_run: Dict[int, set] = {}
+
+    for span in tel.spans:
+        devices_per_run.setdefault(span.run, set()).add(span.device)
+        events.append({
+            "name": span.name,
+            "cat": "sim",
+            "ph": "X",
+            "ts": span.ts * 1e6,
+            "dur": span.dur * 1e6,
+            "pid": span.run,
+            "tid": _tid(span.device),
+            "args": _clean_args(span.args),
+        })
+    for inst in tel.instants:
+        devices_per_run.setdefault(inst.run, set()).add(inst.device)
+        events.append({
+            "name": inst.name,
+            "cat": "sim",
+            "ph": "i",
+            "s": "t",
+            "ts": inst.ts * 1e6,
+            "pid": inst.run,
+            "tid": _tid(inst.device),
+            "args": _clean_args(inst.args),
+        })
+    for run_idx, monitors in enumerate(tel.monitor_sets):
+        for name in monitors.names():
+            mon = monitors[name]
+            for t, v in zip(mon.times, mon.values):
+                value = _clean(float(v))
+                if value is None:
+                    continue
+                events.append({
+                    "name": name,
+                    "cat": "sim",
+                    "ph": "C",
+                    "ts": float(t) * 1e6,
+                    "pid": run_idx,
+                    "tid": DRIVER_TID,
+                    "args": {"value": value},
+                })
+
+    # Metadata: name each run-process and each device-thread.
+    for run_idx, meta in enumerate(tel.runs):
+        label = str(meta.get("algorithm", f"run {run_idx}"))
+        n = meta.get("n_devices")
+        if n is not None:
+            label = f"{label} ({n} dev)"
+        events.append({
+            "name": "process_name", "ph": "M", "pid": run_idx,
+            "tid": DRIVER_TID, "args": {"name": label},
+        })
+        for device in sorted(
+            (d for d in devices_per_run.get(run_idx, ()) if d is not None),
+        ):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": run_idx,
+                "tid": _tid(device), "args": {"name": f"gpu{device}"},
+            })
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": run_idx,
+            "tid": DRIVER_TID, "args": {"name": "driver"},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": tel.label,
+            "clock": "simulated seconds (exported as microseconds)",
+            "runs": [_clean_args(meta) for meta in tel.runs],
+            "kernels": tel.kernels.as_records(),
+        },
+    }
+
+
+def write_chrome_trace(tel: Telemetry, path: PathLike) -> Path:
+    """Write the Chrome trace JSON to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(to_chrome_trace(tel), allow_nan=False) + "\n"
+    )
+    return path
+
+
+# -- JSONL -------------------------------------------------------------------
+def iter_jsonl_records(tel: Telemetry):
+    """Yield the JSONL export as dicts (``type`` discriminates records)."""
+    for run_idx, meta in enumerate(tel.runs):
+        yield {"type": "run", "run": run_idx, **_clean_args(meta)}
+    for span in tel.spans:
+        yield {
+            "type": "span", "name": span.name, "run": span.run,
+            "device": span.device, "ts": _clean(span.ts),
+            "dur": _clean(span.dur), "args": _clean_args(span.args),
+        }
+    for inst in tel.instants:
+        yield {
+            "type": "instant", "name": inst.name, "run": inst.run,
+            "device": inst.device, "ts": _clean(inst.ts),
+            "args": _clean_args(inst.args),
+        }
+    for run_idx, monitors in enumerate(tel.monitor_sets):
+        for record in monitors.to_records():
+            yield {"type": "counter", "run": run_idx,
+                   "name": record["monitor"],
+                   "ts": _clean(record["time"]),
+                   "value": _clean(record["value"])}
+    for row in tel.kernels.as_records():
+        yield {"type": "kernel", **row}
+
+
+def write_jsonl(tel: Telemetry, path: PathLike) -> Path:
+    """Write the event stream as JSON Lines to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for record in iter_jsonl_records(tel):
+            fh.write(json.dumps(record, allow_nan=False) + "\n")
+    return path
+
+
+# -- summary table -----------------------------------------------------------
+def summary_table(tel: Telemetry) -> str:
+    """Aligned text summary: simulated time per span kind + kernel profile."""
+    totals: Dict[str, List[float]] = {}
+    for span in tel.spans:
+        entry = totals.setdefault(span.name, [0, 0.0])
+        entry[0] += 1
+        entry[1] += span.dur
+    rows = [
+        [name, int(count), total * 1e3, (total / count) * 1e6 if count else 0.0]
+        for name, (count, total) in sorted(
+            totals.items(), key=lambda kv: -kv[1][1]
+        )
+    ]
+    out = format_table(
+        ["span", "count", "total sim ms", "mean sim us"],
+        rows,
+        title=f"Telemetry summary — {len(tel.runs)} run(s), "
+              f"{len(tel.spans)} spans, {len(tel.instants)} instants",
+    )
+    kernel_rows = tel.kernels.as_records()
+    if kernel_rows:
+        out += "\n\n" + format_table(
+            ["kernel", "calls", "host ms", "mean host us"],
+            [
+                [
+                    r["kernel"], r["calls"], r["host_s"] * 1e3,
+                    (r["host_s"] / r["calls"]) * 1e6 if r["calls"] else 0.0,
+                ]
+                for r in kernel_rows
+            ],
+            title="Host-side kernel profile (repro.perf, wall clock)",
+        )
+    return out

@@ -30,7 +30,7 @@ def run(cls, micro_task, budget=0.04, n=4, **trainer_kwargs):
         micro_task, fresh_server(n), cfg(), hidden=(32,), init_seed=7,
         data_seed=3, eval_samples=128, **trainer_kwargs,
     )
-    return trainer.run(budget)
+    return trainer.run(time_budget_s=budget)
 
 
 ALL_TRAINERS = [
@@ -84,7 +84,7 @@ class TestElastic:
         het = ElasticSGDTrainer(
             micro_task, fresh_server(), cfg(), hidden=(32,), init_seed=7,
             data_seed=3, eval_samples=128,
-        ).run(0.04)
+        ).run(time_budget_s=0.04)
         uni_server = make_server(
             4, heterogeneity="uniform", seed=5,
             cost_params=GpuCostParams.tiny_model_profile(),
@@ -92,7 +92,7 @@ class TestElastic:
         uni = ElasticSGDTrainer(
             micro_task, uni_server, cfg(), hidden=(32,), init_seed=7,
             data_seed=3, eval_samples=128,
-        ).run(0.04)
+        ).run(time_budget_s=0.04)
         assert uni.total_epochs > het.total_epochs
 
 
@@ -110,11 +110,11 @@ class TestSyncSGD:
         fast = SyncSGDTrainer(
             micro_task, fresh_server(), cfg(), framework_overhead=1.0,
             hidden=(32,), init_seed=7, data_seed=3, eval_samples=128,
-        ).run(0.04)
+        ).run(time_budget_s=0.04)
         slow = SyncSGDTrainer(
             micro_task, fresh_server(), cfg(), framework_overhead=2.0,
             hidden=(32,), init_seed=7, data_seed=3, eval_samples=128,
-        ).run(0.04)
+        ).run(time_budget_s=0.04)
         assert fast.total_epochs > slow.total_epochs
 
     def test_invalid_overhead_rejected(self, micro_task):
@@ -137,15 +137,15 @@ class TestCrossbow:
 
     def test_mu_zero_keeps_learners_apart(self, micro_task):
         # With no elastic force the central model never moves.
-        trace = run(CrossbowTrainer, micro_task, mu=0.0, budget=0.02)
+        trace = run(CrossbowTrainer, micro_task, elasticity=0.0, budget=0.02)
         assert trace.points[-1].accuracy == pytest.approx(
             trace.points[0].accuracy, abs=0.05
         )
 
-    def test_invalid_mu_rejected(self, micro_task):
+    def test_invalid_elasticity_rejected(self, micro_task):
         with pytest.raises(Exception):
             CrossbowTrainer(
-                micro_task, fresh_server(), cfg(), mu=2.0, hidden=(32,)
+                micro_task, fresh_server(), cfg(), elasticity=2.0, hidden=(32,)
             )
 
 

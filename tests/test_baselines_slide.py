@@ -156,17 +156,17 @@ class TestSlideTrainer:
         )
 
     def test_learns(self, micro_task):
-        trace = self.make_trainer(micro_task, lr=0.05).run(0.01)
+        trace = self.make_trainer(micro_task, lr=0.05).run(time_budget_s=0.01)
         assert trace.best_accuracy > trace.points[0].accuracy + 0.1
 
     def test_per_sample_updates(self, micro_task):
-        trace = self.make_trainer(micro_task).run(0.005)
+        trace = self.make_trainer(micro_task).run(time_budget_s=0.005)
         last = trace.points[-1]
         assert last.updates == last.samples  # one update per sample
 
     def test_statistical_efficiency_premise(self, micro_task):
         """SLIDE performs far more updates per epoch than batched SGD."""
-        trace = self.make_trainer(micro_task).run(0.005)
+        trace = self.make_trainer(micro_task).run(time_budget_s=0.005)
         last = trace.points[-1]
         updates_per_epoch = last.updates / max(last.epochs, 1e-9)
         assert updates_per_epoch == pytest.approx(
@@ -174,8 +174,8 @@ class TestSlideTrainer:
         )
 
     def test_deterministic(self, micro_task):
-        a = self.make_trainer(micro_task).run(0.004)
-        b = self.make_trainer(micro_task).run(0.004)
+        a = self.make_trainer(micro_task).run(time_budget_s=0.004)
+        b = self.make_trainer(micro_task).run(time_budget_s=0.004)
         assert [p.accuracy for p in a.points] == [p.accuracy for p in b.points]
 
     def test_default_lr_linear_scaled(self, micro_task):
@@ -185,10 +185,10 @@ class TestSlideTrainer:
     def test_requires_single_hidden_layer(self, micro_task):
         trainer = self.make_trainer(micro_task, hidden=(16, 16))
         with pytest.raises(ConfigurationError, match="3-layer"):
-            trainer.run(0.002)
+            trainer.run(time_budget_s=0.002)
 
     def test_runs_on_cpu_device(self, micro_task):
         trainer = self.make_trainer(micro_task)
-        trainer.run(0.004)
+        trainer.run(time_budget_s=0.004)
         assert trainer.server.cpu.busy_seconds > 0
         assert all(g.busy_seconds == 0 for g in trainer.server.gpus)

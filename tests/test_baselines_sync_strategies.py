@@ -30,20 +30,20 @@ def build(strategy, micro_task):
 
 class TestStrategies:
     def test_strategy_recorded_in_metadata(self, micro_task):
-        trace = build("central_storage", micro_task).run(0.01)
+        trace = build("central_storage", micro_task).run(time_budget_s=0.01)
         assert trace.metadata["strategy"] == "central_storage"
 
     def test_mirrored_proves_superior(self, micro_task):
         """The paper's reason for reporting only mirrored results."""
-        mirrored = build("mirrored", micro_task).run(0.05)
-        central = build("central_storage", micro_task).run(0.05)
+        mirrored = build("mirrored", micro_task).run(time_budget_s=0.05)
+        central = build("central_storage", micro_task).run(time_budget_s=0.05)
         assert mirrored.total_epochs > central.total_epochs
 
     def test_same_statistical_path(self, micro_task):
         """Strategies differ in sync cost only — the numerics are identical,
         so accuracy-vs-samples curves must coincide."""
-        mirrored = build("mirrored", micro_task).run(0.03)
-        central = build("central_storage", micro_task).run(0.03)
+        mirrored = build("mirrored", micro_task).run(time_budget_s=0.03)
+        central = build("central_storage", micro_task).run(time_budget_s=0.03)
         n = min(len(mirrored.points), len(central.points))
         assert [p.accuracy for p in mirrored.points[:n]] == pytest.approx(
             [p.accuracy for p in central.points[:n]]

@@ -42,7 +42,8 @@ class TestCommands:
 
     def test_fig6_small(self, capsys):
         assert main([
-            "fig6", "--dataset", "micro", "--budget", "0.02", "--gpus", "2",
+            "fig6", "--dataset", "micro", "--time-budget-s", "0.02",
+            "--gpus", "2",
         ]) == 0
         out = capsys.readouterr().out
         assert "Figure 6a" in out and "Figure 6b" in out
@@ -50,7 +51,7 @@ class TestCommands:
     def test_train_and_save(self, capsys, tmp_path):
         stem = tmp_path / "run"
         assert main([
-            "train", "--dataset", "micro", "--budget", "0.02",
+            "train", "--dataset", "micro", "--time-budget-s", "0.02",
             "--gpus", "2", "--save", str(stem),
         ]) == 0
         out = capsys.readouterr().out
@@ -65,7 +66,50 @@ class TestCommands:
 
     def test_fig4_micro(self, capsys):
         assert main([
-            "fig4", "--dataset", "micro", "--budget", "0.02", "--gpus", "2",
+            "fig4", "--dataset", "micro", "--time-budget-s", "0.02",
+            "--gpus", "2",
         ]) == 0
         out = capsys.readouterr().out
         assert "Figure 4" in out and "time-to-accuracy summary" in out
+
+    def test_trace_exports_timeline(self, capsys, tmp_path):
+        import json
+
+        stem = tmp_path / "t"
+        assert main([
+            "trace", "--dataset", "micro", "--time-budget-s", "0.02",
+            "--gpus", "2", "--algorithms", "adaptive", "minibatch",
+            "--out", str(stem),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry summary" in out and "perfetto" in out.lower()
+        trace_path = tmp_path / "t.trace.json"
+        jsonl_path = tmp_path / "t.telemetry.jsonl"
+        assert trace_path.exists() and jsonl_path.exists()
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+        assert {e["ph"] for e in trace["traceEvents"]} <= {"X", "i", "C", "M"}
+        assert len(trace["otherData"]["runs"]) == 2  # one process per run
+        for line in jsonl_path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestTimeBudgetFlag:
+    def test_canonical_flag_does_not_warn(self):
+        import warnings
+
+        parser = build_parser()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            args = parser.parse_args(
+                ["train", "--time-budget-s", "0.1", "--dataset", "micro"]
+            )
+        assert args.time_budget_s == 0.1
+
+    def test_deprecated_budget_alias_warns(self):
+        parser = build_parser()
+        with pytest.warns(DeprecationWarning, match="--time-budget-s"):
+            args = parser.parse_args(
+                ["train", "--budget", "0.1", "--dataset", "micro"]
+            )
+        assert args.time_budget_s == 0.1

@@ -18,7 +18,7 @@ def run_adaptive(micro_task, server, budget=0.03, **cfg_kwargs):
         micro_task, server, cfg, hidden=(32,), init_seed=7, data_seed=3,
         eval_samples=128,
     )
-    return trainer.run(budget), cfg
+    return trainer.run(time_budget_s=budget), cfg
 
 
 class TestAdaptiveTrainer:

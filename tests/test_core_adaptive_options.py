@@ -18,12 +18,12 @@ def run(micro_task, server, budget=0.05, **trainer_kwargs):
         micro_task, server, cfg, hidden=(32,), init_seed=7, data_seed=3,
         eval_samples=64, **trainer_kwargs,
     )
-    return trainer.run(budget)
+    return trainer.run(time_budget_s=budget)
 
 
 class TestGovernor:
     def test_governor_run_completes_and_learns(self, micro_task, het_server):
-        trace = run(micro_task, het_server, use_governor=True)
+        trace = run(micro_task, het_server, governor=True)
         assert trace.best_accuracy > trace.points[0].accuracy
 
     def test_governor_skips_scaling_at_steady_state(self, micro_task):

@@ -33,7 +33,7 @@ class TestEquivalentBatchEnvelope:
         trace = AdaptiveSGDTrainer(
             micro_task, het_server, cfg, hidden=(32,), init_seed=1,
             data_seed=1, eval_samples=64,
-        ).run(0.05)
+        ).run(time_budget_s=0.05)
         lo, hi = equivalent_batch_envelope(trace.batch_size_history)
         assert cfg.b_min <= lo <= hi <= cfg.b_max
 
@@ -113,7 +113,7 @@ class TestBalanceIndex:
             micro_task, het_server, cfg, hidden=(32,), init_seed=1,
             data_seed=1, eval_samples=64,
         )
-        trainer.run(0.08)
+        trainer.run(time_budget_s=0.08)
         records = trainer.staleness.records
         assert len(records) >= 4
         early = updates_balance_index(records[0].updates)

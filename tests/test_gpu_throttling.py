@@ -71,7 +71,7 @@ class TestAdaptiveResilience:
             micro_task, server, cfg, hidden=(32,), init_seed=1, data_seed=1,
             eval_samples=64,
         )
-        trace = trainer.run(0.08)
+        trace = trainer.run(time_budget_s=0.08)
         history = np.asarray(trace.batch_size_history, dtype=float)
         times = [p.time_s for p in trace.points[1:]]
         pre = history[[t < throttle_at for t in times]]

@@ -21,7 +21,7 @@ def trained_server(micro_task):
     trace = AdaptiveSGDTrainer(
         micro_task, server, cfg, hidden=(32,), init_seed=1, data_seed=1,
         eval_samples=64,
-    ).run(0.01)
+    ).run(time_budget_s=0.01)
     return server, trace
 
 

@@ -83,7 +83,7 @@ class TestTraceRoundTrip:
         trace = AdaptiveSGDTrainer(
             micro_task, het_server, cfg, hidden=(32,), init_seed=1,
             data_seed=1, eval_samples=64,
-        ).run(0.01)
+        ).run(time_budget_s=0.01)
         save_trace(trace, tmp_path / "real")
         loaded = load_trace(tmp_path / "real")
         assert loaded.batch_size_history == trace.batch_size_history

@@ -119,7 +119,7 @@ class TestHeterogeneityAblation:
                 shape_task, server, cfg, hidden=(64,), init_seed=7,
                 data_seed=3, eval_samples=128,
             )
-            return trainer.run(0.05).total_epochs
+            return trainer.run(time_budget_s=0.05).total_epochs
 
         het_gain = epochs(AdaptiveSGDTrainer, "het") / epochs(
             ElasticSGDTrainer, "het"

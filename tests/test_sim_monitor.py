@@ -60,6 +60,39 @@ class TestTimeAverage:
         mon.record(3.0, time=2.0)
         assert mon.time_average(until=1.0) == 3.0
 
+    def test_until_truncates_later_samples(self):
+        mon = Monitor(Environment(), "q")
+        mon.record(0.0, time=0.0)
+        mon.record(10.0, time=5.0)
+        mon.record(1000.0, time=8.0)  # after `until`: must not contribute
+        assert mon.time_average(until=6.0) == pytest.approx(
+            (0.0 * 5.0 + 10.0 * 1.0) / 6.0
+        )
+
+    def test_until_between_samples_weights_last_partially(self):
+        mon = Monitor(Environment(), "q")
+        mon.record(2.0, time=0.0)
+        mon.record(4.0, time=2.0)
+        # 2.0 for [0,2), 4.0 for [2,3) -> (2*2 + 4*1) / 3.
+        assert mon.time_average(until=3.0) == pytest.approx(8.0 / 3.0)
+
+    def test_until_exactly_on_sample(self):
+        mon = Monitor(Environment(), "q")
+        mon.record(1.0, time=0.0)
+        mon.record(9.0, time=4.0)
+        assert mon.time_average(until=4.0) == pytest.approx(1.0)
+
+    def test_coincident_samples_return_last_value(self):
+        mon = Monitor(Environment(), "q")
+        mon.record(1.0, time=3.0)
+        mon.record(2.0, time=3.0)
+        assert mon.time_average() == 2.0
+
+    def test_empty_with_default(self):
+        mon = Monitor(Environment(), "q")
+        assert mon.time_average(default=0.0) == 0.0
+        assert mon.time_average(until=5.0, default=1.5) == 1.5
+
 
 class TestMonitorSet:
     def test_get_or_create(self):
@@ -81,3 +114,40 @@ class TestMonitorSet:
         arrays = ms.as_arrays()
         assert np.array_equal(arrays["q_times"], [0.5])
         assert np.array_equal(arrays["q_values"], [1.0])
+
+    def test_to_frame_long_format(self):
+        ms = MonitorSet(Environment())
+        ms["a"].record(1.0, time=0.0)
+        ms["a"].record(2.0, time=1.0)
+        ms["b"].record(5.0, time=0.5)
+        frame = ms.to_frame()
+        assert list(frame["monitor"]) == ["a", "a", "b"]
+        assert np.array_equal(frame["time"], [0.0, 1.0, 0.5])
+        assert np.array_equal(frame["value"], [1.0, 2.0, 5.0])
+
+    def test_to_frame_empty(self):
+        frame = MonitorSet(Environment()).to_frame()
+        assert frame["monitor"].size == 0
+        assert frame["time"].size == 0
+        assert frame["value"].size == 0
+
+    def test_to_records(self):
+        ms = MonitorSet(Environment())
+        ms["a"].record(1.5, time=0.25)
+        assert ms.to_records() == [
+            {"monitor": "a", "time": 0.25, "value": 1.5}
+        ]
+
+    def test_dump_jsonl(self, tmp_path):
+        import json
+
+        ms = MonitorSet(Environment())
+        ms["a"].record(1.0, time=0.0)
+        ms["a"].record(float("nan"), time=1.0)
+        path = ms.dump_jsonl(tmp_path / "mon" / "samples.jsonl")
+        assert path.exists()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records == [
+            {"monitor": "a", "time": 0.0, "value": 1.0},
+            {"monitor": "a", "time": 1.0, "value": None},  # NaN -> null
+        ]

@@ -1,0 +1,157 @@
+"""Tests for repro.telemetry.export — Chrome trace, JSONL, summary table."""
+
+import json
+import math
+
+import pytest
+
+from repro.sim.environment import Environment
+from repro.telemetry import Telemetry
+from repro.telemetry.export import (
+    DRIVER_TID,
+    iter_jsonl_records,
+    summary_table,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def recorded():
+    """A two-run recorder with spans, instants, counters, and a NaN arg."""
+    tel = Telemetry(label="unit")
+    env = Environment()
+    tel.attach(env, algorithm="alpha", n_devices=2)
+
+    def proc():
+        with tel.span("step.compute", device=1, size=8):
+            yield env.timeout(2.0)
+        tel.instant("batch.dispatch", device=0, nnz=float("nan"))
+        tel.counter("updates", 3, device=0)
+        tel.gauge("accuracy", 0.5)
+
+    env.process(proc())
+    env.run()
+    tel.detach()
+
+    env2 = Environment()
+    tel.attach(env2, algorithm="beta")
+    with tel.span("merge", branch="uniform"):
+        pass
+    tel.detach()
+    return tel
+
+
+class TestChromeTrace:
+    def test_strict_json_serializable(self, recorded):
+        text = json.dumps(to_chrome_trace(recorded), allow_nan=False)
+        json.loads(text)  # round-trips
+
+    def test_phases_restricted(self, recorded):
+        phases = {e["ph"] for e in to_chrome_trace(recorded)["traceEvents"]}
+        assert phases <= {"X", "i", "C", "M"}
+
+    def test_complete_events_carry_microseconds(self, recorded):
+        trace = to_chrome_trace(recorded)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        step = next(e for e in spans if e["name"] == "step.compute")
+        assert step["ts"] == 0.0
+        assert step["dur"] == pytest.approx(2.0 * 1e6)  # seconds -> us
+        for e in spans:
+            assert isinstance(e["ts"], float) and isinstance(e["dur"], float)
+            assert math.isfinite(e["ts"]) and e["dur"] >= 0.0
+
+    def test_pid_is_run_and_tid_is_device_plus_one(self, recorded):
+        trace = to_chrome_trace(recorded)
+        step = next(
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "step.compute"
+        )
+        assert (step["pid"], step["tid"]) == (0, 2)  # run 0, device 1
+        merge = next(
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "merge"
+        )
+        assert (merge["pid"], merge["tid"]) == (1, DRIVER_TID)
+
+    def test_counters_exported_as_counter_events(self, recorded):
+        trace = to_chrome_trace(recorded)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert "gpu0/updates" in names and "accuracy" in names
+        upd = next(e for e in counters if e["name"] == "gpu0/updates")
+        assert upd["args"] == {"value": 3.0}
+
+    def test_metadata_names_processes_and_threads(self, recorded):
+        trace = to_chrome_trace(recorded)
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["pid"]: e["args"]["name"]
+            for e in meta if e["name"] == "process_name"
+        }
+        assert process_names[0] == "alpha (2 dev)"
+        assert process_names[1] == "beta"
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in meta if e["name"] == "thread_name"
+        }
+        assert thread_names[(0, DRIVER_TID)] == "driver"
+        assert thread_names[(0, 2)] == "gpu1"
+
+    def test_nan_args_become_null(self, recorded):
+        trace = to_chrome_trace(recorded)
+        dispatch = next(
+            e for e in trace["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "batch.dispatch"
+        )
+        assert dispatch["args"]["nnz"] is None
+        assert dispatch["s"] == "t"
+
+    def test_write_chrome_trace(self, recorded, tmp_path):
+        path = write_chrome_trace(recorded, tmp_path / "out" / "t.trace.json")
+        assert path.exists()
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["otherData"]["label"] == "unit"
+        assert len(loaded["otherData"]["runs"]) == 2
+
+
+class TestJsonl:
+    def test_record_types(self, recorded):
+        records = list(iter_jsonl_records(recorded))
+        types = {r["type"] for r in records}
+        assert {"run", "span", "instant", "counter"} <= types
+        runs = [r for r in records if r["type"] == "run"]
+        assert [r["run"] for r in runs] == [0, 1]
+        assert runs[0]["algorithm"] == "alpha"
+
+    def test_span_record_fields(self, recorded):
+        span = next(
+            r for r in iter_jsonl_records(recorded)
+            if r["type"] == "span" and r["name"] == "step.compute"
+        )
+        assert span["run"] == 0
+        assert span["device"] == 1
+        assert span["dur"] == 2.0
+        assert span["args"] == {"size": 8}
+
+    def test_write_jsonl_is_strict_json_lines(self, recorded, tmp_path):
+        path = write_jsonl(recorded, tmp_path / "events.jsonl")
+        lines = path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)  # every line parses; NaN would raise
+        assert '"nnz": null' in path.read_text()
+
+
+class TestSummaryTable:
+    def test_lists_spans_with_counts(self, recorded):
+        out = summary_table(recorded)
+        assert "step.compute" in out and "merge" in out
+        assert "2 run(s)" in out
+
+    def test_empty_recorder_renders(self):
+        out = summary_table(Telemetry())
+        assert "0 run(s)" in out
