@@ -12,7 +12,15 @@ Every paper artifact is reachable from the shell without writing code:
 - ``python -m repro train`` — one Adaptive SGD run with a trace summary,
   optionally saved with ``--save <stem>``;
 - ``python -m repro trace`` — run a grid with telemetry enabled and export
-  a Chrome/Perfetto timeline + JSONL event stream + summary tables.
+  a Chrome/Perfetto timeline + JSONL event stream + summary tables
+  (``--summary`` prints the time-attribution table instead of writing
+  files);
+- ``python -m repro analyze <trace>`` — time attribution, straggler /
+  critical-path diagnosis, and convergence findings for a recorded trace
+  (JSONL or Chrome archive; ``--json`` for machine output, ``--promtext``
+  for a Prometheus exposition file);
+- ``python -m repro compare <a> <b>`` — align two recorded runs and report
+  per-phase deltas, time-to-accuracy delta, and regressions.
 
 Time budgets use the canonical ``--time-budget-s`` flag (matching the
 Python API's ``time_budget_s`` keyword); the old ``--budget`` spelling is a
@@ -135,6 +143,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="STEM", default="repro-trace",
         help="output stem: STEM.trace.json + STEM.telemetry.jsonl",
     )
+    p.add_argument(
+        "--summary", action="store_true",
+        help="print the time-attribution analysis instead of writing files",
+    )
+
+    p = sub.add_parser(
+        "analyze",
+        help="time attribution + straggler + convergence findings for a trace",
+    )
+    p.add_argument(
+        "trace",
+        help="a .telemetry.jsonl / .trace.json archive, or a result-set "
+             "directory containing telemetry.jsonl",
+    )
+    p.add_argument(
+        "--run", type=int, default=None,
+        help="analyze only this run index (default: every run in the trace)",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the analysis as sorted JSON instead of tables",
+    )
+    p.add_argument(
+        "--promtext", metavar="PATH", default=None,
+        help="also write a Prometheus text exposition of final metrics",
+    )
+    p.add_argument(
+        "--width", type=int, default=64,
+        help="utilization timeline width in characters",
+    )
+
+    p = sub.add_parser(
+        "compare",
+        help="align two recorded runs: per-phase deltas + TTA + regressions",
+    )
+    p.add_argument("baseline", help="baseline trace archive")
+    p.add_argument("candidate", help="candidate trace archive")
+    p.add_argument(
+        "--run-a", type=int, default=0,
+        help="run index inside the baseline trace (default 0)",
+    )
+    p.add_argument(
+        "--run-b", type=int, default=0,
+        help="run index inside the candidate trace (default 0)",
+    )
+    p.add_argument(
+        "--target", type=float, default=None,
+        help="accuracy target for the TTA delta "
+             "(default: the best accuracy both runs reached)",
+    )
+    p.add_argument(
+        "--noise", type=float, default=0.05,
+        help="relative threshold below which a phase delta is jitter",
+    )
+    p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the comparison as sorted JSON instead of tables",
+    )
     return parser
 
 
@@ -239,6 +305,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         tel = Telemetry(label=args.out)
         run_experiment(spec, telemetry=tel)
+        if args.summary:
+            from repro.harness.report import render_analysis
+
+            print(render_telemetry_summary(tel))
+            print()
+            print(render_analysis(tel))
+            return 0
         stem = Path(args.out)
         chrome = write_chrome_trace(tel, stem.parent / f"{stem.name}.trace.json")
         jsonl = write_jsonl(tel, stem.parent / f"{stem.name}.telemetry.jsonl")
@@ -250,6 +323,61 @@ def main(argv: Optional[List[str]] = None) -> int:
             "open the trace in Perfetto (https://ui.perfetto.dev) or "
             "chrome://tracing — one process per run, one thread per device"
         )
+        return 0
+
+    if args.command == "analyze":
+        import json
+
+        from repro.exceptions import DataFormatError
+        from repro.telemetry.trace_data import load_trace_data
+
+        try:
+            data = load_trace_data(args.trace)
+        except DataFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.as_json:
+            from repro.telemetry.analyze import analyze_report
+
+            print(json.dumps(
+                analyze_report(data, run=args.run),
+                indent=2, sort_keys=True, allow_nan=False,
+            ))
+        else:
+            from repro.harness.report import render_analysis
+
+            print(render_analysis(data, run=args.run, width=args.width))
+        if args.promtext:
+            from repro.telemetry.promtext import write_promtext
+
+            path = write_promtext(data, args.promtext)
+            print(f"prometheus exposition: {path}", file=sys.stderr)
+        return 0
+
+    if args.command == "compare":
+        import json
+
+        from repro.exceptions import DataFormatError
+        from repro.telemetry.compare import compare_runs
+        from repro.telemetry.trace_data import load_trace_data
+
+        try:
+            baseline = load_trace_data(args.baseline).run(args.run_a)
+            candidate = load_trace_data(args.candidate).run(args.run_b)
+        except DataFormatError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        cmp = compare_runs(
+            baseline, candidate, target=args.target, noise=args.noise
+        )
+        if args.as_json:
+            print(json.dumps(
+                cmp.as_dict(), indent=2, sort_keys=True, allow_nan=False,
+            ))
+        else:
+            from repro.harness.report import render_comparison
+
+            print(render_comparison(cmp))
         return 0
 
     return 2  # pragma: no cover - unreachable with required=True

@@ -12,7 +12,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.harness.tta import TTAEntry, default_targets, tta_table
 from repro.harness.traces import TrainingTrace
 from repro.utils.plots import ascii_plot
-from repro.utils.tables import format_series, format_table
+from repro.utils.tables import format_kv, format_series, format_table, format_timeline
 
 __all__ = [
     "render_fig1",
@@ -22,6 +22,12 @@ __all__ = [
     "render_fig6",
     "render_allreduce",
     "render_telemetry_summary",
+    "render_attribution",
+    "render_utilization",
+    "render_straggler",
+    "render_findings",
+    "render_comparison",
+    "render_analysis",
 ]
 
 
@@ -34,6 +40,230 @@ def render_telemetry_summary(telemetry) -> str:
     from repro.telemetry.export import summary_table
 
     return summary_table(telemetry)
+
+
+def render_attribution(attribution) -> str:
+    """Per-device wall-clock decomposition table for one run.
+
+    ``attribution`` is a :class:`repro.telemetry.analyze.RunAttribution`.
+    Every row's components sum to the run span (the engine's invariant), so
+    the table reads as a complete answer to "where did the time go".
+    """
+    rows = []
+    run_s = attribution.run_span_s
+    for dev in attribution.devices:
+        busy_pct = (dev.busy_s / run_s * 100.0) if run_s > 0 else 0.0
+        rows.append([
+            f"gpu{dev.device}",
+            dev.compute_s * 1e3,
+            dev.transfer_s * 1e3,
+            dev.rebuild_s * 1e3,
+            dev.allreduce_wait_s * 1e3,
+            dev.merge_wait_s * 1e3,
+            dev.idle_s * 1e3,
+            f"{busy_pct:.1f}%",
+            dev.steps,
+        ])
+    body = format_table(
+        [
+            "device", "compute ms", "transfer ms", "rebuild ms",
+            "allreduce ms", "merge-wait ms", "idle ms", "busy", "steps",
+        ],
+        rows,
+        title=(
+            f"Time attribution — {attribution.label}: "
+            f"run span {run_s * 1e3:.4g} ms, "
+            f"{attribution.n_boundaries} merge boundaries"
+        ),
+    )
+    driver = attribution.driver
+    body += (
+        f"\ndriver: merge {driver['merge_s'] * 1e3:.4g} ms "
+        f"(allreduce {driver['allreduce_s'] * 1e3:.4g} ms, "
+        f"other {driver['merge_other_s'] * 1e3:.4g} ms)"
+    )
+    return body
+
+
+def render_utilization(run_data, *, width: int = 64) -> str:
+    """ASCII per-device utilization timeline for one run.
+
+    ``run_data`` is a :class:`repro.telemetry.trace_data.RunData`; lanes
+    come from :func:`repro.telemetry.analyze.utilization_lanes`.
+    """
+    from repro.telemetry.analyze import utilization_lanes
+
+    lanes = utilization_lanes(run_data)
+    start = run_data.start()
+    return format_timeline(
+        lanes,
+        start=start,
+        end=start + run_data.duration(),
+        width=width,
+        title=f"Device utilization — {run_data.label()}",
+        legend={
+            "#": "compute", "T": "transfer", "R": "rebuild",
+            "M": "merge", "A": "allreduce",
+        },
+    )
+
+
+def render_straggler(report) -> str:
+    """Straggler / critical-path section for one run.
+
+    ``report`` is a :class:`repro.telemetry.analyze.StragglerReport`.
+    """
+    lines = [f"Straggler analysis — {report.label}"]
+    if report.straggler is not None:
+        lines.append(f"  straggler: gpu{report.straggler} ({report.reason})")
+    else:
+        lines.append("  straggler: none detected")
+    if report.slowdowns:
+        slowdown = ", ".join(
+            f"gpu{d}: +{s * 100:.1f}%"
+            for d, s in sorted(report.slowdowns.items())
+        )
+        lines.append(
+            f"  per-sample slowdown vs fastest: {slowdown} "
+            f"(heterogeneity index {report.heterogeneity_index * 100:.1f}%)"
+        )
+    if report.update_counts:
+        counts = ", ".join(
+            f"gpu{d}: {c:.0f}" for d, c in sorted(report.update_counts.items())
+        )
+        lines.append(
+            f"  update counts: {counts} (skew {report.update_skew:.0f}, "
+            f"balance {report.update_balance:.2f})"
+        )
+    if report.boundaries:
+        crit = ", ".join(
+            f"gpu{d}: {c}" for d, c in sorted(report.critical_counts.items())
+        )
+        lines.append(
+            f"  critical device per boundary ({len(report.boundaries)} "
+            f"boundaries): {crit}"
+        )
+        worst = max(
+            (max(b.idle_before.values(), default=0.0) for b in report.boundaries),
+            default=0.0,
+        )
+        lines.append(
+            f"  worst idle-before-merge: {worst * 1e3:.4g} ms"
+        )
+    return "\n".join(lines)
+
+
+def render_findings(findings: Sequence) -> str:
+    """Convergence findings table (``repro.telemetry.diagnose.Finding``)."""
+    if not findings:
+        return "Findings: none — the run looks healthy."
+    rows = [
+        [
+            f.severity.upper(),
+            f.detector,
+            "driver" if f.device is None else f"gpu{f.device}",
+            f"{f.t_start:.4g}-{f.t_end:.4g}s",
+            f.message,
+        ]
+        for f in findings
+    ]
+    return format_table(
+        ["severity", "detector", "where", "window", "finding"],
+        rows,
+        title=f"Findings ({len(findings)})",
+    )
+
+
+def render_comparison(cmp) -> str:
+    """Phase-by-phase comparison of two runs
+    (``repro.telemetry.compare.RunComparison``)."""
+    header = format_kv({
+        "baseline": cmp.baseline_label,
+        "candidate": cmp.candidate_label,
+        "wall clock": (
+            f"{cmp.wall_baseline_s * 1e3:.4g} ms -> "
+            f"{cmp.wall_candidate_s * 1e3:.4g} ms"
+            + (
+                f" ({cmp.wall_speedup:.2f}x)"
+                if cmp.wall_speedup is not None else ""
+            )
+        ),
+        "best accuracy": (
+            f"{cmp.best_accuracy_baseline:.4f} -> "
+            f"{cmp.best_accuracy_candidate:.4f}"
+        ),
+        "updates": (
+            f"{cmp.updates_baseline:.0f} -> {cmp.updates_candidate:.0f}"
+        ),
+    })
+    if cmp.tta_target is not None:
+        tta_a = (
+            f"{cmp.tta_baseline_s * 1e3:.4g} ms"
+            if cmp.tta_baseline_s is not None else "not reached"
+        )
+        tta_b = (
+            f"{cmp.tta_candidate_s * 1e3:.4g} ms"
+            if cmp.tta_candidate_s is not None else "not reached"
+        )
+        delta = (
+            f" (delta {cmp.tta_delta_s * 1e3:+.4g} ms)"
+            if cmp.tta_delta_s is not None else ""
+        )
+        header += (
+            f"\ntime-to-accuracy @ {cmp.tta_target:.4f}: "
+            f"{tta_a} -> {tta_b}{delta}"
+        )
+    rows = [
+        [
+            p.name,
+            p.baseline_s * 1e3,
+            p.candidate_s * 1e3,
+            p.delta_s * 1e3,
+            f"{p.speedup:.2f}x" if p.speedup is not None else "-",
+            "REGRESSION" if p.name in cmp.regressions else "",
+        ]
+        for p in sorted(cmp.phases, key=lambda p: -p.baseline_s)
+    ]
+    body = format_table(
+        [
+            "phase", "baseline ms", "candidate ms", "delta ms",
+            "speedup", f"> {cmp.noise * 100:.0f}% noise",
+        ],
+        rows,
+        title="Per-phase simulated time (baseline vs candidate)",
+    )
+    verdict = (
+        f"regressions: {', '.join(cmp.regressions)}"
+        if cmp.regressions else "regressions: none beyond the noise threshold"
+    )
+    return f"{header}\n\n{body}\n{verdict}"
+
+
+def render_analysis(source, *, run=None, width: int = 64) -> str:
+    """The full ``repro analyze`` text report for a trace source.
+
+    Accepts anything :func:`repro.telemetry.trace_data.load_trace_data`
+    does (live recorder, JSONL archive, Chrome trace, result-set dir).
+    """
+    from repro.telemetry.analyze import attribute_time, critical_path
+    from repro.telemetry.diagnose import diagnose
+    from repro.telemetry.trace_data import load_trace_data
+
+    data = load_trace_data(source)
+    runs = data.runs if run is None else [data.run(run)]
+    if not runs:
+        return f"Trace {data.label!r}: no runs recorded."
+    sections = []
+    for run_data in runs:
+        straggler = critical_path(run_data)
+        parts = [
+            render_attribution(attribute_time(run_data)),
+            render_utilization(run_data, width=width),
+            render_straggler(straggler),
+            render_findings(diagnose(run_data, straggler_report=straggler)),
+        ]
+        sections.append("\n\n".join(parts))
+    return "\n\n".join(sections)
 
 
 def render_fig1(rows: Sequence[Mapping[str, float]]) -> str:

@@ -15,7 +15,79 @@ import numpy as np
 
 from repro.sim.environment import Environment
 
-__all__ = ["Monitor", "MonitorSet"]
+__all__ = ["Monitor", "MonitorSet", "IdleAccountant"]
+
+
+class IdleAccountant:
+    """Busy/idle interval bookkeeping for a set of keyed lanes.
+
+    Components report closed busy intervals (``observe(key, start, end)``)
+    — e.g. one per ``step.compute`` span on a device — and the accountant
+    accumulates, per key, total busy time and total *idle* time: the gaps
+    between consecutive busy intervals. Back-to-back intervals contribute
+    zero idle; an interval starting before the previous one ended clamps
+    the gap at zero rather than going negative.
+
+    Keeping this next to :class:`Monitor` lets trace analysis read idle
+    time directly off a recording instead of re-deriving it from the span
+    stream.
+    """
+
+    def __init__(self) -> None:
+        #: key -> [first_start, last_end, busy_total, idle_total, n_intervals]
+        self._lanes: Dict[object, List[float]] = {}
+
+    def observe(self, key, start: float, end: float) -> None:
+        """Account one busy interval ``[start, end]`` on lane ``key``.
+
+        Intervals must be reported in non-decreasing ``start`` order per
+        key (the natural order of a sequential device process).
+        """
+        start = float(start)
+        end = float(end)
+        if end < start:
+            raise ValueError(
+                f"busy interval ends before it starts: [{start}, {end}]"
+            )
+        lane = self._lanes.get(key)
+        if lane is None:
+            self._lanes[key] = [start, end, end - start, 0.0, 1]
+            return
+        lane[3] += max(0.0, start - lane[1])  # gap since the previous interval
+        lane[1] = max(lane[1], end)
+        lane[2] += end - start
+        lane[4] += 1
+
+    def keys(self) -> List[object]:
+        """Lanes observed so far, in first-observation order."""
+        return list(self._lanes)
+
+    def __contains__(self, key) -> bool:
+        return key in self._lanes
+
+    def busy_time(self, key) -> float:
+        """Total busy seconds on ``key`` (0.0 for an unobserved lane)."""
+        lane = self._lanes.get(key)
+        return lane[2] if lane is not None else 0.0
+
+    def idle_time(self, key) -> float:
+        """Total gap seconds between consecutive busy intervals on ``key``."""
+        lane = self._lanes.get(key)
+        return lane[3] if lane is not None else 0.0
+
+    def as_records(self) -> List[Dict[str, object]]:
+        """One JSON-friendly dict per lane, in first-observation order."""
+        return [
+            {
+                "device": key,
+                "first_ts": lane[0],
+                "last_ts": lane[1],
+                "busy_s": lane[2],
+                "idle_s": lane[3],
+                "intervals": int(lane[4]),
+            }
+            for key, lane in self._lanes.items()
+        ]
 
 
 class Monitor:
@@ -90,6 +162,9 @@ class MonitorSet:
     def __init__(self, env: Environment) -> None:
         self.env = env
         self._monitors: Dict[str, Monitor] = {}
+        #: Per-device busy/idle accounting (fed by the telemetry recorder
+        #: with ``step.compute`` spans; consumed by trace analysis).
+        self.idle = IdleAccountant()
 
     def __contains__(self, name: str) -> bool:
         return name in self._monitors

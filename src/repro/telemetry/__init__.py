@@ -24,10 +24,27 @@ Components:
   :data:`NULL` (the zero-cost disabled sink);
 - :mod:`repro.telemetry.events` — event records and the uniform schema;
 - :mod:`repro.telemetry.export` — JSONL, Chrome ``trace_event``, and
-  summary-table exporters.
+  summary-table exporters;
+- :mod:`repro.telemetry.trace_data` — the normalized :class:`TraceData`
+  view any analysis consumes (live recorder, JSONL, or Chrome archive);
+- :mod:`repro.telemetry.analyze` — time attribution and straggler /
+  critical-path analysis (``repro analyze``);
+- :mod:`repro.telemetry.diagnose` — rule-based convergence findings;
+- :mod:`repro.telemetry.compare` — phase-by-phase run comparison
+  (``repro compare``);
+- :mod:`repro.telemetry.promtext` — Prometheus text exposition of final
+  counters/gauges for external scraping.
 """
 
+from repro.telemetry.analyze import (
+    analyze_report,
+    attribute_time,
+    critical_path,
+    utilization_lanes,
+)
+from repro.telemetry.compare import RunComparison, compare_runs
 from repro.telemetry.core import NULL, NullTelemetry, Telemetry
+from repro.telemetry.diagnose import Finding, diagnose
 from repro.telemetry.events import InstantEvent, SpanEvent
 from repro.telemetry.export import (
     summary_table,
@@ -35,6 +52,8 @@ from repro.telemetry.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.telemetry.promtext import to_promtext, write_promtext
+from repro.telemetry.trace_data import RunData, TraceData, load_trace_data
 
 __all__ = [
     "Telemetry",
@@ -46,4 +65,17 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "summary_table",
+    "TraceData",
+    "RunData",
+    "load_trace_data",
+    "analyze_report",
+    "attribute_time",
+    "critical_path",
+    "utilization_lanes",
+    "diagnose",
+    "Finding",
+    "compare_runs",
+    "RunComparison",
+    "to_promtext",
+    "write_promtext",
 ]

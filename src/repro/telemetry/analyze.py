@@ -1,0 +1,517 @@
+"""Time attribution and straggler/critical-path analysis over a trace.
+
+This module answers the first two questions the paper's Figure 1 raises for
+any recorded run: *where did the time go on every device*, and *which GPU
+held the mega-batch back*. Everything is a pure function of
+:class:`~repro.telemetry.trace_data.RunData`; nothing here touches a live
+simulation.
+
+Attribution invariant: for every device, the reported components
+(compute + transfer + rebuild + other busy + all-reduce wait + merge wait
++ idle) sum to the ``run`` span's duration *exactly* (idle is computed as
+the remainder, so the invariant holds to float addition error — the
+acceptance tests pin it below 1e-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.events import (
+    COUNTER_UPDATES,
+    SPAN_ALLREDUCE,
+    SPAN_LSH_REBUILD,
+    SPAN_MERGE,
+    SPAN_RUN,
+    SPAN_STEP,
+    SPAN_TRANSFER,
+)
+from repro.telemetry.trace_data import RunData
+
+__all__ = [
+    "DeviceAttribution",
+    "RunAttribution",
+    "BoundaryDiagnosis",
+    "StragglerReport",
+    "attribute_time",
+    "critical_path",
+    "utilization_lanes",
+    "analyze_report",
+]
+
+Interval = Tuple[float, float]
+
+#: Minimum fastest-to-slowest throughput gap before a device is called a
+#: straggler (mirrors the paper's Figure 1 framing: the measured gap on
+#: "identical" hardware is far above this).
+STRAGGLER_GAP = 0.05
+
+
+# -- interval arithmetic -----------------------------------------------------
+def _union(intervals: Sequence[Interval]) -> List[Interval]:
+    """Merge possibly-overlapping intervals into a sorted disjoint union."""
+    merged: List[Interval] = []
+    for start, end in sorted(i for i in intervals if i[1] > i[0]):
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _length(union: Sequence[Interval]) -> float:
+    return sum(end - start for start, end in union)
+
+
+def _difference_length(
+    a: Sequence[Interval], b: Sequence[Interval]
+) -> float:
+    """``|union(a) \\ union(b)|`` for disjoint sorted unions ``a`` and ``b``."""
+    total = 0.0
+    j = 0
+    for start, end in a:
+        cursor = start
+        while j < len(b) and b[j][1] <= cursor:
+            j += 1
+        k = j
+        while k < len(b) and b[k][0] < end:
+            cut_start, cut_end = b[k]
+            if cut_start > cursor:
+                total += cut_start - cursor
+            cursor = max(cursor, min(cut_end, end))
+            if cut_end >= end:
+                break
+            k += 1
+        if cursor < end:
+            total += end - cursor
+    return total
+
+
+# -- time attribution --------------------------------------------------------
+@dataclass
+class DeviceAttribution:
+    """Wall-clock decomposition of one device's run (simulated seconds)."""
+
+    device: int
+    compute_s: float = 0.0
+    transfer_s: float = 0.0
+    rebuild_s: float = 0.0
+    #: Device spans outside the uniform schema (future-proofing: the sum
+    #: invariant must survive new span kinds).
+    other_s: float = 0.0
+    #: Time parked inside a merge stage while its collective ran.
+    allreduce_wait_s: float = 0.0
+    #: Remaining merge-stage time (weight computation, normalization).
+    merge_wait_s: float = 0.0
+    #: Everything else: waiting on the scheduler, stragglers, ramp-down.
+    idle_s: float = 0.0
+    steps: int = 0
+    #: Training samples processed (sum of ``step.compute`` ``size`` args).
+    samples: int = 0
+    #: Idle-accountant view: gaps between *consecutive* compute spans only.
+    gap_idle_s: Optional[float] = None
+
+    @property
+    def busy_s(self) -> float:
+        """Seconds this device was executing its own spans."""
+        return self.compute_s + self.transfer_s + self.rebuild_s + self.other_s
+
+    @property
+    def total_s(self) -> float:
+        """Sum of every component (must equal the run span)."""
+        return (
+            self.busy_s + self.allreduce_wait_s + self.merge_wait_s
+            + self.idle_s
+        )
+
+    @property
+    def throughput(self) -> Optional[float]:
+        """Samples per simulated compute second (``None`` without steps)."""
+        if self.compute_s <= 0.0 or self.samples <= 0:
+            return None
+        return self.samples / self.compute_s
+
+    def as_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "compute_s": self.compute_s,
+            "transfer_s": self.transfer_s,
+            "rebuild_s": self.rebuild_s,
+            "other_s": self.other_s,
+            "allreduce_wait_s": self.allreduce_wait_s,
+            "merge_wait_s": self.merge_wait_s,
+            "idle_s": self.idle_s,
+            "busy_s": self.busy_s,
+            "total_s": self.total_s,
+            "steps": self.steps,
+            "samples": self.samples,
+            "throughput": self.throughput,
+            "gap_idle_s": self.gap_idle_s,
+        }
+
+
+@dataclass
+class RunAttribution:
+    """Per-device + driver time decomposition of one run."""
+
+    run: int
+    label: str
+    run_span_s: float
+    n_boundaries: int
+    devices: List[DeviceAttribution] = field(default_factory=list)
+    #: Driver-lane totals: merge stage, the collective inside it, other.
+    driver: Dict[str, float] = field(default_factory=dict)
+
+    def device(self, device_id: int) -> DeviceAttribution:
+        for d in self.devices:
+            if d.device == device_id:
+                return d
+        raise KeyError(f"no device {device_id} in run {self.run}")
+
+    def max_residual(self) -> float:
+        """Largest |components − run span| over devices (the invariant)."""
+        return max(
+            (abs(d.total_s - self.run_span_s) for d in self.devices),
+            default=0.0,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "run": self.run,
+            "label": self.label,
+            "run_span_s": self.run_span_s,
+            "n_boundaries": self.n_boundaries,
+            "devices": [d.as_dict() for d in self.devices],
+            "driver": dict(self.driver),
+            "max_residual": self.max_residual(),
+        }
+
+
+def attribute_time(run: RunData) -> RunAttribution:
+    """Decompose ``run``'s wall clock per device; components sum to the
+    ``run`` span (see the module invariant)."""
+    run_s = run.duration()
+
+    merge_union = _union([
+        (s.ts, s.ts + s.dur)
+        for s in run.spans_named(SPAN_MERGE, device=None)
+    ])
+    allreduce_union = _union([
+        (s.ts, s.ts + s.dur)
+        for s in run.spans_named(SPAN_ALLREDUCE, device=None)
+    ])
+    merge_total = _length(merge_union)
+    allreduce_total = _length(allreduce_union)
+
+    att = RunAttribution(
+        run=run.index,
+        label=run.label(),
+        run_span_s=run_s,
+        n_boundaries=len(run.spans_named(SPAN_MERGE, device=None)),
+        driver={
+            "merge_s": merge_total,
+            "allreduce_s": allreduce_total,
+            "merge_other_s": merge_total - allreduce_total,
+            "rebuild_s": sum(
+                s.dur for s in run.spans_named(SPAN_LSH_REBUILD, device=None)
+            ),
+            "run_s": run_s,
+        },
+    )
+
+    for device_id in run.devices():
+        dev = DeviceAttribution(device=device_id)
+        busy_intervals: List[Interval] = []
+        for span in run.spans:
+            if span.device != device_id:
+                continue
+            busy_intervals.append((span.ts, span.ts + span.dur))
+            if span.name == SPAN_STEP:
+                dev.compute_s += span.dur
+                dev.steps += 1
+                size = span.args.get("size")
+                if isinstance(size, (int, float)):
+                    dev.samples += int(size)
+            elif span.name == SPAN_TRANSFER:
+                dev.transfer_s += span.dur
+            elif span.name == SPAN_LSH_REBUILD:
+                dev.rebuild_s += span.dur
+            elif span.name == SPAN_RUN:
+                busy_intervals.pop()  # a device-level root would distort busy
+            else:
+                dev.other_s += span.dur
+        busy_union = _union(busy_intervals)
+        # Merge-stage time the device spent parked (not executing a span),
+        # split into the collective and the rest of the merge stage.
+        dev.allreduce_wait_s = _difference_length(allreduce_union, busy_union)
+        merge_wait_total = _difference_length(merge_union, busy_union)
+        dev.merge_wait_s = merge_wait_total - dev.allreduce_wait_s
+        # Idle is the remainder, so components sum to the run span exactly.
+        dev.idle_s = run_s - dev.busy_s - merge_wait_total
+        idle_record = run.idle.get(device_id)
+        if idle_record is not None:
+            dev.gap_idle_s = float(idle_record.get("idle_s", 0.0))
+        elif dev.steps:
+            # Archived Chrome traces carry no idle records; re-derive the
+            # consecutive-compute-gap view from the step spans.
+            steps = sorted(
+                (s.ts, s.ts + s.dur)
+                for s in run.spans_named(SPAN_STEP, device=device_id)
+            )
+            dev.gap_idle_s = sum(
+                max(0.0, s2 - e1)
+                for (_, e1), (s2, _) in zip(steps, steps[1:])
+            )
+        att.devices.append(dev)
+    return att
+
+
+# -- straggler / critical path -----------------------------------------------
+@dataclass
+class BoundaryDiagnosis:
+    """One mega-batch boundary: who arrived last, who waited how long."""
+
+    index: int
+    #: Merge-stage start (the barrier everyone converged on).
+    merge_ts: float
+    window_start: float
+    critical_device: Optional[int]
+    #: Device -> idle seconds between its last activity and the barrier.
+    idle_before: Dict[int, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "merge_ts": self.merge_ts,
+            "window_start": self.window_start,
+            "critical_device": self.critical_device,
+            "idle_before": {str(k): v for k, v in self.idle_before.items()},
+        }
+
+
+@dataclass
+class StragglerReport:
+    """Per-run straggler diagnosis mirroring the paper's Figure 1."""
+
+    run: int
+    label: str
+    boundaries: List[BoundaryDiagnosis] = field(default_factory=list)
+    #: Device -> number of boundaries it was the last to arrive at.
+    critical_counts: Dict[int, int] = field(default_factory=dict)
+    #: Device -> final cumulative update count (the `u_i` of Algorithm 1).
+    update_counts: Dict[int, float] = field(default_factory=dict)
+    #: max(u_i) - min(u_i): the update-count skew adaptivity should close.
+    update_skew: float = 0.0
+    #: min(u_i) / max(u_i), 1.0 when perfectly balanced.
+    update_balance: float = 1.0
+    #: Device -> relative per-sample slowdown vs the fastest device.
+    slowdowns: Dict[int, float] = field(default_factory=dict)
+    #: Fastest-to-slowest relative gap (Figure 1's headline number).
+    heterogeneity_index: float = 0.0
+    straggler: Optional[int] = None
+    reason: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "run": self.run,
+            "label": self.label,
+            "boundaries": [b.as_dict() for b in self.boundaries],
+            "critical_counts": {
+                str(k): v for k, v in self.critical_counts.items()
+            },
+            "update_counts": {
+                str(k): v for k, v in self.update_counts.items()
+            },
+            "update_skew": self.update_skew,
+            "update_balance": self.update_balance,
+            "slowdowns": {str(k): v for k, v in self.slowdowns.items()},
+            "heterogeneity_index": self.heterogeneity_index,
+            "straggler": self.straggler,
+            "reason": self.reason,
+        }
+
+
+def critical_path(
+    run: RunData, *, straggler_gap: float = STRAGGLER_GAP
+) -> StragglerReport:
+    """Straggler and per-boundary critical-device analysis of ``run``."""
+    report = StragglerReport(run=run.index, label=run.label())
+    devices = run.devices()
+
+    # Per-boundary arrival analysis: for each driver-level merge, find each
+    # device's last activity in the window since the previous boundary.
+    merges = sorted(
+        run.spans_named(SPAN_MERGE, device=None), key=lambda s: s.ts
+    )
+    device_ends: Dict[int, List[Tuple[float, float]]] = {
+        d: sorted(
+            (s.ts + s.dur, s.ts)
+            for s in run.spans
+            if s.device == d and s.name != SPAN_RUN
+        )
+        for d in devices
+    }
+    window_start = run.start()
+    for k, merge in enumerate(merges):
+        diag = BoundaryDiagnosis(
+            index=k,
+            merge_ts=merge.ts,
+            window_start=window_start,
+            critical_device=None,
+        )
+        last_seen: Dict[int, float] = {}
+        for d in devices:
+            last_end = window_start
+            for end, _ in device_ends[d]:
+                if end > merge.ts + 1e-12:
+                    break
+                if end >= window_start:
+                    last_end = max(last_end, end)
+            last_seen[d] = last_end
+            diag.idle_before[d] = max(0.0, merge.ts - last_end)
+        if last_seen:
+            latest = max(last_seen.values())
+            diag.critical_device = min(
+                d for d, end in last_seen.items() if end == latest
+            )
+            report.critical_counts[diag.critical_device] = (
+                report.critical_counts.get(diag.critical_device, 0) + 1
+            )
+        report.boundaries.append(diag)
+        window_start = merge.ts + merge.dur
+
+    # Update-count skew (Algorithm 1's u_i spread).
+    for d in devices:
+        final = run.final(COUNTER_UPDATES, device=d)
+        if final is not None:
+            report.update_counts[d] = final
+    if report.update_counts:
+        values = list(report.update_counts.values())
+        hi, lo = max(values), min(values)
+        report.update_skew = hi - lo
+        report.update_balance = (lo / hi) if hi > 0 else 1.0
+
+    # Per-sample throughput -> relative slowdown vs the fastest device.
+    throughputs: Dict[int, float] = {}
+    for d in devices:
+        compute = 0.0
+        samples = 0
+        for s in run.spans_named(SPAN_STEP, device=d):
+            compute += s.dur
+            size = s.args.get("size")
+            if isinstance(size, (int, float)):
+                samples += int(size)
+        if compute > 0.0 and samples > 0:
+            throughputs[d] = samples / compute
+    if throughputs:
+        fastest = max(throughputs.values())
+        report.slowdowns = {
+            d: (fastest / t) - 1.0 for d, t in throughputs.items()
+        }
+        report.heterogeneity_index = max(report.slowdowns.values())
+
+    # The straggler verdict: hardware speed first (Figure 1's notion),
+    # arrival order as the fallback signal when speeds are indistinguishable.
+    if report.heterogeneity_index > straggler_gap:
+        report.straggler = min(
+            d for d, s in report.slowdowns.items()
+            if s == report.heterogeneity_index
+        )
+        pieces = [
+            f"gpu{report.straggler} is "
+            f"{report.heterogeneity_index * 100:.1f}% slower per sample "
+            f"than the fastest device"
+        ]
+        critical = report.critical_counts.get(report.straggler, 0)
+        if merges:
+            pieces.append(
+                f"last to arrive at {critical}/{len(merges)} merge boundaries"
+            )
+        report.reason = "; ".join(pieces)
+    elif report.critical_counts:
+        top = max(report.critical_counts.values())
+        if len(devices) > 1 and top > len(merges) / 2:
+            report.straggler = min(
+                d for d, c in report.critical_counts.items() if c == top
+            )
+            report.reason = (
+                f"gpu{report.straggler} was last to arrive at "
+                f"{top}/{len(merges)} merge boundaries"
+            )
+    return report
+
+
+# -- utilization lanes -------------------------------------------------------
+#: Timeline glyphs: compute / transfer / LSH rebuild / other / merge /
+#: all-reduce. Idle renders as the timeline's background dot.
+LANE_GLYPHS = {
+    SPAN_STEP: "#",
+    SPAN_TRANSFER: "T",
+    SPAN_LSH_REBUILD: "R",
+    SPAN_MERGE: "M",
+    SPAN_ALLREDUCE: "A",
+}
+
+
+def utilization_lanes(run: RunData) -> Dict[str, List[Tuple[float, float, str]]]:
+    """Per-device (+driver) ``(start, end, glyph)`` intervals for the ASCII
+    timeline (:func:`repro.utils.tables.format_timeline`)."""
+    lanes: Dict[str, List[Tuple[float, float, str]]] = {}
+    for device_id in run.devices():
+        intervals = []
+        for span in run.spans:
+            if span.device != device_id or span.name == SPAN_RUN:
+                continue
+            glyph = LANE_GLYPHS.get(span.name, "o")
+            intervals.append((span.ts, span.ts + span.dur, glyph))
+        lanes[f"gpu{device_id}"] = intervals
+    driver = [
+        (s.ts, s.ts + s.dur, LANE_GLYPHS[SPAN_MERGE])
+        for s in run.spans_named(SPAN_MERGE, device=None)
+    ] + [
+        (s.ts, s.ts + s.dur, LANE_GLYPHS[SPAN_ALLREDUCE])
+        for s in run.spans_named(SPAN_ALLREDUCE, device=None)
+    ]
+    if driver or lanes:
+        lanes["driver"] = driver
+    return lanes
+
+
+# -- the aggregated report ---------------------------------------------------
+def analyze_report(source, *, run: Optional[int] = None) -> dict:
+    """The full analysis of a trace as one JSON-safe dict.
+
+    ``source`` is anything :func:`~repro.telemetry.trace_data.load_trace_data`
+    accepts — a live recorder, a JSONL/Chrome archive path, or a
+    ``TraceData``. Serializing the result with ``json.dumps(...,
+    sort_keys=True)`` yields byte-identical output for a live recorder and
+    the JSONL archive of the same run (the analysis is a pure function of
+    the shared record stream).
+    """
+    from repro.telemetry.diagnose import diagnose
+    from repro.telemetry.export import jsonable
+    from repro.telemetry.trace_data import load_trace_data
+
+    data = load_trace_data(source)
+    runs = data.runs if run is None else [data.run(run)]
+    report_runs = []
+    for run_data in runs:
+        straggler = critical_path(run_data)
+        report_runs.append({
+            "run": run_data.index,
+            "label": run_data.label(),
+            "meta": dict(run_data.meta),
+            "attribution": attribute_time(run_data).as_dict(),
+            "straggler": straggler.as_dict(),
+            "findings": [
+                f.as_dict()
+                for f in diagnose(run_data, straggler_report=straggler)
+            ],
+        })
+    return jsonable({
+        "label": data.label,
+        "runs": report_runs,
+        "kernels": [dict(row) for row in data.kernels],
+    })

@@ -1,0 +1,216 @@
+"""Run comparison over the uniform telemetry schema.
+
+Because every trainer emits the same span/gauge vocabulary, any two
+recorded runs can be aligned phase-by-phase: per-span-kind simulated time,
+wall-clock speedup, time-to-accuracy delta, and update totals — with a
+noise threshold separating real regressions from jitter. This is what turns
+a pair of ``BENCH_*.json``-style measurements into an explanation: not just
+"adaptive was 1.4x faster" but *which phase* paid for it.
+
+``a`` is the baseline and ``b`` the candidate throughout: speedups > 1 mean
+the candidate is faster, and a "regression" is a phase where the candidate
+spends more than ``noise`` extra time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.telemetry.events import GAUGE_ACCURACY
+from repro.telemetry.trace_data import RunData
+
+__all__ = [
+    "PhaseDelta",
+    "RunComparison",
+    "compare_runs",
+    "time_to_accuracy",
+]
+
+
+def time_to_accuracy(run: RunData, target: float) -> Optional[float]:
+    """First simulated time the accuracy gauge reaches ``target``."""
+    for t, v in run.series(GAUGE_ACCURACY):
+        if math.isfinite(v) and v >= target:
+            return t
+    return None
+
+
+def best_accuracy(run: RunData) -> float:
+    """Highest accuracy the run's gauge reached (0.0 without samples)."""
+    values = [v for _, v in run.series(GAUGE_ACCURACY) if math.isfinite(v)]
+    return max(values, default=0.0)
+
+
+@dataclass
+class PhaseDelta:
+    """One span kind's totals in baseline vs candidate."""
+
+    name: str
+    baseline_s: float
+    candidate_s: float
+    baseline_count: int
+    candidate_count: int
+
+    @property
+    def delta_s(self) -> float:
+        """Candidate minus baseline (positive = candidate spends more)."""
+        return self.candidate_s - self.baseline_s
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """baseline/candidate time ratio (>1 = candidate faster)."""
+        if self.candidate_s <= 0.0:
+            return None
+        return self.baseline_s / self.candidate_s
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "baseline_s": self.baseline_s,
+            "candidate_s": self.candidate_s,
+            "baseline_count": self.baseline_count,
+            "candidate_count": self.candidate_count,
+            "delta_s": self.delta_s,
+            "speedup": self.speedup,
+        }
+
+
+@dataclass
+class RunComparison:
+    """The full verdict of :func:`compare_runs`."""
+
+    baseline_label: str
+    candidate_label: str
+    wall_baseline_s: float
+    wall_candidate_s: float
+    phases: List[PhaseDelta] = field(default_factory=list)
+    #: Shared accuracy target the TTA delta is measured at.
+    tta_target: Optional[float] = None
+    tta_baseline_s: Optional[float] = None
+    tta_candidate_s: Optional[float] = None
+    best_accuracy_baseline: float = 0.0
+    best_accuracy_candidate: float = 0.0
+    updates_baseline: float = 0.0
+    updates_candidate: float = 0.0
+    #: Phase names where the candidate exceeds baseline beyond ``noise``.
+    regressions: List[str] = field(default_factory=list)
+    noise: float = 0.05
+
+    @property
+    def wall_speedup(self) -> Optional[float]:
+        if self.wall_candidate_s <= 0.0:
+            return None
+        return self.wall_baseline_s / self.wall_candidate_s
+
+    @property
+    def tta_delta_s(self) -> Optional[float]:
+        """Candidate TTA minus baseline TTA (negative = candidate faster);
+        ``None`` when either run never reached the target."""
+        if self.tta_baseline_s is None or self.tta_candidate_s is None:
+            return None
+        return self.tta_candidate_s - self.tta_baseline_s
+
+    @property
+    def tta_speedup(self) -> Optional[float]:
+        if (
+            self.tta_baseline_s is None
+            or self.tta_candidate_s is None
+            or self.tta_candidate_s <= 0.0
+        ):
+            return None
+        return self.tta_baseline_s / self.tta_candidate_s
+
+    def as_dict(self) -> dict:
+        return {
+            "baseline": self.baseline_label,
+            "candidate": self.candidate_label,
+            "wall_baseline_s": self.wall_baseline_s,
+            "wall_candidate_s": self.wall_candidate_s,
+            "wall_speedup": self.wall_speedup,
+            "phases": [p.as_dict() for p in self.phases],
+            "tta_target": self.tta_target,
+            "tta_baseline_s": self.tta_baseline_s,
+            "tta_candidate_s": self.tta_candidate_s,
+            "tta_delta_s": self.tta_delta_s,
+            "tta_speedup": self.tta_speedup,
+            "best_accuracy_baseline": self.best_accuracy_baseline,
+            "best_accuracy_candidate": self.best_accuracy_candidate,
+            "updates_baseline": self.updates_baseline,
+            "updates_candidate": self.updates_candidate,
+            "regressions": list(self.regressions),
+            "noise": self.noise,
+        }
+
+
+def _phase_totals(run: RunData) -> List[Tuple[str, float, int]]:
+    """(span name, total seconds, count) in first-emission order."""
+    totals: dict = {}
+    for span in run.spans:
+        entry = totals.setdefault(span.name, [0.0, 0])
+        entry[0] += span.dur
+        entry[1] += 1
+    return [(name, t, c) for name, (t, c) in totals.items()]
+
+
+def _total_updates(run: RunData) -> float:
+    from repro.telemetry.events import COUNTER_UPDATES
+
+    total = 0.0
+    for device in run.devices():
+        final = run.final(COUNTER_UPDATES, device=device)
+        if final is not None:
+            total += final
+    return total
+
+
+def compare_runs(
+    baseline: RunData,
+    candidate: RunData,
+    *,
+    target: Optional[float] = None,
+    noise: float = 0.05,
+) -> RunComparison:
+    """Align two runs on the shared schema and report the deltas.
+
+    ``target`` defaults to the highest accuracy *both* runs reached, so the
+    time-to-accuracy delta is always measured at an attainable level; pass
+    an explicit target to reproduce a paper-style fixed threshold.
+    """
+    best_a = best_accuracy(baseline)
+    best_b = best_accuracy(candidate)
+    if target is None and best_a > 0.0 and best_b > 0.0:
+        target = min(best_a, best_b)
+
+    cmp = RunComparison(
+        baseline_label=baseline.label(),
+        candidate_label=candidate.label(),
+        wall_baseline_s=baseline.duration(),
+        wall_candidate_s=candidate.duration(),
+        best_accuracy_baseline=best_a,
+        best_accuracy_candidate=best_b,
+        updates_baseline=_total_updates(baseline),
+        updates_candidate=_total_updates(candidate),
+        noise=noise,
+    )
+    if target is not None:
+        cmp.tta_target = target
+        cmp.tta_baseline_s = time_to_accuracy(baseline, target)
+        cmp.tta_candidate_s = time_to_accuracy(candidate, target)
+
+    a_totals = {name: (t, c) for name, t, c in _phase_totals(baseline)}
+    b_totals = {name: (t, c) for name, t, c in _phase_totals(candidate)}
+    names = list(a_totals)
+    names += [n for n in b_totals if n not in a_totals]
+    for name in names:
+        a_s, a_c = a_totals.get(name, (0.0, 0))
+        b_s, b_c = b_totals.get(name, (0.0, 0))
+        phase = PhaseDelta(
+            name=name, baseline_s=a_s, candidate_s=b_s,
+            baseline_count=a_c, candidate_count=b_c,
+        )
+        cmp.phases.append(phase)
+        if b_s > a_s * (1.0 + noise) and b_s - a_s > 1e-12:
+            cmp.regressions.append(name)
+    return cmp

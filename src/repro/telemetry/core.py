@@ -22,7 +22,7 @@ from repro.perf import profile as kernel_profile
 from repro.perf.profile import KernelProfile
 from repro.sim.environment import Environment
 from repro.sim.monitor import MonitorSet
-from repro.telemetry.events import InstantEvent, SpanEvent
+from repro.telemetry.events import SPAN_STEP, InstantEvent, SpanEvent
 
 __all__ = ["Telemetry", "NullTelemetry", "NULL"]
 
@@ -79,6 +79,10 @@ class _Span:
             device=self.device,
             args=self.args,
         ))
+        if self.device is not None and self.name == SPAN_STEP:
+            # Device compute intervals feed the per-device idle accountant,
+            # so analysis reads busy/gap totals instead of re-deriving them.
+            tel.monitor_sets[-1].idle.observe(self.device, self._start, end)
         return False
 
 

@@ -23,6 +23,8 @@ import math
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+import numpy as np
+
 from repro.telemetry.core import Telemetry
 from repro.utils.tables import format_table
 
@@ -32,6 +34,7 @@ __all__ = [
     "iter_jsonl_records",
     "write_jsonl",
     "summary_table",
+    "jsonable",
 ]
 
 PathLike = Union[str, Path]
@@ -45,14 +48,42 @@ def _tid(device: Optional[int]) -> int:
 
 
 def _clean(value):
-    """JSON-safe scalar: non-finite floats become ``None``."""
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    return value
+    """Deep JSON-safe conversion: strict output for arbitrary inputs.
+
+    Guarantees every exported file parses under ``allow_nan=False`` no
+    matter what callers stuffed into span args or run metadata:
+
+    - non-finite floats become ``None`` (bare ``NaN`` is invalid JSON);
+    - numpy scalars/arrays become Python scalars/lists;
+    - dicts/lists/tuples are cleaned recursively;
+    - anything else non-primitive falls back to ``str``.
+    """
+    if value is None or isinstance(value, (str, bool, int)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    if isinstance(value, np.generic):
+        return _clean(value.item())
+    if isinstance(value, np.ndarray):
+        return [_clean(v) for v in value.tolist()]
+    return str(value)
 
 
 def _clean_args(args: dict) -> dict:
     return {str(k): _clean(v) for k, v in args.items()}
+
+
+def jsonable(value):
+    """Public alias for the deep cleaner: strict-JSON-safe copy of ``value``.
+
+    Used by the analytics engine so ``repro analyze --json`` output always
+    serializes under ``allow_nan=False``.
+    """
+    return _clean(value)
 
 
 # -- Chrome trace_event ------------------------------------------------------
@@ -131,7 +162,7 @@ def to_chrome_trace(tel: Telemetry) -> dict:
             "label": tel.label,
             "clock": "simulated seconds (exported as microseconds)",
             "runs": [_clean_args(meta) for meta in tel.runs],
-            "kernels": tel.kernels.as_records(),
+            "kernels": [_clean_args(row) for row in tel.kernels.as_records()],
         },
     }
 
@@ -149,6 +180,7 @@ def write_chrome_trace(tel: Telemetry, path: PathLike) -> Path:
 # -- JSONL -------------------------------------------------------------------
 def iter_jsonl_records(tel: Telemetry):
     """Yield the JSONL export as dicts (``type`` discriminates records)."""
+    yield {"type": "trace", "label": str(tel.label)}
     for run_idx, meta in enumerate(tel.runs):
         yield {"type": "run", "run": run_idx, **_clean_args(meta)}
     for span in tel.spans:
@@ -169,8 +201,12 @@ def iter_jsonl_records(tel: Telemetry):
                    "name": record["monitor"],
                    "ts": _clean(record["time"]),
                    "value": _clean(record["value"])}
+    for run_idx, monitors in enumerate(tel.monitor_sets):
+        for record in monitors.idle.as_records():
+            yield {"type": "idle", "run": run_idx,
+                   **{k: _clean(v) for k, v in record.items()}}
     for row in tel.kernels.as_records():
-        yield {"type": "kernel", **row}
+        yield {"type": "kernel", **_clean_args(row)}
 
 
 def write_jsonl(tel: Telemetry, path: PathLike) -> Path:

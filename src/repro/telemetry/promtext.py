@@ -1,0 +1,203 @@
+"""Prometheus text exposition of a trace's final counters and gauges.
+
+External scrapers (a Pushgateway, a CI dashboard, a node_exporter textfile
+collector) speak the Prometheus exposition format; this module renders the
+*final* value of every counter/gauge, per-span simulated-time totals, and
+the host-side kernel profile in that format. One call, one string, no
+Prometheus client dependency::
+
+    from repro.telemetry import load_trace_data, to_promtext
+    print(to_promtext(load_trace_data("run.telemetry.jsonl")))
+
+Sample output line::
+
+    repro_updates_total{run="0",device="0"} 42
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.events import COUNTER_UPDATES
+from repro.telemetry.trace_data import TraceData, split_device_key
+
+__all__ = ["to_promtext", "write_promtext"]
+
+#: Monitor names that are cumulative counters (exported with ``_total``).
+COUNTER_NAMES = frozenset({COUNTER_UPDATES})
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _metric_name(name: str) -> str:
+    cleaned = _NAME_RE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"repro_{cleaned}"
+
+
+def _label_value(value: object) -> str:
+    text = str(value)
+    for raw, escaped in _LABEL_ESCAPES.items():
+        text = text.replace(raw, escaped)
+    return text
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _render_labels(labels: Dict[str, object]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_label_value(value)}"' for key, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
+class _Family:
+    """One metric family: TYPE/HELP header plus its samples."""
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples: List[Tuple[Dict[str, object], float]] = []
+
+    def add(self, labels: Dict[str, object], value: float) -> None:
+        self.samples.append((labels, value))
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for labels, value in self.samples:
+            lines.append(
+                f"{self.name}{_render_labels(labels)} {_format_value(value)}"
+            )
+        return lines
+
+
+def to_promtext(data: TraceData) -> str:
+    """Render ``data`` in the Prometheus text exposition format (0.0.4)."""
+    families: Dict[str, _Family] = {}
+
+    def family(name: str, kind: str, help_text: str) -> _Family:
+        fam = families.get(name)
+        if fam is None:
+            fam = _Family(name, kind, help_text)
+            families[name] = fam
+        return fam
+
+    info = family(
+        "repro_run_info", "gauge",
+        "Run identity; labels carry algorithm/dataset/device count.",
+    )
+    for run in data.runs:
+        labels: Dict[str, object] = {"run": run.index}
+        for key in ("algorithm", "dataset", "n_devices"):
+            if key in run.meta:
+                labels[key] = run.meta[key]
+        info.add(labels, 1.0)
+
+    run_span = family(
+        "repro_run_span_seconds", "gauge",
+        "Simulated seconds covered by the run span.",
+    )
+    for run in data.runs:
+        run_span.add({"run": run.index}, run.duration())
+
+    # Final counter/gauge values per monitor.
+    for run in data.runs:
+        for key, series in run.samples.items():
+            if not series:
+                continue
+            device, name = split_device_key(key)
+            is_counter = name in COUNTER_NAMES
+            metric = _metric_name(name) + ("_total" if is_counter else "")
+            fam = family(
+                metric,
+                "counter" if is_counter else "gauge",
+                f"Final recorded value of the '{name}' "
+                f"{'counter' if is_counter else 'gauge'}.",
+            )
+            labels = {"run": run.index}
+            if device is not None:
+                labels["device"] = device
+            fam.add(labels, series[-1][1])
+
+    # Per-span simulated time: the attribution table, scrape-ready.
+    span_seconds = family(
+        "repro_span_seconds_total", "counter",
+        "Total simulated seconds spent in each span kind.",
+    )
+    span_count = family(
+        "repro_span_count_total", "counter",
+        "Number of completed spans of each kind.",
+    )
+    for run in data.runs:
+        totals: Dict[Tuple[str, Optional[int]], List[float]] = {}
+        for span in run.spans:
+            entry = totals.setdefault((span.name, span.device), [0.0, 0])
+            entry[0] += span.dur
+            entry[1] += 1
+        for (name, device), (seconds, count) in totals.items():
+            labels = {"run": run.index, "span": name}
+            if device is not None:
+                labels["device"] = device
+            span_seconds.add(labels, seconds)
+            span_count.add(labels, float(count))
+
+    # Idle accounting (busy/gap seconds per device).
+    busy = family(
+        "repro_device_busy_seconds_total", "counter",
+        "Simulated seconds each device spent computing steps.",
+    )
+    gaps = family(
+        "repro_device_gap_idle_seconds_total", "counter",
+        "Simulated seconds of gaps between consecutive compute spans.",
+    )
+    for run in data.runs:
+        for device, record in run.idle.items():
+            labels = {"run": run.index, "device": device}
+            busy.add(labels, float(record.get("busy_s", 0.0)))
+            gaps.add(labels, float(record.get("idle_s", 0.0)))
+
+    # Host-side kernel profile (wall clock, aggregated over the recorder).
+    kernel_calls = family(
+        "repro_kernel_calls_total", "counter",
+        "Host-side kernel invocation counts.",
+    )
+    kernel_seconds = family(
+        "repro_kernel_host_seconds_total", "counter",
+        "Host-side wall seconds spent in each kernel.",
+    )
+    for row in data.kernels:
+        labels = {"kernel": row.get("kernel", "unknown")}
+        kernel_calls.add(labels, float(row.get("calls", 0)))
+        kernel_seconds.add(labels, float(row.get("host_s", 0.0)))
+
+    lines: List[str] = []
+    for fam in families.values():
+        if fam.samples:
+            lines.extend(fam.render())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_promtext(data: TraceData, path) -> "Path":
+    """Write :func:`to_promtext` output to ``path``; returns the path."""
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_promtext(data))
+    return path

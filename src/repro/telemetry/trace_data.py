@@ -1,0 +1,357 @@
+"""A normalized, source-agnostic view of one telemetry stream.
+
+The analytics engine (:mod:`repro.telemetry.analyze`,
+:mod:`repro.telemetry.diagnose`, :mod:`repro.telemetry.compare`) never reads
+a :class:`~repro.telemetry.core.Telemetry` recorder or an archive directly —
+it consumes :class:`TraceData`, which can be built from any of the three
+places a run lives:
+
+- a live recorder (:meth:`TraceData.from_telemetry`);
+- an archived JSONL event stream (:meth:`TraceData.from_jsonl`);
+- an archived Chrome ``trace_event`` file (:meth:`TraceData.from_chrome`).
+
+The live and JSONL constructors both funnel through the *same* JSONL record
+stream (:func:`repro.telemetry.export.iter_jsonl_records`), so any analysis
+over a ``TraceData`` is **byte-identical** whether it saw the recorder or
+the archive of the same run — the property the acceptance tests pin down.
+The Chrome path round-trips through microseconds and is therefore exact
+only to float precision; prefer the JSONL archive for analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.exceptions import DataFormatError
+from repro.telemetry.events import SPAN_RUN, InstantEvent, SpanEvent
+
+__all__ = ["RunData", "TraceData", "split_device_key", "load_trace_data"]
+
+PathLike = Union[str, Path]
+
+#: Sample series: ``[(time, value), ...]`` in recording order.
+Series = List[Tuple[float, float]]
+
+
+def split_device_key(key: str) -> Tuple[Optional[int], str]:
+    """Invert the monitor naming scheme: ``"gpu3/updates" -> (3, "updates")``.
+
+    Names without the ``gpu<i>/`` prefix are driver-level: ``(None, key)``.
+    """
+    if key.startswith("gpu"):
+        head, sep, tail = key.partition("/")
+        if sep and head[3:].isdigit():
+            return int(head[3:]), tail
+    return None, key
+
+
+def _nan_to_float(value) -> float:
+    # JSONL serializes non-finite samples as null; analysis sees them as NaN.
+    return float("nan") if value is None else float(value)
+
+
+@dataclass
+class RunData:
+    """One run's worth of normalized telemetry."""
+
+    index: int
+    meta: Dict[str, object] = field(default_factory=dict)
+    spans: List[SpanEvent] = field(default_factory=list)
+    instants: List[InstantEvent] = field(default_factory=list)
+    #: Monitor name (device-prefixed) -> samples, in recording order.
+    samples: Dict[str, Series] = field(default_factory=dict)
+    #: Device id -> idle-accountant record (busy_s / idle_s / ...).
+    idle: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    # -- accessors -----------------------------------------------------------
+    def devices(self) -> List[int]:
+        """Sorted device ids seen in spans or device-prefixed monitors."""
+        seen = {s.device for s in self.spans if s.device is not None}
+        seen.update(
+            i.device for i in self.instants if i.device is not None
+        )
+        for key in self.samples:
+            device, _ = split_device_key(key)
+            if device is not None:
+                seen.add(device)
+        seen.update(self.idle)
+        return sorted(seen)
+
+    def spans_named(
+        self, name: str, *, device: object = "any"
+    ) -> List[SpanEvent]:
+        """Spans called ``name``; ``device`` filters (``"any"`` = no filter)."""
+        if device == "any":
+            return [s for s in self.spans if s.name == name]
+        return [s for s in self.spans if s.name == name and s.device == device]
+
+    def run_span(self) -> Optional[SpanEvent]:
+        """The root ``run`` span, or ``None`` for a zero-span run."""
+        for s in self.spans:
+            if s.name == SPAN_RUN:
+                return s
+        return None
+
+    def start(self) -> float:
+        """The run's start time (root span start, else earliest event, else 0)."""
+        root = self.run_span()
+        if root is not None:
+            return root.ts
+        starts = [s.ts for s in self.spans] + [i.ts for i in self.instants]
+        starts += [t for series in self.samples.values() for t, _ in series[:1]]
+        return min(starts) if starts else 0.0
+
+    def duration(self) -> float:
+        """Simulated seconds the run covers (root span, else the event hull)."""
+        root = self.run_span()
+        if root is not None:
+            return root.dur
+        start = self.start()
+        ends = [s.ts + s.dur for s in self.spans]
+        ends += [i.ts for i in self.instants]
+        ends += [t for series in self.samples.values() for t, _ in series[-1:]]
+        return max(ends) - start if ends else 0.0
+
+    def series(self, name: str, *, device: Optional[int] = None) -> Series:
+        """Samples of monitor ``name`` on ``device`` (driver when ``None``)."""
+        key = name if device is None else f"gpu{device}/{name}"
+        return self.samples.get(key, [])
+
+    def final(self, name: str, *, device: Optional[int] = None) -> Optional[float]:
+        """The last recorded value of a monitor, or ``None`` if absent."""
+        series = self.series(name, device=device)
+        return series[-1][1] if series else None
+
+    def label(self) -> str:
+        """Human-readable run identity (algorithm + device count)."""
+        algorithm = str(self.meta.get("algorithm", f"run {self.index}"))
+        n = self.meta.get("n_devices")
+        return f"{algorithm} ({n} dev)" if n is not None else algorithm
+
+
+@dataclass
+class TraceData:
+    """A whole recorded experiment: runs + aggregate kernel profile."""
+
+    label: str = "trace"
+    runs: List[RunData] = field(default_factory=list)
+    kernels: List[Dict[str, object]] = field(default_factory=list)
+
+    def run(self, index: int) -> RunData:
+        """The run at ``index`` (negative indices count from the end)."""
+        try:
+            return self.runs[index]
+        except IndexError:
+            raise DataFormatError(
+                f"trace {self.label!r} has {len(self.runs)} run(s); "
+                f"no run {index}"
+            ) from None
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Dict[str, object]], *, label: str = "trace"
+    ) -> "TraceData":
+        """Build from JSONL-shaped record dicts (``type`` discriminates)."""
+        data = cls(label=label)
+
+        def run_at(index: int) -> RunData:
+            while len(data.runs) <= index:
+                data.runs.append(RunData(index=len(data.runs)))
+            return data.runs[index]
+
+        for record in records:
+            kind = record.get("type")
+            if kind == "trace":
+                data.label = str(record.get("label", data.label))
+            elif kind == "run":
+                meta = {
+                    k: v for k, v in record.items()
+                    if k not in ("type", "run")
+                }
+                run_at(int(record["run"])).meta.update(meta)
+            elif kind == "span":
+                run_idx = int(record["run"])
+                device = record.get("device")
+                run_at(run_idx).spans.append(SpanEvent(
+                    name=str(record["name"]),
+                    ts=_nan_to_float(record.get("ts")),
+                    dur=_nan_to_float(record.get("dur")),
+                    run=run_idx,
+                    device=None if device is None else int(device),
+                    args=dict(record.get("args") or {}),
+                ))
+            elif kind == "instant":
+                run_idx = int(record["run"])
+                device = record.get("device")
+                run_at(run_idx).instants.append(InstantEvent(
+                    name=str(record["name"]),
+                    ts=_nan_to_float(record.get("ts")),
+                    run=run_idx,
+                    device=None if device is None else int(device),
+                    args=dict(record.get("args") or {}),
+                ))
+            elif kind == "counter":
+                run = run_at(int(record["run"]))
+                run.samples.setdefault(str(record["name"]), []).append(
+                    (_nan_to_float(record.get("ts")),
+                     _nan_to_float(record.get("value")))
+                )
+            elif kind == "idle":
+                run = run_at(int(record["run"]))
+                run.idle[int(record["device"])] = {
+                    k: v for k, v in record.items()
+                    if k not in ("type", "run", "device")
+                }
+            elif kind == "kernel":
+                data.kernels.append(
+                    {k: v for k, v in record.items() if k != "type"}
+                )
+            # Unknown record types are skipped: newer archives stay loadable.
+        return data
+
+    @classmethod
+    def from_telemetry(cls, tel) -> "TraceData":
+        """Normalize a live :class:`~repro.telemetry.core.Telemetry`.
+
+        Routed through the JSONL record stream so analysis of the live
+        recorder matches analysis of its archive byte for byte.
+        """
+        from repro.telemetry.export import iter_jsonl_records
+
+        return cls.from_records(iter_jsonl_records(tel), label=tel.label)
+
+    @classmethod
+    def from_jsonl(cls, path: PathLike) -> "TraceData":
+        """Load an archive written by :func:`repro.telemetry.export.write_jsonl`.
+
+        An empty file is a valid zero-run trace (a run that recorded no
+        steps must still load).
+        """
+        path = Path(path)
+        records = []
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise DataFormatError(
+                    f"{path}:{lineno}: invalid JSONL record: {exc}"
+                ) from exc
+        return cls.from_records(records, label=path.stem)
+
+    @classmethod
+    def from_chrome(cls, source: Union[PathLike, dict]) -> "TraceData":
+        """Load a Chrome ``trace_event`` export (path or parsed object).
+
+        Timestamps round-trip through microseconds, so durations are exact
+        only to float precision — fine for attribution and diagnosis, but
+        byte-identical comparisons should use the JSONL archive.
+        """
+        if isinstance(source, dict):
+            obj = source
+            label = str(obj.get("otherData", {}).get("label", "trace"))
+        else:
+            path = Path(source)
+            try:
+                obj = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                raise DataFormatError(
+                    f"{path}: invalid Chrome trace JSON: {exc}"
+                ) from exc
+            label = str(obj.get("otherData", {}).get("label", path.stem))
+        if not isinstance(obj, dict) or "traceEvents" not in obj:
+            raise DataFormatError(
+                "not a Chrome trace: missing the 'traceEvents' key"
+            )
+        other = obj.get("otherData", {})
+        data = cls(label=label)
+        data.kernels = [dict(row) for row in other.get("kernels", [])]
+
+        def run_at(index: int) -> RunData:
+            while len(data.runs) <= index:
+                data.runs.append(RunData(index=len(data.runs)))
+            return data.runs[index]
+
+        for run_idx, meta in enumerate(other.get("runs", [])):
+            run_at(run_idx).meta.update(dict(meta))
+
+        for event in obj["traceEvents"]:
+            ph = event.get("ph")
+            run_idx = int(event.get("pid", 0))
+            tid = int(event.get("tid", 0))
+            device = None if tid == 0 else tid - 1
+            if ph == "X":
+                run_at(run_idx).spans.append(SpanEvent(
+                    name=str(event["name"]),
+                    ts=_nan_to_float(event.get("ts")) / 1e6,
+                    dur=_nan_to_float(event.get("dur")) / 1e6,
+                    run=run_idx,
+                    device=device,
+                    args=dict(event.get("args") or {}),
+                ))
+            elif ph == "i":
+                run_at(run_idx).instants.append(InstantEvent(
+                    name=str(event["name"]),
+                    ts=_nan_to_float(event.get("ts")) / 1e6,
+                    run=run_idx,
+                    device=device,
+                    args=dict(event.get("args") or {}),
+                ))
+            elif ph == "C":
+                run = run_at(run_idx)
+                value = (event.get("args") or {}).get("value")
+                run.samples.setdefault(str(event["name"]), []).append(
+                    (_nan_to_float(event.get("ts")) / 1e6,
+                     _nan_to_float(value))
+                )
+            # "M" metadata carries display names only; identity lives in
+            # otherData.runs which we already consumed.
+        return data
+
+
+def load_trace_data(source) -> TraceData:
+    """Coerce anything the CLI or API accepts into a :class:`TraceData`.
+
+    ``source`` may be a :class:`TraceData` (returned as-is), a live
+    :class:`~repro.telemetry.core.Telemetry` recorder, a ``.jsonl`` archive,
+    a Chrome ``.trace.json`` export, or a result-set directory containing a
+    ``telemetry.jsonl``.
+    """
+    if isinstance(source, TraceData):
+        return source
+    # A live recorder (duck-typed to avoid importing core eagerly).
+    if hasattr(source, "spans") and hasattr(source, "monitor_sets"):
+        return TraceData.from_telemetry(source)
+    path = Path(source)
+    if path.is_dir():
+        jsonl = path / "telemetry.jsonl"
+        if not jsonl.exists():
+            raise DataFormatError(
+                f"{path} is a directory without a telemetry.jsonl "
+                "(not a saved result set?)"
+            )
+        return TraceData.from_jsonl(jsonl)
+    if not path.exists():
+        raise DataFormatError(f"no trace at {path}")
+    if path.suffix == ".jsonl":
+        return TraceData.from_jsonl(path)
+    text = path.read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            obj = None
+        if isinstance(obj, dict) and "traceEvents" in obj:
+            data = TraceData.from_chrome(obj)
+            if data.label == "trace":
+                data.label = path.stem
+            return data
+    # Fall back to JSONL (covers .jsonl archives with unusual suffixes).
+    return TraceData.from_jsonl(path)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "format_kv"]
+__all__ = ["format_table", "format_series", "format_kv", "format_timeline"]
 
 
 def _cell(value: Any, floatfmt: str) -> str:
@@ -83,6 +83,64 @@ def format_series(
             f"({_cell(x, floatfmt)}, {_cell(y, floatfmt)})" for x, y in pts
         )
         lines.append(f"    {rendered}")
+    return "\n".join(lines)
+
+
+def format_timeline(
+    lanes: Mapping[str, Sequence[tuple]],
+    *,
+    start: float,
+    end: float,
+    width: int = 64,
+    title: Optional[str] = None,
+    fill: str = ".",
+    legend: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render labeled interval lanes as an ASCII timeline.
+
+    ``lanes`` maps a lane label (e.g. ``"gpu0"``) to ``(t0, t1, glyph)``
+    intervals on a shared ``[start, end]`` axis. Each lane becomes one row
+    of ``width`` characters; uncovered columns show ``fill`` (idle). Later
+    intervals overwrite earlier ones, so callers can layer nested spans
+    (merge then all-reduce) in emission order. ``legend`` maps glyphs to
+    descriptions for the footer line.
+    """
+    if width < 8:
+        raise ValueError(f"timeline width must be >= 8, got {width}")
+    if len(fill) != 1:
+        raise ValueError(f"fill must be one character, got {fill!r}")
+    span = end - start
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max((len(str(label)) for label in lanes), default=0)
+    for label, intervals in lanes.items():
+        row = [fill] * width
+        for t0, t1, glyph in intervals:
+            if span <= 0:
+                c0, c1 = 0, width
+            else:
+                c0 = int((t0 - start) / span * width)
+                c1 = int((t1 - start) / span * width)
+                if c1 <= c0:
+                    c1 = c0 + 1  # zero-width intervals still leave a mark
+            c0 = max(0, min(c0, width - 1))
+            c1 = max(c0 + 1, min(c1, width))
+            glyph_char = (glyph or fill)[0]
+            for c in range(c0, c1):
+                row[c] = glyph_char
+        lines.append(f"{str(label).ljust(label_width)} |{''.join(row)}|")
+    axis_left = f"{start:.4g}s"
+    axis_right = f"{end:.4g}s"
+    pad = width - len(axis_left) - len(axis_right)
+    lines.append(
+        f"{' ' * label_width}  {axis_left}{' ' * max(1, pad)}{axis_right}"
+    )
+    if legend:
+        lines.append(
+            "   ".join(f"{glyph}={name}" for glyph, name in legend.items())
+            + f"   {fill}=idle"
+        )
     return "\n".join(lines)
 
 

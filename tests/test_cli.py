@@ -93,6 +93,141 @@ class TestCommands:
         for line in jsonl_path.read_text().splitlines():
             json.loads(line)
 
+    def test_trace_summary_flag_skips_files(self, capsys, tmp_path,
+                                            monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "trace", "--dataset", "micro", "--time-budget-s", "0.02",
+            "--gpus", "2", "--algorithms", "adaptive", "--summary",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry summary" in out
+        assert "Time attribution" in out
+        assert "Device utilization" in out
+        assert "Straggler analysis" in out
+        assert list(tmp_path.iterdir()) == []  # --summary writes nothing
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    """One archived two-run trace shared by the analyze/compare tests."""
+    tmp = tmp_path_factory.mktemp("traces")
+    stem = tmp / "t"
+    assert main([
+        "trace", "--dataset", "micro", "--time-budget-s", "0.02",
+        "--gpus", "2", "--algorithms", "adaptive", "minibatch",
+        "--out", str(stem),
+    ]) == 0
+    return tmp / "t.telemetry.jsonl", tmp / "t.trace.json"
+
+
+class TestAnalyzeCommand:
+    def test_analyze_table(self, capsys, traced):
+        jsonl_path, _ = traced
+        capsys.readouterr()
+        assert main(["analyze", str(jsonl_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Time attribution" in out
+        assert "Device utilization" in out
+        assert "Straggler analysis" in out
+        assert "Findings" in out
+
+    def test_analyze_json(self, capsys, traced):
+        import json
+
+        jsonl_path, _ = traced
+        capsys.readouterr()
+        assert main(["analyze", str(jsonl_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["runs"]) == 2
+        for run in report["runs"]:
+            assert run["attribution"]["max_residual"] <= 1e-6
+
+    def test_analyze_chrome_input(self, capsys, traced):
+        _, chrome_path = traced
+        capsys.readouterr()
+        assert main(["analyze", str(chrome_path)]) == 0
+        assert "Time attribution" in capsys.readouterr().out
+
+    def test_analyze_run_selector(self, capsys, traced):
+        import json
+
+        jsonl_path, _ = traced
+        capsys.readouterr()
+        assert main(["analyze", str(jsonl_path), "--run", "1", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["runs"]) == 1
+
+    def test_analyze_promtext_output(self, capsys, traced, tmp_path):
+        jsonl_path, _ = traced
+        prom = tmp_path / "metrics.prom"
+        assert main([
+            "analyze", str(jsonl_path), "--promtext", str(prom),
+        ]) == 0
+        assert prom.exists()
+        assert "repro_run_span_seconds" in prom.read_text()
+
+    def test_analyze_missing_file_fails(self, capsys, tmp_path):
+        assert main(["analyze", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_analyze_corrupt_jsonl_fails(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "run", "run": 0}\nnot json\n')
+        assert main(["analyze", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "bad.jsonl:2" in err
+
+
+class TestCompareCommand:
+    def test_compare_table(self, capsys, traced):
+        jsonl_path, _ = traced
+        capsys.readouterr()
+        assert main([
+            "compare", str(jsonl_path), str(jsonl_path),
+            "--run-a", "0", "--run-b", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "candidate" in out
+        assert "Per-phase simulated time" in out
+        assert "time-to-accuracy" in out
+
+    def test_compare_json_reports_tta_delta(self, capsys, traced):
+        import json
+
+        jsonl_path, _ = traced
+        capsys.readouterr()
+        assert main([
+            "compare", str(jsonl_path), str(jsonl_path),
+            "--run-a", "0", "--run-b", "1", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["baseline"] != report["candidate"]
+        assert report["phases"]
+        # Adaptive vs one of the baselines must yield a measurable
+        # time-to-accuracy difference (the acceptance criterion).
+        assert report["tta_delta_s"] is not None
+        assert report["tta_delta_s"] != 0.0
+
+    def test_compare_same_run_is_neutral(self, capsys, traced):
+        import json
+
+        jsonl_path, _ = traced
+        capsys.readouterr()
+        assert main([
+            "compare", str(jsonl_path), str(jsonl_path), "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["wall_speedup"] == pytest.approx(1.0)
+        assert report["regressions"] == []
+
+    def test_compare_missing_file_fails(self, capsys, traced, tmp_path):
+        jsonl_path, _ = traced
+        assert main([
+            "compare", str(jsonl_path), str(tmp_path / "nope.jsonl"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
 
 class TestTimeBudgetFlag:
     def test_canonical_flag_does_not_warn(self):

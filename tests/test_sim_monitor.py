@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sim.environment import Environment
-from repro.sim.monitor import Monitor, MonitorSet
+from repro.sim.monitor import IdleAccountant, Monitor, MonitorSet
 
 
 class TestMonitor:
@@ -92,6 +92,73 @@ class TestTimeAverage:
         mon = Monitor(Environment(), "q")
         assert mon.time_average(default=0.0) == 0.0
         assert mon.time_average(until=5.0, default=1.5) == 1.5
+
+
+class TestIdleAccountant:
+    def test_back_to_back_intervals_have_zero_idle(self):
+        acc = IdleAccountant()
+        acc.observe(0, 0.0, 1.0)
+        acc.observe(0, 1.0, 2.5)
+        acc.observe(0, 2.5, 3.0)
+        assert acc.busy_time(0) == pytest.approx(3.0)
+        assert acc.idle_time(0) == 0.0
+
+    def test_gapped_intervals_accumulate_idle(self):
+        acc = IdleAccountant()
+        acc.observe("gpu0", 0.0, 1.0)
+        acc.observe("gpu0", 2.0, 3.0)   # 1.0 gap
+        acc.observe("gpu0", 3.5, 4.0)   # 0.5 gap
+        assert acc.busy_time("gpu0") == pytest.approx(2.5)
+        assert acc.idle_time("gpu0") == pytest.approx(1.5)
+
+    def test_overlapping_interval_clamps_gap_at_zero(self):
+        acc = IdleAccountant()
+        acc.observe(0, 0.0, 2.0)
+        acc.observe(0, 1.5, 3.0)  # starts before the previous one ended
+        assert acc.idle_time(0) == 0.0
+        assert acc.busy_time(0) == pytest.approx(3.5)  # durations still sum
+
+    def test_lanes_are_independent(self):
+        acc = IdleAccountant()
+        acc.observe(0, 0.0, 1.0)
+        acc.observe(1, 5.0, 6.0)
+        acc.observe(0, 4.0, 5.0)
+        assert acc.idle_time(0) == pytest.approx(3.0)
+        assert acc.idle_time(1) == 0.0
+        assert acc.keys() == [0, 1]
+        assert 0 in acc and 2 not in acc
+
+    def test_unobserved_lane_reads_zero(self):
+        acc = IdleAccountant()
+        assert acc.busy_time("nope") == 0.0
+        assert acc.idle_time("nope") == 0.0
+
+    def test_backwards_interval_raises(self):
+        acc = IdleAccountant()
+        with pytest.raises(ValueError):
+            acc.observe(0, 2.0, 1.0)
+
+    def test_as_records(self):
+        acc = IdleAccountant()
+        acc.observe(3, 1.0, 2.0)
+        acc.observe(3, 4.0, 6.0)
+        (rec,) = acc.as_records()
+        assert rec == {
+            "device": 3, "first_ts": 1.0, "last_ts": 6.0,
+            "busy_s": 3.0, "idle_s": 2.0, "intervals": 2,
+        }
+
+    def test_zero_width_interval_counts_without_idle_distortion(self):
+        acc = IdleAccountant()
+        acc.observe(0, 1.0, 1.0)
+        acc.observe(0, 1.0, 2.0)
+        assert acc.busy_time(0) == pytest.approx(1.0)
+        assert acc.idle_time(0) == 0.0
+
+    def test_monitor_set_carries_an_accountant(self):
+        ms = MonitorSet(Environment())
+        ms.idle.observe(0, 0.0, 1.0)
+        assert ms.idle.busy_time(0) == 1.0
 
 
 class TestMonitorSet:

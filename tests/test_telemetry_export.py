@@ -3,6 +3,7 @@
 import json
 import math
 
+import numpy as np
 import pytest
 
 from repro.sim.environment import Environment
@@ -10,11 +11,13 @@ from repro.telemetry import Telemetry
 from repro.telemetry.export import (
     DRIVER_TID,
     iter_jsonl_records,
+    jsonable,
     summary_table,
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
 )
+from repro.telemetry.trace_data import TraceData
 
 
 @pytest.fixture
@@ -144,6 +147,109 @@ class TestJsonl:
         for line in lines:
             json.loads(line)  # every line parses; NaN would raise
         assert '"nnz": null' in path.read_text()
+
+
+class TestDeepClean:
+    def test_nested_nonfinite_floats_become_null(self):
+        cleaned = jsonable({
+            "x": float("nan"),
+            "nested": {"inf": float("inf"), "ok": 1.5},
+            "seq": [float("-inf"), 2, "s"],
+        })
+        assert cleaned == {
+            "x": None,
+            "nested": {"inf": None, "ok": 1.5},
+            "seq": [None, 2, "s"],
+        }
+        json.dumps(cleaned, allow_nan=False)
+
+    def test_numpy_scalars_and_arrays(self):
+        cleaned = jsonable({
+            "i": np.int64(7),
+            "f": np.float32(0.5),
+            "bad": np.float64("nan"),
+            "arr": np.array([1.0, 2.0]),
+        })
+        assert cleaned == {"i": 7, "f": 0.5, "bad": None, "arr": [1.0, 2.0]}
+        json.dumps(cleaned, allow_nan=False)
+
+    def test_non_primitive_falls_back_to_str(self):
+        assert isinstance(jsonable(object()), str)
+        assert jsonable({"p": Environment}) == {"p": str(Environment)}
+
+    def test_nested_nan_in_span_args_exports_strictly(self, tmp_path):
+        tel = Telemetry()
+        tel.attach(Environment(), algorithm="deep")
+        with tel.span("merge", stats={"ratio": float("nan"),
+                                      "sizes": np.array([3, 4])}):
+            pass
+        tel.detach()
+        json.dumps(to_chrome_trace(tel), allow_nan=False)
+        path = write_jsonl(tel, tmp_path / "deep.jsonl")
+        span = next(
+            json.loads(line) for line in path.read_text().splitlines()
+            if json.loads(line)["type"] == "span"
+        )
+        assert span["args"]["stats"] == {"ratio": None, "sizes": [3, 4]}
+
+
+class TestEmptyAndZeroSpanRuns:
+    def test_empty_recorder_round_trips(self, tmp_path):
+        tel = Telemetry(label="empty")
+        chrome = to_chrome_trace(tel)
+        json.dumps(chrome, allow_nan=False)
+        assert chrome["traceEvents"] == []
+        path = write_jsonl(tel, tmp_path / "empty.jsonl")
+        data = TraceData.from_jsonl(path)
+        assert data.label == "empty"
+        assert data.runs == []
+
+    def test_attached_but_zero_span_run_round_trips(self, tmp_path):
+        tel = Telemetry(label="zero")
+        tel.attach(Environment(), algorithm="noop", n_devices=2)
+        tel.detach()
+        path = write_jsonl(tel, tmp_path / "zero.jsonl")
+        data = TraceData.from_jsonl(path)
+        assert len(data.runs) == 1
+        run = data.run(0)
+        assert run.spans == [] and run.duration() == 0.0
+        chrome = to_chrome_trace(tel)
+        meta = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        assert meta  # process metadata still names the empty run
+        loaded = TraceData.from_chrome(chrome)
+        assert loaded.run(0).meta["algorithm"] == "noop"
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip_preserves_stream(self, recorded, tmp_path):
+        path = write_jsonl(recorded, tmp_path / "rt.jsonl")
+        data = TraceData.from_jsonl(path)
+        assert data.label == "unit"
+        assert len(data.runs) == 2
+        run0 = data.run(0)
+        (step,) = run0.spans_named("step.compute")
+        assert step.dur == 2.0 and step.device == 1
+        assert step.args == {"size": 8}
+        assert run0.series("gpu0/updates") == [(2.0, 3.0)]
+        # Re-normalizing the archive equals normalizing the recorder.
+        live = TraceData.from_telemetry(recorded)
+        assert [s.name for r in live.runs for s in r.spans] == \
+               [s.name for r in data.runs for s in r.spans]
+
+    def test_chrome_round_trip_preserves_events(self, recorded, tmp_path):
+        path = write_chrome_trace(recorded, tmp_path / "rt.trace.json")
+        data = TraceData.from_chrome(path)
+        assert data.label == "unit"
+        assert len(data.runs) == 2
+        (step,) = data.run(0).spans_named("step.compute")
+        assert step.dur == pytest.approx(2.0)
+        assert step.device == 1
+        (merge,) = data.run(1).spans_named("merge")
+        assert merge.device is None and merge.args["branch"] == "uniform"
+
+    def test_jsonl_stream_carries_trace_label_header(self, recorded):
+        first = next(iter_jsonl_records(recorded))
+        assert first == {"type": "trace", "label": "unit"}
 
 
 class TestSummaryTable:

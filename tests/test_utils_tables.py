@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.utils.tables import format_kv, format_series, format_table
+from repro.utils.tables import (
+    format_kv,
+    format_series,
+    format_table,
+    format_timeline,
+)
 
 
 class TestFormatTable:
@@ -57,6 +62,71 @@ class TestFormatSeries:
     def test_multiple_series(self):
         out = format_series({"a": [(0, 1)], "b": [(0, 2)]})
         assert "a" in out and "b" in out
+
+
+class TestFormatTimeline:
+    def test_lane_rows_and_axis(self):
+        out = format_timeline(
+            {"gpu0": [(0.0, 5.0, "#")], "gpu1": [(5.0, 10.0, "#")]},
+            start=0.0, end=10.0, width=10,
+        )
+        lines = out.splitlines()
+        assert lines[0] == "gpu0 |#####.....|"
+        assert lines[1] == "gpu1 |.....#####|"
+        assert lines[2].strip().startswith("0s")
+        assert lines[2].strip().endswith("10s")
+
+    def test_later_intervals_overwrite(self):
+        out = format_timeline(
+            {"driver": [(0.0, 10.0, "M"), (2.0, 4.0, "A")]},
+            start=0.0, end=10.0, width=10,
+        )
+        assert "MMAAMMMMMM" in out
+
+    def test_zero_width_interval_leaves_a_mark(self):
+        out = format_timeline(
+            {"lane": [(5.0, 5.0, "x")]}, start=0.0, end=10.0, width=10,
+        )
+        assert "x" in out
+
+    def test_zero_span_axis(self):
+        out = format_timeline(
+            {"lane": [(0.0, 0.0, "#")]}, start=0.0, end=0.0, width=8,
+        )
+        assert "########" in out
+
+    def test_out_of_range_intervals_clamped(self):
+        out = format_timeline(
+            {"lane": [(-5.0, 20.0, "#")]}, start=0.0, end=10.0, width=10,
+        )
+        assert "##########" in out
+
+    def test_title_and_legend(self):
+        out = format_timeline(
+            {"gpu0": [(0.0, 1.0, "#")]}, start=0.0, end=1.0, width=8,
+            title="Utilization", legend={"#": "compute"},
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Utilization"
+        assert lines[-1] == "#=compute   .=idle"
+
+    def test_custom_fill(self):
+        out = format_timeline(
+            {"lane": []}, start=0.0, end=1.0, width=8, fill=" ",
+        )
+        assert "|        |" in out
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            format_timeline({}, start=0.0, end=1.0, width=4)
+
+    def test_multichar_fill_rejected(self):
+        with pytest.raises(ValueError):
+            format_timeline({}, start=0.0, end=1.0, fill="..")
+
+    def test_empty_lanes_render_axis_only(self):
+        out = format_timeline({}, start=0.0, end=1.0, width=8)
+        assert out.splitlines()
 
 
 class TestFormatKv:
