@@ -20,7 +20,14 @@ Every paper artifact is reachable from the shell without writing code:
   (JSONL or Chrome archive; ``--json`` for machine output, ``--promtext``
   for a Prometheus exposition file);
 - ``python -m repro compare <a> <b>`` — align two recorded runs and report
-  per-phase deltas, time-to-accuracy delta, and regressions.
+  per-phase deltas, time-to-accuracy delta, and regressions;
+- ``python -m repro snapshot`` — train a model and persist it as a
+  versioned serving snapshot (``STEM.snapshot.json`` + ``.npz``);
+- ``python -m repro serve`` — replay an open-loop request stream against a
+  snapshot on the simulated server and print the p50/p95/p99 latency +
+  throughput report (``--mode both`` compares sequential vs adaptive
+  micro-batching; ``--lsh`` serves through the SLIDE-style sparse path and
+  reports recall vs the exact top-k).
 
 Time budgets use the canonical ``--time-budget-s`` flag (matching the
 Python API's ``time_budget_s`` keyword); the old ``--budget`` spelling is a
@@ -126,6 +133,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--save", metavar="STEM",
                    help="save the trace as STEM.json + STEM.npz")
+    p.add_argument("--snapshot", metavar="STEM",
+                   help="also save the trained model as a serving snapshot "
+                        "(STEM.snapshot.json + STEM.snapshot.npz)")
 
     p = sub.add_parser(
         "trace",
@@ -173,6 +183,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--width", type=int, default=64,
         help="utilization timeline width in characters",
     )
+
+    p = sub.add_parser(
+        "snapshot",
+        help="train a model and save it as a serving snapshot",
+    )
+    p.add_argument("stem", metavar="STEM",
+                   help="output stem: STEM.snapshot.json + STEM.snapshot.npz")
+    p.add_argument("--dataset", default="micro", choices=dataset_names())
+    p.add_argument("--algorithm", default="adaptive",
+                   help="trainer registry name (see repro.api.trainer_names)")
+    _add_time_budget(p, 0.3)
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "serve",
+        help="replay an open-loop load against a snapshot; print latency",
+    )
+    p.add_argument("snapshot", metavar="STEM",
+                   help="snapshot stem (or .snapshot.json path) to serve")
+    p.add_argument("--dataset", default=None, choices=dataset_names(),
+                   help="query source (default: the snapshot's dataset)")
+    p.add_argument("--mode", default="both",
+                   choices=("sequential", "adaptive", "both"))
+    p.add_argument("--requests", type=int, default=2000,
+                   help="number of requests to replay")
+    p.add_argument("--rate", type=float, default=None, metavar="RPS",
+                   help="offered load (default: ~10x one device's "
+                        "sequential capacity, i.e. saturating)")
+    p.add_argument("--pattern", default="poisson",
+                   choices=("poisson", "burst"))
+    p.add_argument("--slo-ms", type=float, default=2.0,
+                   help="per-batch latency target for the adaptive sizer")
+    p.add_argument("--k", type=int, default=5,
+                   help="labels returned per query")
+    p.add_argument("--lsh", action="store_true",
+                   help="serve through the LSH-accelerated sparse path "
+                        "and report recall vs exact")
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", metavar="STEM", default=None,
+                   help="also export serving telemetry: STEM.trace.json + "
+                        "STEM.telemetry.jsonl (feed to `repro analyze`)")
 
     p = sub.add_parser(
         "compare",
@@ -285,6 +338,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             json_path, npz_path = save_trace(trace, args.save)
             print(f"saved: {json_path} {npz_path}")
+        if args.snapshot:
+            header = trainer.save_snapshot(
+                args.snapshot, time_budget_s=args.time_budget_s,
+            )
+            print(f"snapshot: {header}")
         return 0
 
     if args.command == "trace":
@@ -352,6 +410,144 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             path = write_promtext(data, args.promtext)
             print(f"prometheus exposition: {path}", file=sys.stderr)
+        return 0
+
+    if args.command == "snapshot":
+        from repro.api import make_trainer
+        from repro.harness.experiment import ExperimentSpec
+        from repro.utils.tables import format_kv
+
+        spec = ExperimentSpec(
+            dataset=args.dataset,
+            algorithms=(args.algorithm,),
+            gpu_counts=(args.gpus,),
+            time_budget_s=args.time_budget_s,
+            config=default_config_for(args.dataset),
+            seed=args.seed,
+        )
+        trainer = make_trainer(args.algorithm, spec)
+        trace = trainer.run(time_budget_s=args.time_budget_s)
+        header = trainer.save_snapshot(
+            args.stem, time_budget_s=args.time_budget_s,
+        )
+        print(format_kv({
+            "dataset": args.dataset,
+            "algorithm": args.algorithm,
+            "final accuracy": trace.final_accuracy,
+            "parameters": trainer.arch.n_params,
+            "snapshot": str(header),
+        }))
+        return 0
+
+    if args.command == "serve":
+        from repro.data.registry import load_task
+        from repro.exceptions import ReproError
+        from repro.gpu.cluster import make_server
+        from repro.gpu.cost import GpuCostParams
+        from repro.serve import (
+            LoadSpec,
+            ModelSnapshot,
+            Predictor,
+            ServingEngine,
+            generate_arrivals,
+            sample_query_rows,
+        )
+        from repro.telemetry import Telemetry
+        from repro.utils.tables import format_kv
+
+        try:
+            snapshot = ModelSnapshot.load(args.snapshot)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        dataset = args.dataset or str(snapshot.meta.get("dataset", "micro"))
+        task = load_task(dataset, seed=args.seed)
+        if task.n_features != snapshot.arch.n_features:
+            print(
+                f"error: dataset {dataset!r} has {task.n_features} features "
+                f"but the snapshot expects {snapshot.arch.n_features}",
+                file=sys.stderr,
+            )
+            return 1
+        predictor = Predictor(snapshot, lsh_seed=args.seed)
+        cost_params = GpuCostParams.tiny_model_profile()
+
+        def fresh_server():
+            return make_server(
+                args.gpus, heterogeneity="het",
+                cost_params=cost_params, seed=args.seed,
+            )
+
+        if args.rate is None:
+            # Saturating default: ~10x the cluster's sequential capacity.
+            probe = predictor.workload(task.test.X[:1])
+            per_request = fresh_server().gpus[0].cost_model.inference_time(
+                probe, n_active_gpus=args.gpus,
+            )
+            rate = 10.0 * args.gpus / per_request
+        else:
+            rate = args.rate
+        load = LoadSpec(
+            n_requests=args.requests, rate_rps=rate,
+            pattern=args.pattern, seed=args.seed,
+        )
+        arrivals = generate_arrivals(load)
+        rows = sample_query_rows(
+            task.test.X.shape[0], args.requests, seed=args.seed
+        )
+        tel = Telemetry(label=f"serve-{dataset}") if args.out else None
+
+        modes = (
+            ("sequential", "adaptive") if args.mode == "both"
+            else (args.mode,)
+        )
+        results = {}
+        for mode in modes:
+            engine = ServingEngine(
+                predictor, fresh_server(), mode=mode,
+                target_latency_s=args.slo_ms * 1e-3,
+                use_lsh=args.lsh, telemetry=tel,
+            )
+            results[mode] = engine.serve(
+                task.test.X, arrivals, k=args.k, row_indices=rows,
+            )
+        for mode, result in results.items():
+            report = result.report
+            print(f"-- {mode} --")
+            print(format_kv({
+                "requests": report.n_requests,
+                "offered load (rps)": round(rate, 1),
+                "throughput (rps)": round(report.throughput_rps, 1),
+                "p50 latency (ms)": round(report.percentile(50) * 1e3, 4),
+                "p95 latency (ms)": round(report.percentile(95) * 1e3, 4),
+                "p99 latency (ms)": round(report.percentile(99) * 1e3, 4),
+                "mean batch size": round(report.mean_batch_size, 2),
+                "max queue depth": result.max_queue_depth,
+            }))
+        if len(results) == 2:
+            ratio = (
+                results["adaptive"].report.throughput_rps
+                / results["sequential"].report.throughput_rps
+            )
+            print(f"adaptive/sequential throughput: {ratio:.2f}x")
+        if args.lsh:
+            sample = task.test.X[rows[: min(256, len(rows))]]
+            recall = predictor.recall_at_k(sample, args.k)
+            print(f"LSH recall@{args.k} vs exact: {recall:.3f}")
+        if args.out and tel is not None:
+            from pathlib import Path
+
+            from repro.telemetry.export import write_chrome_trace, write_jsonl
+
+            stem = Path(args.out)
+            chrome = write_chrome_trace(
+                tel, stem.parent / f"{stem.name}.trace.json"
+            )
+            jsonl = write_jsonl(
+                tel, stem.parent / f"{stem.name}.telemetry.jsonl"
+            )
+            print(f"chrome trace: {chrome}")
+            print(f"event stream: {jsonl}")
         return 0
 
     if args.command == "compare":

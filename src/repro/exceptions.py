@@ -32,6 +32,14 @@ class ModelStateError(ReproError, ValueError):
     """Model replicas are incompatible (shape, dtype, or layout mismatch)."""
 
 
+class SnapshotError(ReproError, ValueError):
+    """A model snapshot failed validation (format, version, or integrity)."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The inference engine reached an inconsistent serving state."""
+
+
 class CommunicationError(ReproError, RuntimeError):
     """A collective (all-reduce) operation was invoked with invalid inputs."""
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.exceptions import ConfigurationError
-from repro.sparse.ops import estimate_step_flops
+from repro.sparse.ops import estimate_inference_flops, estimate_step_flops
 from repro.utils.validation import check_positive
 
 __all__ = ["StepWorkload", "GpuCostParams", "GpuCostModel", "CpuCostParams", "CpuCostModel"]
@@ -161,6 +161,39 @@ class GpuCostModel:
             + self.launch_overhead(n_active_gpus)
             + self.params.step_overhead_s
         )
+
+    def inference_time(
+        self,
+        work: StepWorkload,
+        *,
+        speed: float = 1.0,
+        n_active_gpus: int = 1,
+        include_h2d: bool = True,
+    ) -> float:
+        """Seconds one forward-only (serving) pass takes at ``speed``.
+
+        Same pricing structure as :meth:`step_time` but over
+        :func:`estimate_inference_flops` and roughly a third of the kernel
+        launches (no backward or optimizer kernels run). The fixed launch +
+        step overhead is what adaptive micro-batching amortizes: per-request
+        cost falls as the dispatcher coalesces more queries per pass.
+        """
+        if not (speed > 0):
+            raise ConfigurationError(f"speed must be > 0, got {speed}")
+        flops = estimate_inference_flops(
+            work.batch_size, work.batch_nnz, work.layer_dims,
+            active_labels=work.active_labels,
+        )
+        compute = (
+            flops["sparse"] / self.params.sparse_flops_per_s
+            + flops["dense"] / self.params.dense_flops_per_s
+        ) / speed
+        transfer = (
+            work.batch_bytes / self.params.h2d_bytes_per_s if include_h2d else 0.0
+        )
+        # Forward-only launches ~ a third of a full training step's kernels.
+        launch = self.launch_overhead(n_active_gpus) / 3.0
+        return compute + transfer + launch + self.params.step_overhead_s
 
     def model_transfer_time(self, nbytes: int) -> float:
         """Host↔device time to move a model replica of ``nbytes``."""

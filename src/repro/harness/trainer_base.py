@@ -102,6 +102,10 @@ class TrainerBase(ABC):
         # The accuracy probe runs after every mega-batch; cache the boolean
         # label matrix once instead of re-casting Y per evaluation.
         self._eval_Y_bool = self._eval_split.Y.astype(bool)
+        #: The model most recently passed to :meth:`record_checkpoint` —
+        #: every algorithm checkpoints its live global model, so after
+        #: ``run()`` this is the trained model :meth:`save_snapshot` ships.
+        self.final_state: Optional[ModelState] = None
 
     # -- shared protocol -----------------------------------------------------
     def initial_state(self) -> ModelState:
@@ -142,6 +146,7 @@ class TrainerBase(ABC):
         loss: float,
     ) -> TracePoint:
         """Evaluate ``state`` and append a checkpoint at the current sim time."""
+        self.final_state = state
         tel = self.telemetry
         host_t0 = perf_counter() if tel.enabled else 0.0
         point = TracePoint(
@@ -181,6 +186,36 @@ class TrainerBase(ABC):
         if learning_rates is not None:
             for device, lr in enumerate(learning_rates):
                 tel.gauge(GAUGE_LR, lr, device=device)
+
+    def save_snapshot(self, stem, **meta):
+        """Persist the trained model as a serving snapshot at ``stem``.
+
+        Writes ``<stem>.snapshot.json`` + ``<stem>.snapshot.npz`` (see
+        :mod:`repro.serve.snapshot`) from the model recorded at the last
+        checkpoint. Extra ``meta`` keywords land in the header's ``meta``
+        section alongside the trainer's provenance fields. Returns the
+        header path; raises if no run has checkpointed a model yet.
+        """
+        from repro.serve.snapshot import ModelSnapshot
+
+        if self.final_state is None:
+            raise ConfigurationError(
+                "save_snapshot() before any checkpoint: run the trainer "
+                "first (every run records at least the initial checkpoint)"
+            )
+        merged_meta = {
+            "algorithm": self.algorithm,
+            "dataset": self.task.name,
+            "n_labels": self.task.n_labels,
+            "n_features": self.task.n_features,
+            "init_seed": self.init_seed,
+            "data_seed": self.data_seed,
+            **meta,
+        }
+        snapshot = ModelSnapshot(
+            arch=self.arch, state=self.final_state, meta=merged_meta
+        )
+        return snapshot.save(stem)
 
     # -- entry point ---------------------------------------------------------
     def run(

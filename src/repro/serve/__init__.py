@@ -1,0 +1,40 @@
+"""Serving subsystem: snapshots + adaptive-batched sparse inference.
+
+Closes the train → deploy loop of the reproduction: any registry trainer
+can persist its final model as a versioned snapshot
+(:mod:`repro.serve.snapshot`), and :class:`~repro.serve.engine.ServingEngine`
+replays an open-loop request stream (:mod:`repro.serve.loadgen`) against it
+on the simulated heterogeneous server — coalescing queries into adaptive
+micro-batches (:mod:`repro.serve.queue`) and scoring them through the exact
+or LSH-accelerated top-k path (:mod:`repro.serve.predictor`).
+"""
+
+from repro.serve.engine import SERVE_MODES, ServeResult, ServingEngine
+from repro.serve.loadgen import (
+    LatencyReport,
+    LoadSpec,
+    generate_arrivals,
+    nearest_rank_percentile,
+    sample_query_rows,
+)
+from repro.serve.predictor import Predictor
+from repro.serve.queue import AdaptiveBatchSizer, Request, RequestQueue
+from repro.serve.snapshot import SNAPSHOT_FORMAT, SNAPSHOT_VERSION, ModelSnapshot
+
+__all__ = [
+    "ModelSnapshot",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "Predictor",
+    "ServingEngine",
+    "ServeResult",
+    "SERVE_MODES",
+    "AdaptiveBatchSizer",
+    "Request",
+    "RequestQueue",
+    "LoadSpec",
+    "LatencyReport",
+    "generate_arrivals",
+    "sample_query_rows",
+    "nearest_rank_percentile",
+]

@@ -1,0 +1,186 @@
+"""Open-loop load generation and latency reporting for the serving bench.
+
+Arrival processes are **open-loop**: request times are drawn up front from
+the arrival model and do not react to server backpressure — the standard
+methodology for latency benchmarking (a closed loop would hide queueing
+delay by slowing the offered load exactly when the server struggles).
+
+Two arrival patterns:
+
+- ``poisson`` — exponential inter-arrival gaps at a constant rate (the
+  memoryless baseline);
+- ``burst`` — alternating hot/cold phases around the same average rate:
+  bursts arrive at ``burst_factor ×`` the base rate for ``burst_fraction``
+  of the time, with the cold phase slowed to compensate. This is the
+  diurnal-peak shape the adaptive batch sizer must absorb.
+
+Percentiles use the nearest-rank definition (the p-th percentile is an
+actually-observed latency, never an interpolation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "LoadSpec",
+    "generate_arrivals",
+    "sample_query_rows",
+    "nearest_rank_percentile",
+    "LatencyReport",
+]
+
+ARRIVAL_PATTERNS = ("poisson", "burst")
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One open-loop load scenario."""
+
+    n_requests: int
+    rate_rps: float
+    pattern: str = "poisson"
+    #: Burst intensity: peak rate = ``burst_factor * rate_rps``.
+    burst_factor: float = 4.0
+    #: Fraction of requests arriving inside bursts.
+    burst_fraction: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ConfigurationError(
+                f"n_requests must be >= 1, got {self.n_requests}"
+            )
+        if self.rate_rps <= 0:
+            raise ConfigurationError(
+                f"rate_rps must be > 0, got {self.rate_rps}"
+            )
+        if self.pattern not in ARRIVAL_PATTERNS:
+            raise ConfigurationError(
+                f"pattern must be one of {ARRIVAL_PATTERNS}, got {self.pattern!r}"
+            )
+        if self.burst_factor <= 1.0:
+            raise ConfigurationError(
+                f"burst_factor must be > 1, got {self.burst_factor}"
+            )
+        if not (0.0 < self.burst_fraction < 1.0):
+            raise ConfigurationError(
+                f"burst_fraction must be in (0, 1), got {self.burst_fraction}"
+            )
+
+
+def generate_arrivals(spec: LoadSpec) -> np.ndarray:
+    """Absolute arrival times (seconds, ascending) for ``spec``."""
+    rng = RngFactory(spec.seed).get("serve-arrivals", spec.pattern)
+    n = spec.n_requests
+    if spec.pattern == "poisson":
+        gaps = rng.exponential(scale=1.0 / spec.rate_rps, size=n)
+        return np.cumsum(gaps)
+
+    # Burst: a burst_fraction share of requests arrives at the hot rate;
+    # the cold rate is solved so the *overall* average stays rate_rps:
+    #   n / rate = n_hot / rate_hot + n_cold / rate_cold.
+    n_hot = max(1, int(round(n * spec.burst_fraction)))
+    n_cold = n - n_hot
+    rate_hot = spec.rate_rps * spec.burst_factor
+    if n_cold > 0:
+        cold_time = n / spec.rate_rps - n_hot / rate_hot
+        rate_cold = n_cold / cold_time
+    else:
+        rate_cold = rate_hot
+    # Interleave phases in ~4 burst episodes so the sizer sees transitions.
+    episodes = min(4, n_hot)
+    hot_sizes = np.full(episodes, n_hot // episodes, dtype=int)
+    hot_sizes[: n_hot % episodes] += 1
+    cold_sizes = np.full(episodes, n_cold // episodes, dtype=int)
+    cold_sizes[: n_cold % episodes] += 1
+    gaps: List[np.ndarray] = []
+    for hot, cold in zip(hot_sizes, cold_sizes):
+        if cold:
+            gaps.append(rng.exponential(scale=1.0 / rate_cold, size=cold))
+        if hot:
+            gaps.append(rng.exponential(scale=1.0 / rate_hot, size=hot))
+    return np.cumsum(np.concatenate(gaps))
+
+
+def sample_query_rows(
+    n_rows: int, n_requests: int, *, seed: int = 0
+) -> np.ndarray:
+    """Row indices (with replacement) mapping requests to dataset samples."""
+    if n_rows < 1:
+        raise ConfigurationError(f"n_rows must be >= 1, got {n_rows}")
+    rng = RngFactory(seed).get("serve-queries")
+    return rng.integers(0, n_rows, size=n_requests)
+
+
+def nearest_rank_percentile(
+    values: Sequence[float], percentile: float
+) -> float:
+    """Nearest-rank percentile: the ceil(p·n)-th smallest observed value."""
+    if not (0.0 < percentile <= 100.0):
+        raise ConfigurationError(
+            f"percentile must be in (0, 100], got {percentile}"
+        )
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        raise ConfigurationError("percentile of an empty sample")
+    rank = int(np.ceil(percentile / 100.0 * arr.size))
+    return float(arr[max(rank, 1) - 1])
+
+
+@dataclass
+class LatencyReport:
+    """p50/p95/p99 + throughput summary of one serving run."""
+
+    n_requests: int
+    #: Wall-clock from first arrival to last response (simulated seconds).
+    makespan_s: float
+    latencies_s: np.ndarray
+    queue_delays_s: np.ndarray
+    batch_sizes: List[int] = field(default_factory=list)
+    #: Extra scenario identity carried into the JSON report.
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of makespan."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.n_requests / self.makespan_s
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank latency percentile in seconds."""
+        return nearest_rank_percentile(self.latencies_s, p)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average dispatched batch size (1.0 for sequential serving)."""
+        if not self.batch_sizes:
+            return 0.0
+        return float(np.mean(self.batch_sizes))
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (what ``BENCH_serve.json`` stores)."""
+        return {
+            "n_requests": self.n_requests,
+            "makespan_s": float(self.makespan_s),
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.percentile(50) * 1e3,
+            "latency_p95_ms": self.percentile(95) * 1e3,
+            "latency_p99_ms": self.percentile(99) * 1e3,
+            "latency_mean_ms": float(np.mean(self.latencies_s)) * 1e3,
+            "queue_p95_ms": (
+                nearest_rank_percentile(self.queue_delays_s, 95) * 1e3
+                if len(self.queue_delays_s)
+                else 0.0
+            ),
+            "n_batches": len(self.batch_sizes),
+            "mean_batch_size": self.mean_batch_size,
+            **{str(k): v for k, v in self.meta.items()},
+        }

@@ -1,0 +1,189 @@
+"""Top-k label scoring for serving: exact dense path + LSH sparse path.
+
+The exact path runs the snapshot's :class:`~repro.sparse.mlp.SparseMLP`
+forward through the fused workspace kernels (same buffers, same BLAS
+routines as training) and ranks all ``L`` labels with the deterministic
+:func:`~repro.sparse.metrics.topk_indices`.
+
+The LSH path is SLIDE turned inference-side: the output layer's weight
+columns are indexed in :class:`~repro.baselines.slide.sampler`-style
+SimHash tables, a query's last hidden activation retrieves only the labels
+whose weights collide with it, and logits are computed for those candidate
+columns alone — O(h · |candidates|) instead of O(h · L) per query. Rows
+whose retrieval returns fewer than ``k`` candidates are padded with the
+lowest-id unretrieved labels, so the output shape (and tie behaviour) stays
+deterministic. :meth:`Predictor.recall_at_k` reports how much of the exact
+top-k the accelerated path keeps — the accuracy/latency dial the serving
+bench sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.slide.lsh import SimHashLSH
+from repro.exceptions import ConfigurationError, ServeError
+from repro.gpu.cost import StepWorkload
+from repro.perf.workspace import Workspace
+from repro.serve.snapshot import ModelSnapshot
+from repro.sparse.metrics import topk_indices
+from repro.sparse.mlp import SparseMLP
+from repro.sparse.ops import sampled_logits
+
+__all__ = ["Predictor"]
+
+
+class Predictor:
+    """Scores sparse queries against one model snapshot."""
+
+    def __init__(
+        self,
+        snapshot: ModelSnapshot,
+        *,
+        workspace: Optional[Workspace] = None,
+        lsh_tables: int = 24,
+        lsh_bits: int = 4,
+        lsh_seed: int = 0,
+        chunk: int = 2048,
+    ) -> None:
+        self.snapshot = snapshot
+        self.arch = snapshot.arch
+        self.state = snapshot.state
+        self.mlp = SparseMLP(self.arch)
+        self.workspace = workspace if workspace is not None else Workspace()
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+        self.chunk = int(chunk)
+        self._n_layers = len(self.arch.layer_dims) - 1
+        self._out_name = f"W{self._n_layers}"
+        self._bias_name = f"b{self._n_layers}"
+        # LSH over the *output-layer* weight columns: one column per label,
+        # dim = the last hidden width (what the query activation lives in).
+        self._lsh = SimHashLSH(
+            dim=self.arch.layer_dims[-2],
+            n_tables=lsh_tables,
+            n_bits=lsh_bits,
+            seed=lsh_seed,
+        )
+        self._lsh_built = False
+
+    # -- plumbing ------------------------------------------------------------
+    def _check_query(self, X: sp.csr_matrix) -> None:
+        if not sp.issparse(X):
+            raise ConfigurationError(
+                f"queries must be a scipy sparse matrix, got {type(X)!r}"
+            )
+        if X.shape[1] != self.arch.n_features:
+            raise ConfigurationError(
+                f"queries have {X.shape[1]} features, model expects "
+                f"{self.arch.n_features}"
+            )
+
+    def rebuild_lsh(self) -> None:
+        """(Re)index the output layer (call after swapping in new weights)."""
+        self._lsh.rebuild(self.state[self._out_name])
+        self._lsh_built = True
+
+    def workload(self, X: sp.csr_matrix) -> StepWorkload:
+        """The cost-model descriptor of scoring ``X`` (prices a batch)."""
+        return StepWorkload(
+            batch_size=X.shape[0],
+            batch_nnz=int(X.nnz),
+            layer_dims=tuple(self.arch.layer_dims),
+        )
+
+    # -- exact path ----------------------------------------------------------
+    def score(self, X: sp.csr_matrix) -> np.ndarray:
+        """Dense ``(n, L)`` logits through the fused workspace kernels."""
+        self._check_query(X)
+        return self.mlp.predict_batched(
+            X, self.state, chunk=self.chunk, workspace=self.workspace
+        )
+
+    def topk(self, X: sp.csr_matrix, k: int) -> np.ndarray:
+        """Exact top-``k`` label ids per query, best-first, tie-stable."""
+        return topk_indices(self.score(X), k)
+
+    # -- LSH-accelerated path -------------------------------------------------
+    def hidden(self, X: sp.csr_matrix) -> np.ndarray:
+        """Last hidden activation (the LSH query vectors) for ``X``."""
+        self._check_query(X)
+        cache = self.mlp.forward(X, self.state, self.workspace)
+        if self._n_layers < 2:
+            raise ServeError(
+                "the LSH path needs at least one hidden layer"
+            )
+        # activations[-1] is the logits; [-2] the last post-ReLU hidden.
+        return cache.activations[-2]
+
+    def topk_lsh(self, X: sp.csr_matrix, k: int) -> np.ndarray:
+        """Top-``k`` via LSH candidate retrieval + candidate-only logits.
+
+        Each row ranks only its retrieved candidates; rows with fewer than
+        ``k`` candidates are padded with the lowest unretrieved label ids
+        (scored last), keeping the result rectangular and deterministic.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if not self._lsh_built:
+            self.rebuild_lsh()
+        L = self.arch.n_labels
+        k = min(k, L)
+        n = X.shape[0]
+        out = np.empty((n, k), dtype=np.int64)
+        if n == 0:
+            return out
+        # One forward to the last hidden layer for the whole block; the
+        # hidden buffer must outlive the per-row loop, so copy it out of the
+        # workspace (it is (n, h), small next to the (n, L) dense logits the
+        # exact path would allocate).
+        H = np.array(self.hidden(X), copy=True)
+        W_out = self.state[self._out_name]
+        b_out = self.state[self._bias_name]
+        candidates = self._lsh.query_batch(H)
+        for i, cand in enumerate(candidates):
+            if cand.size < k:
+                # Deterministic fill: lowest label ids not retrieved.
+                missing = np.setdiff1d(
+                    np.arange(min(L, k + cand.size), dtype=np.int64), cand
+                )[: k - cand.size]
+                logits = sampled_logits(H[i], W_out, b_out, cand)
+                order = topk_indices(logits[None, :], cand.size)[0] if cand.size else []
+                out[i, : cand.size] = cand[order]
+                out[i, cand.size:] = missing
+            else:
+                logits = sampled_logits(H[i], W_out, b_out, cand)
+                # cand is sorted ascending, so positional tie-break == the
+                # lowest-label-id rule the exact path uses.
+                best = topk_indices(logits[None, :], k)[0]
+                out[i] = cand[best]
+        return out
+
+    def candidate_counts(self, X: sp.csr_matrix) -> np.ndarray:
+        """Per-row LSH candidate-set sizes (retrieval selectivity)."""
+        if not self._lsh_built:
+            self.rebuild_lsh()
+        H = np.array(self.hidden(X), copy=True)
+        return np.array([c.size for c in self._lsh.query_batch(H)], dtype=np.int64)
+
+    # -- recall reporting -----------------------------------------------------
+    def recall_at_k(self, X: sp.csr_matrix, k: int) -> float:
+        """Mean |LSH top-k ∩ exact top-k| / k over the query block."""
+        if X.shape[0] == 0:
+            return 1.0
+        exact = self.topk(X, k)
+        approx = self.topk_lsh(X, k)
+        kk = exact.shape[1]
+        hits = 0
+        for row_exact, row_approx in zip(exact, approx):
+            hits += np.intersect1d(row_exact, row_approx).size
+        return hits / (exact.shape[0] * kk)
+
+    def predict_labels(
+        self, X: sp.csr_matrix, k: int, *, use_lsh: bool = False
+    ) -> np.ndarray:
+        """Top-``k`` labels via the configured path (the engine's entry)."""
+        return self.topk_lsh(X, k) if use_lsh else self.topk(X, k)

@@ -1,0 +1,169 @@
+"""Request coalescing: the serving queue and the adaptive batch sizer.
+
+The engine's dispatch rule is Clipper-style adaptive micro-batching driven
+by the paper's Algorithm-1 update shape. Each device owns an
+:class:`AdaptiveBatchSizer` holding a real-valued batch-size cap ``b``;
+after every batch it executes the linear rule
+
+    ``b ← b + β · b · (target − observed) / target``
+
+where ``observed`` is the batch's *service* time (dispatch → completion)
+and ``target`` is the per-batch latency SLO. Batches finishing under the
+SLO grow the cap (more coalescing amortizes the fixed kernel-launch +
+dispatch overhead); batches running over shrink it. Mirroring
+:mod:`repro.core.scaling`, the bound check runs on the real-valued
+proposal, the accepted value is rounded to the nearest integer for use,
+and the real value is retained so sub-integer progress accumulates.
+
+Observing service time — not queueing delay — keeps the feedback loop
+stable: a backlog inflates queueing delay through no fault of the batch
+size, and reacting to it would shrink batches exactly when the queue needs
+draining (the classic micro-batching death spiral). Queue pressure instead
+enters through the dispatch size ``min(cap, queue depth)``: the sizer sets
+the ceiling, the queue sets the demand.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.exceptions import ConfigurationError, ServeError
+
+__all__ = ["Request", "RequestQueue", "AdaptiveBatchSizer"]
+
+
+@dataclass
+class Request:
+    """One inference query moving through the serving pipeline."""
+
+    req_id: int
+    #: Row index into the engine's query matrix.
+    row: int
+    #: Simulated arrival (enqueue) time.
+    t_arrival: float
+    #: Filled by the engine as the request advances.
+    t_dispatch: Optional[float] = None
+    t_done: Optional[float] = None
+    device: Optional[int] = None
+    #: Top-k label ids predicted for this request.
+    labels: Optional[list] = None
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency (arrival → response); requires completion."""
+        if self.t_done is None:
+            raise ServeError(f"request {self.req_id} has not completed")
+        return self.t_done - self.t_arrival
+
+    @property
+    def queue_s(self) -> float:
+        """Time spent queued before dispatch; requires dispatch."""
+        if self.t_dispatch is None:
+            raise ServeError(f"request {self.req_id} was never dispatched")
+        return self.t_dispatch - self.t_arrival
+
+
+class RequestQueue:
+    """FIFO of pending requests with simple high-water accounting."""
+
+    def __init__(self) -> None:
+        self._pending: Deque[Request] = deque()
+        self._max_depth = 0
+        self._total = 0
+
+    def push(self, request: Request) -> None:
+        """Enqueue one arriving request."""
+        self._pending.append(request)
+        self._total += 1
+        if len(self._pending) > self._max_depth:
+            self._max_depth = len(self._pending)
+
+    def pop_batch(self, max_size: int) -> List[Request]:
+        """Dequeue up to ``max_size`` requests in arrival order."""
+        if max_size < 1:
+            raise ConfigurationError(f"max_size must be >= 1, got {max_size}")
+        batch: List[Request] = []
+        while self._pending and len(batch) < max_size:
+            batch.append(self._pending.popleft())
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued."""
+        return len(self._pending)
+
+    @property
+    def max_depth(self) -> int:
+        """High-water mark of the queue depth."""
+        return self._max_depth
+
+    @property
+    def total_enqueued(self) -> int:
+        """Total requests ever pushed."""
+        return self._total
+
+
+class AdaptiveBatchSizer:
+    """Latency-targeting linear batch-size controller (one per device)."""
+
+    def __init__(
+        self,
+        *,
+        b_min: int = 1,
+        b_max: int = 256,
+        b_init: Optional[int] = None,
+        beta: float = 0.5,
+        target_latency_s: float = 1e-3,
+    ) -> None:
+        if not (1 <= b_min <= b_max):
+            raise ConfigurationError(
+                f"need 1 <= b_min <= b_max, got [{b_min}, {b_max}]"
+            )
+        if beta <= 0:
+            raise ConfigurationError(f"beta must be > 0, got {beta}")
+        if target_latency_s <= 0:
+            raise ConfigurationError(
+                f"target_latency_s must be > 0, got {target_latency_s}"
+            )
+        b_init = b_min if b_init is None else int(b_init)
+        if not (b_min <= b_init <= b_max):
+            raise ConfigurationError(
+                f"b_init {b_init} outside [{b_min}, {b_max}]"
+            )
+        self.b_min = int(b_min)
+        self.b_max = int(b_max)
+        self.beta = float(beta)
+        self.target_latency_s = float(target_latency_s)
+        #: Real-valued cap (the paper's update is real; rounding is per-use).
+        self._b = float(b_init)
+        self.history: List[int] = []
+
+    @property
+    def cap(self) -> int:
+        """Current integer batch-size ceiling for the next dispatch."""
+        return min(max(int(round(self._b)), self.b_min), self.b_max)
+
+    def observe(self, batch_size: int, service_time_s: float) -> int:
+        """Feed back one completed batch; returns the new cap.
+
+        ``service_time_s`` is the batch's dispatch → completion time. The
+        proposal is evaluated real-valued against the bounds and clamped,
+        exactly as Algorithm 1 does for training batch sizes.
+        """
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if service_time_s < 0:
+            raise ConfigurationError(
+                f"service_time_s must be >= 0, got {service_time_s}"
+            )
+        error = (self.target_latency_s - service_time_s) / self.target_latency_s
+        proposal = self._b + self.beta * self._b * error
+        self._b = min(max(proposal, float(self.b_min)), float(self.b_max))
+        cap = self.cap
+        self.history.append(cap)
+        return cap

@@ -16,7 +16,45 @@ import scipy.sparse as sp
 
 from repro.exceptions import DataFormatError
 
-__all__ = ["precision_at_k", "top1_accuracy"]
+__all__ = ["topk_indices", "precision_at_k", "top1_accuracy"]
+
+
+def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Top-``k`` label ids per row, best-first, deterministic under ties.
+
+    Ties are broken toward the **lowest label id** — the same order a stable
+    argsort of ``-scores`` produces — on both execution paths, so the O(L)
+    ``argpartition`` fast path and the full-sort path return identical ids.
+    (Bare ``argpartition`` picks an arbitrary subset of the labels tied at
+    the k-th score, which would make LSH-vs-exact recall reports flap.)
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 2:
+        raise DataFormatError(f"scores must be 2-D, got shape {scores.shape}")
+    n, L = scores.shape
+    k = int(k)
+    if k < 1:
+        raise DataFormatError(f"k must be a positive integer, got {k}")
+    k = min(k, L)
+    if k == L:
+        # Every column is requested: the partition step would be a no-op
+        # pass over all L columns, so go straight to the full ranking.
+        return np.argsort(-scores, axis=1, kind="stable")
+
+    # Partition finds the k-th largest *value* per row; the deterministic
+    # member set is then "every score above it, plus the lowest-id ties".
+    part = np.argpartition(scores, L - k, axis=1)[:, L - k:]
+    thresh = np.take_along_axis(scores, part, axis=1).min(axis=1, keepdims=True)
+    above = scores > thresh
+    n_above = above.sum(axis=1, keepdims=True)
+    tie = scores == thresh
+    tie_rank = np.cumsum(tie, axis=1)  # 1-based rank of each tie, id-ascending
+    keep = above | (tie & (tie_rank <= k - n_above))
+    # Row-major nonzero → ids ascend within each row; exactly k kept per row.
+    topk = np.nonzero(keep)[1].reshape(n, k)
+    kept_scores = np.take_along_axis(scores, topk, axis=1)
+    order = np.argsort(-kept_scores, axis=1, kind="stable")
+    return np.take_along_axis(topk, order, axis=1)
 
 
 def precision_at_k(
@@ -44,17 +82,7 @@ def precision_at_k(
     if not ks or ks[0] < 1:
         raise DataFormatError(f"ks must be positive integers, got {ks}")
     kmax = min(ks[-1], L)
-
-    if kmax == L:
-        # Every column is requested: the partition step would be a no-op
-        # pass over all L columns, so go straight to the full ranking.
-        topk = np.argsort(-scores, axis=1, kind="stable")  # (n, L) best-first
-    else:
-        # Top-kmax label ids per row (unordered), then rank them by score.
-        part = np.argpartition(scores, L - kmax, axis=1)[:, L - kmax:]
-        part_scores = np.take_along_axis(scores, part, axis=1)
-        order = np.argsort(-part_scores, axis=1, kind="stable")
-        topk = np.take_along_axis(part, order, axis=1)  # (n, kmax) best-first
+    topk = topk_indices(scores, kmax)  # (n, kmax) best-first, tie-stable
 
     # Membership test against the sparse truth without densifying Y.
     if Y_bool is None:

@@ -157,6 +157,30 @@ class SparseMLP:
         """Label scores (logits) for ``X`` — ranking them gives predictions."""
         return self.forward(X, state, workspace).logits
 
+    def predict_batched(
+        self,
+        X: sp.csr_matrix,
+        state: ModelState,
+        *,
+        chunk: int = 2048,
+        workspace: Optional[Workspace] = None,
+    ) -> np.ndarray:
+        """Scores for ``X`` computed ``chunk`` rows at a time.
+
+        Bit-identical to one-shot :meth:`predict` (each chunk runs the same
+        kernels on the same rows) while bounding the dense intermediate
+        activations to ``(chunk, width)`` — for XML label spaces the one-shot
+        ``(n, n_labels)`` logits buffer would otherwise dominate memory.
+        """
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be positive, got {chunk}")
+        n = X.shape[0]
+        scores = np.empty((n, self.arch.n_labels), dtype=np.float32)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            scores[start:stop] = self.predict(X[start:stop], state, workspace)
+        return scores
+
     # -- training ------------------------------------------------------------
     def loss_and_grad(
         self,
@@ -223,9 +247,4 @@ class SparseMLP:
         Chunking bounds the dense ``(chunk, n_labels)`` logits buffer, which
         for XML label spaces would otherwise dominate memory.
         """
-        n = X.shape[0]
-        scores = np.empty((n, self.arch.n_labels), dtype=np.float32)
-        for start in range(0, n, chunk):
-            stop = min(start + chunk, n)
-            scores[start:stop] = self.predict(X[start:stop], state, workspace)
-        return scores
+        return self.predict_batched(X, state, chunk=chunk, workspace=workspace)

@@ -13,7 +13,9 @@ HPC-idiomatic layout (views, not copies — see the optimization guide):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -69,6 +71,55 @@ class ModelState:
     def from_vector(cls, spec: Sequence[ParameterSpec], vector: np.ndarray) -> "ModelState":
         """Wrap an existing flat vector (no copy)."""
         return cls(spec, np.ascontiguousarray(vector, dtype=np.float32))
+
+    # -- persistence --------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the state to a compressed ``.npz`` at ``path``.
+
+        Each named parameter is stored as its own float32 array plus a
+        ``__spec__`` entry recording the layout order, so :meth:`load`
+        reconstructs the flat buffer bit-identically (npz stores raw array
+        bytes — compression is lossless).
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        arrays: Dict[str, np.ndarray] = {
+            name: self._views[name] for name, _ in self.spec
+        }
+        if "__spec__" in arrays:
+            raise ModelStateError("parameter name '__spec__' is reserved")
+        spec_json = json.dumps([[name, list(shape)] for name, shape in self.spec])
+        np.savez_compressed(path, __spec__=np.array(spec_json), **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ModelState":
+        """Reconstruct a state saved by :meth:`save` (bit-identical)."""
+        path = Path(path)
+        with np.load(path) as data:
+            if "__spec__" not in data.files:
+                raise ModelStateError(
+                    f"{path} is not a ModelState archive (missing __spec__)"
+                )
+            spec_raw = json.loads(str(data["__spec__"]))
+            spec: List[ParameterSpec] = [
+                (name, tuple(int(d) for d in shape)) for name, shape in spec_raw
+            ]
+            missing = [name for name, _ in spec if name not in data.files]
+            if missing:
+                raise ModelStateError(
+                    f"{path} is missing parameter arrays: {missing}"
+                )
+            state = cls.build(spec)
+            for name, shape in spec:
+                array = data[name]
+                if tuple(array.shape) != shape:
+                    raise ModelStateError(
+                        f"parameter {name!r} in {path} has shape "
+                        f"{tuple(array.shape)}, spec says {shape}"
+                    )
+                np.copyto(state._views[name], array, casting="same_kind")
+        return state
 
     # -- access ------------------------------------------------------------
     def __getitem__(self, name: str) -> np.ndarray:

@@ -21,6 +21,7 @@ __all__ = [
     "scatter_columns_add",
     "sparse_row_times_dense",
     "estimate_step_flops",
+    "estimate_inference_flops",
 ]
 
 
@@ -112,4 +113,39 @@ def estimate_step_flops(
         "sparse": float(sparse_flops),
         "dense": float(dense_flops),
         "update": float(2.0 * n_params),
+    }
+
+
+def estimate_inference_flops(
+    batch_size: int,
+    batch_nnz: int,
+    layer_dims: Tuple[int, ...],
+    *,
+    active_labels: int = -1,
+) -> dict:
+    """Floating-point-op estimate of one forward-only pass, by kernel class.
+
+    The serving counterpart of :func:`estimate_step_flops`: only the forward
+    products run (half the input-layer cost, a third of the GEMM cost) and no
+    parameter update happens, so ``update`` is always zero — kept in the dict
+    so both estimates price through the same cost-model arithmetic.
+    ``active_labels`` (when >= 0) replaces the output dimension for the
+    LSH-accelerated scorer that only evaluates candidate label columns.
+    """
+    if len(layer_dims) < 2:
+        raise ConfigurationError(f"need >= 2 layer dims, got {layer_dims}")
+    dims = list(layer_dims)
+    if active_labels >= 0:
+        dims[-1] = int(active_labels)
+    h1 = dims[1]
+    # Input layer: forward X@W1 only, 2*nnz*h1.
+    sparse_flops = 2.0 * batch_nnz * h1
+    # Hidden/output layers: one forward GEMM each, 2*b*din*dout.
+    dense_flops = 0.0
+    for i in range(1, len(dims) - 1):
+        dense_flops += 2.0 * batch_size * dims[i] * dims[i + 1]
+    return {
+        "sparse": float(sparse_flops),
+        "dense": float(dense_flops),
+        "update": 0.0,
     }

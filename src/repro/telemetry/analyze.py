@@ -24,6 +24,7 @@ from repro.telemetry.events import (
     SPAN_LSH_REBUILD,
     SPAN_MERGE,
     SPAN_RUN,
+    SPAN_SERVE_BATCH,
     SPAN_STEP,
     SPAN_TRANSFER,
 )
@@ -108,7 +109,8 @@ class DeviceAttribution:
     #: Everything else: waiting on the scheduler, stragglers, ramp-down.
     idle_s: float = 0.0
     steps: int = 0
-    #: Training samples processed (sum of ``step.compute`` ``size`` args).
+    #: Samples processed: sum of ``size`` args over ``step.compute`` spans
+    #: (training) and ``serve.batch`` spans (requests, for serving runs).
     samples: int = 0
     #: Idle-accountant view: gaps between *consecutive* compute spans only.
     gap_idle_s: Optional[float] = None
@@ -228,7 +230,9 @@ def attribute_time(run: RunData) -> RunAttribution:
             if span.device != device_id:
                 continue
             busy_intervals.append((span.ts, span.ts + span.dur))
-            if span.name == SPAN_STEP:
+            if span.name in (SPAN_STEP, SPAN_SERVE_BATCH):
+                # serve.batch is the serving-side compute unit: batches
+                # count as steps, coalesced requests as samples.
                 dev.compute_s += span.dur
                 dev.steps += 1
                 size = span.args.get("size")
@@ -398,11 +402,12 @@ def critical_path(
     for d in devices:
         compute = 0.0
         samples = 0
-        for s in run.spans_named(SPAN_STEP, device=d):
-            compute += s.dur
-            size = s.args.get("size")
-            if isinstance(size, (int, float)):
-                samples += int(size)
+        for name in (SPAN_STEP, SPAN_SERVE_BATCH):
+            for s in run.spans_named(name, device=d):
+                compute += s.dur
+                size = s.args.get("size")
+                if isinstance(size, (int, float)):
+                    samples += int(size)
         if compute > 0.0 and samples > 0:
             throughputs[d] = samples / compute
     if throughputs:
@@ -444,10 +449,11 @@ def critical_path(
 
 
 # -- utilization lanes -------------------------------------------------------
-#: Timeline glyphs: compute / transfer / LSH rebuild / other / merge /
-#: all-reduce. Idle renders as the timeline's background dot.
+#: Timeline glyphs: compute / serve batch / transfer / LSH rebuild / other /
+#: merge / all-reduce. Idle renders as the timeline's background dot.
 LANE_GLYPHS = {
     SPAN_STEP: "#",
+    SPAN_SERVE_BATCH: "S",
     SPAN_TRANSFER: "T",
     SPAN_LSH_REBUILD: "R",
     SPAN_MERGE: "M",

@@ -22,7 +22,12 @@ from repro.perf import profile as kernel_profile
 from repro.perf.profile import KernelProfile
 from repro.sim.environment import Environment
 from repro.sim.monitor import MonitorSet
-from repro.telemetry.events import SPAN_STEP, InstantEvent, SpanEvent
+from repro.telemetry.events import (
+    SPAN_SERVE_BATCH,
+    SPAN_STEP,
+    InstantEvent,
+    SpanEvent,
+)
 
 __all__ = ["Telemetry", "NullTelemetry", "NULL"]
 
@@ -79,7 +84,7 @@ class _Span:
             device=self.device,
             args=self.args,
         ))
-        if self.device is not None and self.name == SPAN_STEP:
+        if self.device is not None and self.name in (SPAN_STEP, SPAN_SERVE_BATCH):
             # Device compute intervals feed the per-device idle accountant,
             # so analysis reads busy/gap totals instead of re-deriving them.
             tel.monitor_sets[-1].idle.observe(self.device, self._start, end)
@@ -182,6 +187,27 @@ class Telemetry:
             device=device, args=args,
         ))
 
+    def record_span(self, name: str, ts: float, dur: float, *,
+                    device: Optional[int] = None, **args: object) -> None:
+        """Record an already-completed span retroactively.
+
+        The serving engine needs this for per-request latency spans: a
+        request's span starts at *enqueue* time, but which micro-batch (and
+        therefore which completion time) it lands in is only known after the
+        batch finishes — no ``with`` block can bracket that. ``ts``/``dur``
+        are on the simulated clock; ``SPAN_STEP``/``SPAN_SERVE_BATCH`` spans
+        with a device still feed the idle accountant, same as live spans.
+        """
+        if dur < 0:
+            raise ValueError(f"span duration must be >= 0, got {dur}")
+        self._now()  # raises unless a run is attached
+        self.spans.append(SpanEvent(
+            name=name, ts=ts, dur=dur, run=self.run_index,
+            device=device, args=args,
+        ))
+        if device is not None and name in (SPAN_STEP, SPAN_SERVE_BATCH):
+            self.monitor_sets[-1].idle.observe(device, ts, ts + dur)
+
     def counter(self, name: str, inc: float = 1.0, *,
                 device: Optional[int] = None) -> None:
         """Increment a cumulative counter and sample it at the sim clock."""
@@ -242,6 +268,10 @@ class NullTelemetry(Telemetry):
 
     def instant(self, name: str, *, device: Optional[int] = None,
                 **args: object) -> None:
+        pass
+
+    def record_span(self, name: str, ts: float, dur: float, *,
+                    device: Optional[int] = None, **args: object) -> None:
         pass
 
     def counter(self, name: str, inc: float = 1.0, *,

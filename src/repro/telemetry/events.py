@@ -13,7 +13,11 @@ Spans (simulated-clock duration events):
   on a device;
 - ``merge`` — the whole merge/synchronization stage of one boundary;
 - ``merge.allreduce`` — the collective inside the merge stage;
-- ``slide.rebuild`` — SLIDE's periodic LSH re-hash.
+- ``slide.rebuild`` — SLIDE's periodic LSH re-hash;
+- ``serve.request`` — one inference query, enqueue → response (queueing +
+  compute; the latency the serving SLO is written against);
+- ``serve.batch`` — one coalesced micro-batch executing on a device (the
+  serving analogue of ``step.compute``; feeds the idle accountant).
 
 Instant events:
 
@@ -45,6 +49,8 @@ __all__ = [
     "SPAN_MERGE",
     "SPAN_ALLREDUCE",
     "SPAN_LSH_REBUILD",
+    "SPAN_SERVE_REQUEST",
+    "SPAN_SERVE_BATCH",
     "EVENT_DISPATCH",
     "EVENT_CHECKPOINT",
     "COUNTER_UPDATES",
@@ -64,6 +70,8 @@ SPAN_STEP = "step.compute"
 SPAN_MERGE = "merge"
 SPAN_ALLREDUCE = "merge.allreduce"
 SPAN_LSH_REBUILD = "slide.rebuild"
+SPAN_SERVE_REQUEST = "serve.request"
+SPAN_SERVE_BATCH = "serve.batch"
 
 EVENT_DISPATCH = "batch.dispatch"
 EVENT_CHECKPOINT = "checkpoint"

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from pathlib import Path
+import math
+from pathlib import Path, PurePath
 from typing import Any, Dict, Mapping, Union
 
 import numpy as np
@@ -22,20 +23,33 @@ PathLike = Union[str, Path]
 def to_jsonable(obj: Any) -> Any:
     """Recursively convert ``obj`` into JSON-serializable built-ins.
 
-    Handles dataclasses, numpy scalars/arrays, mappings, sets, and sequences.
-    Unknown objects raise ``TypeError`` — silent stringification would let
-    corrupted artifacts pass unnoticed.
+    Handles dataclasses, numpy scalars/arrays, paths, mappings, sets, and
+    sequences. Unknown objects raise ``TypeError`` — silent stringification
+    would let corrupted artifacts pass unnoticed. Non-finite floats raise
+    ``ValueError``: bare ``NaN``/``Infinity`` tokens are invalid JSON, so an
+    artifact header carrying one would not round-trip through a strict
+    parser (the telemetry exporters deep-clean them to ``null``; artifact
+    metadata must instead be cleaned — or dropped — at the call site).
     """
-    if obj is None or isinstance(obj, (bool, int, float, str)):
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(
+                f"non-finite float {obj!r} is not strict-JSON serializable; "
+                "replace it with None (or drop the field) before saving"
+            )
+        return obj
+    if obj is None or isinstance(obj, (bool, int, str)):
         return obj
     if isinstance(obj, (np.bool_,)):
         return bool(obj)
     if isinstance(obj, np.integer):
         return int(obj)
     if isinstance(obj, np.floating):
-        return float(obj)
+        return to_jsonable(float(obj))
     if isinstance(obj, np.ndarray):
-        return obj.tolist()
+        return to_jsonable(obj.tolist())
+    if isinstance(obj, PurePath):
+        return str(obj)
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
             f.name: to_jsonable(getattr(obj, f.name))
@@ -52,7 +66,9 @@ def save_json(path: PathLike, obj: Any, *, indent: int = 2) -> Path:
     """Write ``obj`` (converted via :func:`to_jsonable`) to ``path``."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_jsonable(obj), indent=indent) + "\n")
+    path.write_text(
+        json.dumps(to_jsonable(obj), indent=indent, allow_nan=False) + "\n"
+    )
     return path
 
 

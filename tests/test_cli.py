@@ -248,3 +248,87 @@ class TestTimeBudgetFlag:
                 ["train", "--budget", "0.1", "--dataset", "micro"]
             )
         assert args.time_budget_s == 0.1
+
+
+class TestServingCommands:
+    def test_snapshot_command(self, capsys, tmp_path):
+        stem = tmp_path / "model"
+        assert main([
+            "snapshot", str(stem), "--dataset", "micro",
+            "--time-budget-s", "0.02", "--gpus", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+        assert (tmp_path / "model.snapshot.json").exists()
+        assert (tmp_path / "model.snapshot.npz").exists()
+
+    def test_train_snapshot_then_serve_same_session(self, capsys, tmp_path):
+        """The acceptance loop: a `repro train --snapshot` model must be
+        servable by `repro serve` in the same CLI session."""
+        stem = tmp_path / "loop"
+        assert main([
+            "train", "--dataset", "micro", "--time-budget-s", "0.02",
+            "--gpus", "2", "--snapshot", str(stem),
+        ]) == 0
+        assert "snapshot:" in capsys.readouterr().out
+        assert main([
+            "serve", str(stem), "--requests", "150", "--mode", "both",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "-- sequential --" in out and "-- adaptive --" in out
+        assert "p99 latency (ms)" in out
+        assert "adaptive/sequential throughput" in out
+
+    def test_serve_single_mode_with_lsh(self, capsys, tmp_path):
+        stem = tmp_path / "model"
+        assert main([
+            "snapshot", str(stem), "--dataset", "micro",
+            "--time-budget-s", "0.02", "--gpus", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", str(stem), "--requests", "100", "--mode", "adaptive",
+            "--lsh",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "-- adaptive --" in out and "-- sequential --" not in out
+        assert "LSH recall@5 vs exact:" in out
+
+    def test_serve_exports_analyzable_telemetry(self, capsys, tmp_path):
+        stem = tmp_path / "model"
+        assert main([
+            "snapshot", str(stem), "--dataset", "micro",
+            "--time-budget-s", "0.02", "--gpus", "2",
+        ]) == 0
+        capsys.readouterr()
+        out_stem = tmp_path / "srv"
+        assert main([
+            "serve", str(stem), "--requests", "100", "--out", str(out_stem),
+        ]) == 0
+        capsys.readouterr()
+        jsonl = tmp_path / "srv.telemetry.jsonl"
+        assert jsonl.exists()
+        assert main(["analyze", str(jsonl), "--json"]) == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["runs"]) == 2  # sequential + adaptive
+        for run in report["runs"]:
+            assert run["attribution"]["max_residual"] <= 1e-6
+
+    def test_serve_missing_snapshot_fails(self, capsys, tmp_path):
+        assert main(["serve", str(tmp_path / "ghost")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_dataset_feature_mismatch_fails(self, capsys, tmp_path):
+        stem = tmp_path / "model"
+        assert main([
+            "snapshot", str(stem), "--dataset", "micro",
+            "--time-budget-s", "0.02", "--gpus", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", str(stem), "--dataset", "amazon670k-tiny",
+            "--requests", "10",
+        ]) == 1
+        assert "features" in capsys.readouterr().err

@@ -1,0 +1,137 @@
+"""Tests for repro.serve.loadgen — arrival processes and latency reports."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve.loadgen import (
+    LatencyReport,
+    LoadSpec,
+    generate_arrivals,
+    nearest_rank_percentile,
+    sample_query_rows,
+)
+
+
+class TestLoadSpec:
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_requests=0, rate_rps=10.0),
+        dict(n_requests=10, rate_rps=0.0),
+        dict(n_requests=10, rate_rps=10.0, pattern="sine"),
+        dict(n_requests=10, rate_rps=10.0, burst_factor=1.0),
+        dict(n_requests=10, rate_rps=10.0, burst_fraction=0.0),
+        dict(n_requests=10, rate_rps=10.0, burst_fraction=1.0),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LoadSpec(**kwargs)
+
+
+class TestArrivals:
+    def test_poisson_count_and_order(self):
+        spec = LoadSpec(n_requests=500, rate_rps=1000.0, seed=1)
+        t = generate_arrivals(spec)
+        assert t.shape == (500,)
+        assert np.all(np.diff(t) >= 0)
+        assert np.all(t > 0)
+
+    def test_poisson_mean_rate(self):
+        spec = LoadSpec(n_requests=5000, rate_rps=1000.0, seed=2)
+        t = generate_arrivals(spec)
+        observed = spec.n_requests / t[-1]
+        assert observed == pytest.approx(1000.0, rel=0.1)
+
+    def test_deterministic_per_seed(self):
+        spec = LoadSpec(n_requests=100, rate_rps=50.0, seed=7)
+        assert np.array_equal(generate_arrivals(spec), generate_arrivals(spec))
+        other = LoadSpec(n_requests=100, rate_rps=50.0, seed=8)
+        assert not np.array_equal(
+            generate_arrivals(spec), generate_arrivals(other)
+        )
+
+    def test_burst_preserves_average_rate(self):
+        spec = LoadSpec(
+            n_requests=8000, rate_rps=1000.0, pattern="burst", seed=3
+        )
+        t = generate_arrivals(spec)
+        assert t.shape == (8000,)
+        assert np.all(np.diff(t) >= 0)
+        observed = spec.n_requests / t[-1]
+        assert observed == pytest.approx(1000.0, rel=0.1)
+
+    def test_burst_has_hot_and_cold_phases(self):
+        """The gap distribution must be bimodal: hot gaps ~factor x shorter."""
+        spec = LoadSpec(
+            n_requests=4000, rate_rps=1000.0, pattern="burst",
+            burst_factor=8.0, seed=4,
+        )
+        gaps = np.diff(generate_arrivals(spec))
+        median = np.median(gaps)
+        hot = gaps[gaps < median / 2]
+        cold = gaps[gaps > median]
+        assert hot.size > 100 and cold.size > 100
+        assert cold.mean() / hot.mean() > 4.0
+
+
+class TestQueryRows:
+    def test_in_bounds_and_deterministic(self):
+        rows = sample_query_rows(37, 400, seed=5)
+        assert rows.shape == (400,)
+        assert rows.min() >= 0 and rows.max() < 37
+        assert np.array_equal(rows, sample_query_rows(37, 400, seed=5))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_query_rows(0, 10)
+
+
+class TestNearestRankPercentile:
+    def test_textbook_values(self):
+        values = list(range(1, 11))  # 1..10
+        assert nearest_rank_percentile(values, 50) == 5
+        assert nearest_rank_percentile(values, 95) == 10
+        assert nearest_rank_percentile(values, 100) == 10
+        assert nearest_rank_percentile(values, 1) == 1
+
+    def test_is_an_observed_value(self):
+        values = [0.2, 5.0, 9.0]
+        for p in (10, 50, 90, 99):
+            assert nearest_rank_percentile(values, p) in values
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            nearest_rank_percentile([1.0], 0)
+        with pytest.raises(ConfigurationError):
+            nearest_rank_percentile([1.0], 101)
+        with pytest.raises(ConfigurationError):
+            nearest_rank_percentile([], 50)
+
+
+class TestLatencyReport:
+    def _report(self):
+        return LatencyReport(
+            n_requests=4,
+            makespan_s=2.0,
+            latencies_s=np.array([0.1, 0.2, 0.3, 0.4]),
+            queue_delays_s=np.array([0.0, 0.1, 0.1, 0.2]),
+            batch_sizes=[2, 2],
+            meta={"mode": "adaptive"},
+        )
+
+    def test_throughput(self):
+        assert self._report().throughput_rps == pytest.approx(2.0)
+        empty = LatencyReport(
+            n_requests=0, makespan_s=0.0,
+            latencies_s=np.array([]), queue_delays_s=np.array([]),
+        )
+        assert empty.throughput_rps == 0.0
+        assert empty.mean_batch_size == 0.0
+
+    def test_as_dict_is_json_safe(self, tmp_path):
+        from repro.utils.serialization import save_json
+
+        doc = self._report().as_dict()
+        assert doc["latency_p50_ms"] == pytest.approx(200.0)
+        assert doc["mean_batch_size"] == pytest.approx(2.0)
+        assert doc["mode"] == "adaptive"
+        save_json(tmp_path / "report.json", doc)  # must not raise

@@ -1,0 +1,124 @@
+"""Tests for repro.serve.predictor — exact and LSH-accelerated top-k."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve.predictor import Predictor
+from repro.serve.snapshot import ModelSnapshot
+from repro.sparse.mlp import MLPArchitecture, SparseMLP
+
+
+@pytest.fixture(scope="module")
+def micro_snapshot(micro_task):
+    arch = MLPArchitecture(
+        micro_task.n_features, micro_task.n_labels, hidden=(32,)
+    )
+    state = SparseMLP(arch).init_state(seed=11)
+    return ModelSnapshot(arch=arch, state=state, meta={"dataset": "micro"})
+
+
+@pytest.fixture()
+def predictor(micro_snapshot):
+    return Predictor(micro_snapshot)
+
+
+class TestExactPath:
+    def test_topk_matches_stable_argsort(self, predictor, micro_task):
+        X = micro_task.test.X[:20]
+        scores = predictor.score(X)
+        expected = np.argsort(-scores, axis=1, kind="stable")[:, :5]
+        assert np.array_equal(predictor.topk(X, 5), expected)
+
+    def test_score_batched_equals_whole(self, micro_snapshot, micro_task):
+        X = micro_task.test.X[:50]
+        whole = Predictor(micro_snapshot, chunk=4096).score(X)
+        chunked = Predictor(micro_snapshot, chunk=7).score(X)
+        assert np.array_equal(whole, chunked)
+
+    def test_query_validation(self, predictor, micro_task):
+        with pytest.raises(ConfigurationError, match="sparse"):
+            predictor.score(np.zeros((2, micro_task.n_features)))
+        import scipy.sparse as sp
+
+        with pytest.raises(ConfigurationError, match="features"):
+            predictor.score(sp.csr_matrix((2, 3), dtype=np.float32))
+
+    def test_bad_chunk_rejected(self, micro_snapshot):
+        with pytest.raises(ConfigurationError):
+            Predictor(micro_snapshot, chunk=0)
+
+    def test_workload_describes_batch(self, predictor, micro_task):
+        X = micro_task.test.X[:8]
+        work = predictor.workload(X)
+        assert work.batch_size == 8
+        assert work.batch_nnz == int(X.nnz)
+        assert work.layer_dims == tuple(predictor.arch.layer_dims)
+
+
+class TestLshPath:
+    def test_output_shape_and_validity(self, predictor, micro_task):
+        X = micro_task.test.X[:16]
+        out = predictor.topk_lsh(X, 5)
+        L = predictor.arch.n_labels
+        assert out.shape == (16, 5)
+        assert out.min() >= 0 and out.max() < L
+        for row in out:
+            assert len(set(row.tolist())) == 5  # no duplicate labels
+
+    def test_exhaustive_tables_recover_exact(self, micro_snapshot, micro_task):
+        """With 1-bit hashes and many tables the candidate set covers every
+        label, so the LSH path must equal the exact path bit for bit."""
+        predictor = Predictor(micro_snapshot, lsh_tables=48, lsh_bits=1)
+        X = micro_task.test.X[:12]
+        counts = predictor.candidate_counts(X)
+        assert np.all(counts == predictor.arch.n_labels)
+        assert np.array_equal(predictor.topk_lsh(X, 5), predictor.topk(X, 5))
+        assert predictor.recall_at_k(X, 5) == 1.0
+
+    def test_selective_tables_pad_short_rows(self, micro_snapshot, micro_task):
+        """Very selective hashes leave rows under k candidates; the output
+        must still be rectangular, valid, and duplicate-free."""
+        predictor = Predictor(micro_snapshot, lsh_tables=1, lsh_bits=12)
+        X = micro_task.test.X[:16]
+        k = 8
+        counts = predictor.candidate_counts(X)
+        assert counts.min() < k  # the padding path is actually exercised
+        out = predictor.topk_lsh(X, k)
+        assert out.shape == (16, k)
+        for row in out:
+            assert len(set(row.tolist())) == k
+        assert out.min() >= 0 and out.max() < predictor.arch.n_labels
+
+    def test_k_clamped_to_label_count(self, predictor, micro_task):
+        X = micro_task.test.X[:3]
+        L = predictor.arch.n_labels
+        out = predictor.topk_lsh(X, L + 50)
+        assert out.shape == (3, L)
+        assert np.array_equal(np.sort(out, axis=1)[0], np.arange(L))
+
+    def test_empty_batch(self, predictor, micro_task):
+        X = micro_task.test.X[:0]
+        assert predictor.topk_lsh(X, 5).shape == (0, 5)
+        assert predictor.recall_at_k(X, 5) == 1.0
+
+    def test_bad_k_rejected(self, predictor, micro_task):
+        with pytest.raises(ConfigurationError):
+            predictor.topk_lsh(micro_task.test.X[:1], 0)
+
+    def test_default_recall_is_useful(self, predictor, micro_task):
+        """The tuned default tables must keep most of the exact top-5 even
+        on an untrained model (trained models only get easier)."""
+        X = micro_task.test.X[:64]
+        assert predictor.recall_at_k(X, 5) >= 0.5
+
+    def test_predict_labels_routes_paths(self, predictor, micro_task):
+        X = micro_task.test.X[:6]
+        assert np.array_equal(
+            predictor.predict_labels(X, 5, use_lsh=False),
+            predictor.topk(X, 5),
+        )
+        assert np.array_equal(
+            predictor.predict_labels(X, 5, use_lsh=True),
+            predictor.topk_lsh(X, 5),
+        )

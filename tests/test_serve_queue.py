@@ -1,0 +1,129 @@
+"""Tests for repro.serve.queue — request FIFO and the adaptive batch sizer."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ServeError
+from repro.serve.queue import AdaptiveBatchSizer, Request, RequestQueue
+
+
+def req(i, t=0.0):
+    return Request(req_id=i, row=i, t_arrival=t)
+
+
+class TestRequest:
+    def test_latency_requires_completion(self):
+        r = req(0, t=1.0)
+        with pytest.raises(ServeError, match="not completed"):
+            r.latency_s
+        r.t_done = 1.5
+        assert r.latency_s == pytest.approx(0.5)
+
+    def test_queue_delay_requires_dispatch(self):
+        r = req(0, t=1.0)
+        with pytest.raises(ServeError, match="never dispatched"):
+            r.queue_s
+        r.t_dispatch = 1.2
+        assert r.queue_s == pytest.approx(0.2)
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        q = RequestQueue()
+        for i in range(5):
+            q.push(req(i))
+        batch = q.pop_batch(3)
+        assert [r.req_id for r in batch] == [0, 1, 2]
+        assert [r.req_id for r in q.pop_batch(10)] == [3, 4]
+
+    def test_depth_and_high_water(self):
+        q = RequestQueue()
+        for i in range(4):
+            q.push(req(i))
+        q.pop_batch(3)
+        q.push(req(4))
+        assert q.depth == 2
+        assert q.max_depth == 4
+        assert q.total_enqueued == 5
+        assert len(q) == 2
+
+    def test_pop_from_empty_is_empty(self):
+        assert RequestQueue().pop_batch(8) == []
+
+    def test_pop_batch_validates_size(self):
+        with pytest.raises(ConfigurationError):
+            RequestQueue().pop_batch(0)
+
+
+class TestAdaptiveBatchSizer:
+    def test_defaults_start_at_b_min(self):
+        sizer = AdaptiveBatchSizer(b_min=2, b_max=64)
+        assert sizer.cap == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(b_min=0), dict(b_min=8, b_max=4), dict(beta=0.0),
+        dict(beta=-1.0), dict(target_latency_s=0.0), dict(b_init=500),
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchSizer(**kwargs)
+
+    def test_fast_batches_grow_the_cap(self):
+        sizer = AdaptiveBatchSizer(target_latency_s=1e-3, beta=0.5)
+        before = sizer.cap
+        for _ in range(6):
+            sizer.observe(sizer.cap, 1e-4)  # 10x under the SLO
+        assert sizer.cap > before
+
+    def test_slow_batches_shrink_the_cap(self):
+        sizer = AdaptiveBatchSizer(
+            b_init=64, b_max=256, target_latency_s=1e-3, beta=0.5
+        )
+        for _ in range(6):
+            sizer.observe(sizer.cap, 5e-3)  # 5x over the SLO
+        assert sizer.cap < 64
+
+    def test_on_target_is_a_fixed_point(self):
+        sizer = AdaptiveBatchSizer(b_init=32, b_max=256, target_latency_s=1e-3)
+        for _ in range(5):
+            assert sizer.observe(sizer.cap, 1e-3) == 32
+
+    def test_clamped_to_bounds(self):
+        sizer = AdaptiveBatchSizer(b_min=1, b_max=8, target_latency_s=1e-3)
+        for _ in range(50):
+            sizer.observe(sizer.cap, 1e-6)
+        assert sizer.cap == 8
+        for _ in range(50):
+            sizer.observe(sizer.cap, 1.0)
+        assert sizer.cap == 1
+
+    def test_sub_integer_progress_accumulates(self):
+        """Small nudges that round to no change must still compound."""
+        sizer = AdaptiveBatchSizer(
+            b_init=10, b_max=256, beta=0.01, target_latency_s=1e-3
+        )
+        caps = {sizer.observe(sizer.cap, 5e-4) for _ in range(60)}
+        assert max(caps) > 10  # a 0.5% step per observation, compounded
+
+    def test_converges_to_service_model(self):
+        """Against service = fixed + per_item * b, the cap settles where the
+        batch meets the SLO — the amortization equilibrium."""
+        fixed, per_item, slo = 1e-4, 1e-5, 1e-3
+        sizer = AdaptiveBatchSizer(b_max=512, beta=0.5, target_latency_s=slo)
+        for _ in range(200):
+            b = sizer.cap
+            sizer.observe(b, fixed + per_item * b)
+        expected = (slo - fixed) / per_item  # 90
+        assert abs(sizer.cap - expected) / expected < 0.15
+
+    def test_history_records_caps(self):
+        sizer = AdaptiveBatchSizer()
+        caps = [sizer.observe(sizer.cap, 1e-6) for _ in range(4)]
+        assert sizer.history == caps
+        assert caps == sorted(caps)  # pure growth under-SLO
+
+    def test_observe_validates_inputs(self):
+        sizer = AdaptiveBatchSizer()
+        with pytest.raises(ConfigurationError):
+            sizer.observe(0, 1e-3)
+        with pytest.raises(ConfigurationError):
+            sizer.observe(1, -1.0)

@@ -11,7 +11,7 @@ from repro.sparse.loss import (
     softmax_cross_entropy,
     uniform_label_targets,
 )
-from repro.sparse.metrics import precision_at_k, top1_accuracy
+from repro.sparse.metrics import precision_at_k, top1_accuracy, topk_indices
 
 
 def indicator(rows_labels, n_labels):
@@ -148,3 +148,48 @@ class TestPrecisionAtK:
         Y = indicator([[0]], 2)
         with pytest.raises(DataFormatError):
             precision_at_k(np.zeros((2, 2), dtype=np.float32), Y)
+
+
+class TestTopkIndices:
+    def test_matches_stable_argsort(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(20, 30)).astype(np.float32)
+        for k in (1, 3, 29, 30):
+            expected = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+            assert np.array_equal(topk_indices(scores, k), expected)
+
+    def test_ties_break_toward_lowest_id(self):
+        """The argpartition fast path must agree with the stable full sort
+        on rows where the k-th score is tied across many labels."""
+        scores = np.array(
+            [[1.0, 0.5, 0.5, 0.5, 0.2],
+             [0.0, 0.0, 0.0, 0.0, 0.0],
+             [0.5, 1.0, 0.5, 1.0, 0.5]],
+            dtype=np.float32,
+        )
+        for k in (1, 2, 3, 4):
+            expected = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+            assert np.array_equal(topk_indices(scores, k), expected)
+
+    def test_all_tied_row_is_identity_prefix(self):
+        scores = np.zeros((1, 8), dtype=np.float32)
+        assert np.array_equal(topk_indices(scores, 3), [[0, 1, 2]])
+
+    def test_quantized_scores_fast_path(self):
+        """Coarsely quantized scores force heavy k-th-value ties — the case
+        where bare argpartition would pick arbitrary members."""
+        rng = np.random.default_rng(1)
+        scores = np.round(rng.normal(size=(40, 50)) * 2).astype(np.float32)
+        for k in (5, 13):
+            expected = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+            assert np.array_equal(topk_indices(scores, k), expected)
+
+    def test_k_clamped_to_width(self):
+        scores = np.array([[3.0, 1.0, 2.0]], dtype=np.float32)
+        assert np.array_equal(topk_indices(scores, 99), [[0, 2, 1]])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataFormatError):
+            topk_indices(np.zeros(4, dtype=np.float32), 1)
+        with pytest.raises(DataFormatError):
+            topk_indices(np.zeros((1, 4), dtype=np.float32), 0)

@@ -77,6 +77,54 @@ class TestForward:
         assert np.allclose(full, chunked, atol=1e-5)
 
 
+class TestPredictBatched:
+    def test_bit_identical_to_predict(self, mlp_and_batch, micro_task):
+        """Chunking must not change a single bit: each chunk runs the same
+        kernels on the same rows as the single-shot path."""
+        mlp, _ = mlp_and_batch
+        state = mlp.init_state(seed=0)
+        X = micro_task.test.X[:40]
+        whole = mlp.predict(X, state)
+        for chunk in (1, 7, 39, 40, 41, 4096):
+            assert np.array_equal(
+                mlp.predict_batched(X, state, chunk=chunk), whole
+            )
+
+    def test_chunk_boundary_exact_multiple(self, mlp_and_batch, micro_task):
+        mlp, _ = mlp_and_batch
+        state = mlp.init_state(seed=0)
+        X = micro_task.test.X[:30]
+        assert np.array_equal(
+            mlp.predict_batched(X, state, chunk=10), mlp.predict(X, state)
+        )
+
+    def test_empty_batch(self, mlp_and_batch, micro_task):
+        mlp, _ = mlp_and_batch
+        state = mlp.init_state(seed=0)
+        out = mlp.predict_batched(micro_task.test.X[:0], state)
+        assert out.shape == (0, mlp.arch.n_labels)
+
+    def test_bad_chunk_rejected(self, mlp_and_batch, micro_task):
+        mlp, _ = mlp_and_batch
+        state = mlp.init_state(seed=0)
+        with pytest.raises(ConfigurationError):
+            mlp.predict_batched(micro_task.test.X[:4], state, chunk=0)
+
+    def test_workspace_reuse_matches_fresh(self, mlp_and_batch, micro_task):
+        from repro.perf.workspace import Workspace
+
+        mlp, _ = mlp_and_batch
+        state = mlp.init_state(seed=0)
+        X = micro_task.test.X[:25]
+        ws = Workspace()
+        first = np.array(
+            mlp.predict_batched(X, state, chunk=8, workspace=ws), copy=True
+        )
+        second = mlp.predict_batched(X, state, chunk=8, workspace=ws)
+        assert np.array_equal(first, second)
+        assert np.array_equal(first, mlp.predict(X, state))
+
+
 class TestBackward:
     def test_gradient_check(self, mlp_and_batch):
         """Analytic gradient vs central finite differences at random coords."""

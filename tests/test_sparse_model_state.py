@@ -109,6 +109,68 @@ class TestAlgebra:
         assert np.all(z.vector == 0)
 
 
+class TestSaveLoad:
+    def _rand(self, seed):
+        rng = np.random.default_rng(seed)
+        return ModelState.from_vector(
+            SPEC, rng.normal(size=35).astype(np.float32)
+        )
+
+    def test_round_trip_bit_identical(self, tmp_path):
+        state = self._rand(0)
+        path = state.save(tmp_path / "state.npz")
+        back = ModelState.load(path)
+        assert back.spec == state.spec
+        assert np.array_equal(back.vector, state.vector)
+
+    def test_round_trip_preserves_layout_order(self, tmp_path):
+        state = self._rand(1)
+        back = ModelState.load(state.save(tmp_path / "state.npz"))
+        assert back.names() == state.names()
+        for name in state.names():
+            assert np.array_equal(back[name], state[name])
+
+    def test_loaded_state_is_contiguous_and_writable(self, tmp_path):
+        back = ModelState.load(self._rand(2).save(tmp_path / "s.npz"))
+        assert back.vector.flags.c_contiguous
+        back["W1"][0, 0] = 9.0
+        assert back.vector[0] == 9.0
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        path = self._rand(3).save(tmp_path / "deep" / "nested" / "s.npz")
+        assert path.exists()
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, W1=np.zeros((4, 3), dtype=np.float32))
+        with pytest.raises(ModelStateError, match="__spec__"):
+            ModelState.load(path)
+
+    def test_load_rejects_missing_param(self, tmp_path):
+        state = self._rand(4)
+        path = state.save(tmp_path / "s.npz")
+        with np.load(path) as data:
+            arrays = {n: data[n] for n in data.files if n != "b2"}
+        np.savez(path, **arrays)
+        with pytest.raises(ModelStateError, match="missing parameter"):
+            ModelState.load(path)
+
+    def test_load_rejects_shape_mismatch(self, tmp_path):
+        state = self._rand(5)
+        path = state.save(tmp_path / "s.npz")
+        with np.load(path) as data:
+            arrays = {n: data[n] for n in data.files}
+        arrays["W1"] = arrays["W1"].reshape(3, 4)
+        np.savez(path, **arrays)
+        with pytest.raises(ModelStateError, match="shape"):
+            ModelState.load(path)
+
+    def test_reserved_name_rejected(self, tmp_path):
+        state = ModelState.build([("__spec__", (3,))])
+        with pytest.raises(ModelStateError, match="reserved"):
+            state.save(tmp_path / "s.npz")
+
+
 class TestWeightedAverage:
     def test_matches_manual(self):
         rng = np.random.default_rng(2)

@@ -65,3 +65,46 @@ class TestArraysRoundTrip:
         assert set(back) == {"x", "y"}
         assert np.array_equal(back["x"], arrays["x"])
         assert np.array_equal(back["y"], arrays["y"])
+
+
+class TestPathHandling:
+    def test_path_becomes_string(self, tmp_path):
+        import pathlib
+
+        p = tmp_path / "model.snapshot.npz"
+        assert to_jsonable(p) == str(p)
+        assert to_jsonable(pathlib.PurePosixPath("a/b")) == "a/b"
+
+    def test_path_inside_containers(self, tmp_path):
+        out = to_jsonable({"arrays": tmp_path, "k": [tmp_path]})
+        assert out == {"arrays": str(tmp_path), "k": [str(tmp_path)]}
+
+    def test_save_json_with_path_values(self, tmp_path):
+        path = save_json(tmp_path / "hdr.json", {"npz": tmp_path / "m.npz"})
+        assert load_json(path) == {"npz": str(tmp_path / "m.npz")}
+
+
+class TestNonFiniteRejection:
+    @pytest.mark.parametrize("bad", [
+        float("nan"), float("inf"), float("-inf"),
+        np.float32("nan"), np.float64("inf"),
+    ])
+    def test_non_finite_floats_rejected(self, bad):
+        with pytest.raises(ValueError, match="non-finite"):
+            to_jsonable(bad)
+
+    def test_non_finite_inside_array_rejected(self):
+        with pytest.raises(ValueError):
+            to_jsonable(np.array([1.0, np.nan]))
+
+    def test_non_finite_nested_rejected(self):
+        with pytest.raises(ValueError):
+            to_jsonable({"metrics": {"loss": float("inf")}})
+
+    def test_save_json_refuses_nan(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_json(tmp_path / "bad.json", {"x": float("nan")})
+
+    def test_finite_floats_still_pass(self):
+        assert to_jsonable(np.float32(2.5)) == 2.5
+        assert to_jsonable([0.0, -1e300]) == [0.0, -1e300]
