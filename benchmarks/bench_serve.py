@@ -2,7 +2,7 @@
 
 Trains a tiny model on the ``micro`` dataset, snapshots it, and replays
 open-loop request streams against the snapshot on the simulated
-heterogeneous server. Four sections:
+heterogeneous server. Six sections:
 
 1. **snapshot** — save/load round-trip: wall time, file sizes, and a
    bit-identity check of the restored parameter vector;
@@ -11,16 +11,31 @@ heterogeneous server. Four sections:
    batch size. ``speedup`` is the adaptive/sequential throughput ratio —
    the headline number (the fixed per-dispatch overhead is what
    micro-batching amortizes);
-3. **lsh** — exact dense top-k vs the LSH-accelerated sparse path: host
-   scoring wall time, candidate selectivity, and recall@5 vs exact;
-4. **burst** — the adaptive sizer under a 4x burst arrival pattern vs the
+3. **lsh** — exact dense top-k vs the LSH path on the *micro* model
+   (L=64): host scoring wall time, candidate selectivity, and recall@5 vs
+   exact. At this label count LSH is expected to lose — candidate sets
+   cover most of the output layer; the section documents the regime where
+   the crossover must choose exact;
+4. **lsh_scale** — the batched multi-probe LSH pipeline vs exact dense
+   top-k at XML scale (L = 8k smoke / 32k full) on a planted-similarity
+   synthetic snapshot (each query has 5 high-cosine output columns, so
+   recall@5 is measurable against an unambiguous exact top-5). Host wall
+   time best-of-3 per path; ``speedup`` is exact/LSH — the tentpole gate;
+5. **crossover** — ``auto`` scoring (per-batch cost-model choice between
+   exact and LSH) vs both fixed policies on the same arrival stream, in
+   both regimes: small-L (micro, where exact must win) and large-L (the
+   planted snapshot, where LSH must win). Simulated-clock throughput;
+   ``auto_vs_best`` is auto's throughput over the better fixed mode's;
+6. **burst** — the adaptive sizer under a 4x burst arrival pattern vs the
    same-rate Poisson stream: p99 and queue high-water mark.
 
 Run as a script: ``python benchmarks/bench_serve.py [--smoke] [--out F]
-[--check]``. ``--check`` gates on absolute floors (machine-independent:
-both sides run the same simulated clock): adaptive throughput must be
->= 1x sequential in smoke mode, >= 3x in full mode, and LSH recall@5
-must be >= 0.8 — the CI gate.
+[--check]``. ``--check`` gates on absolute floors: adaptive throughput
+must be >= 1x sequential in smoke mode (>= 3x full), LSH recall@5 must be
+>= 0.8 in both LSH sections, the lsh_scale speedup must be >= 1x in smoke
+mode (>= 3x full, the paper-style claim: batching makes the approximate
+path actually win), and ``auto`` must land within 10% of the better fixed
+scoring mode in both crossover regimes — the CI gate.
 """
 
 from __future__ import annotations
@@ -33,6 +48,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+import scipy.sparse as sp
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
@@ -49,10 +65,19 @@ from repro.serve import (  # noqa: E402
     generate_arrivals,
     sample_query_rows,
 )
+from repro.sparse.mlp import MLPArchitecture, SparseMLP  # noqa: E402
 
 RECALL_FLOOR = 0.8        # LSH recall@5 vs exact (both modes)
 SPEEDUP_FLOOR_SMOKE = 1.0  # adaptive >= sequential throughput in smoke
 SPEEDUP_FLOOR_FULL = 3.0   # the paper-style amortization claim in full
+#: The batched LSH pipeline vs exact dense top-k (host wall clock) at scale.
+LSH_SCALE_FLOOR_SMOKE = 1.0
+LSH_SCALE_FLOOR_FULL = 3.0
+#: ``auto`` scoring may lose at most 10% to the better fixed mode.
+CROSSOVER_FLOOR = 0.9
+#: Planted-similarity LSH geometry (tuned: ~0.8% candidate fraction with
+#: recall@5 ~0.95 at both bench scales).
+SCALE_TABLES, SCALE_BITS, SCALE_PROBES = 12, 13, 4
 N_GPUS = 2
 K = 5
 
@@ -87,13 +112,74 @@ def _saturating_rate(predictor: Predictor, X) -> float:
     return 10.0 * N_GPUS / per_request
 
 
-def _serve(predictor, X, arrivals, rows, *, mode, use_lsh=False,
+def _serve(predictor, X, arrivals, rows, *, mode, scoring="exact",
            pattern_seed=0):
     engine = ServingEngine(
         predictor, _fresh_server(seed=pattern_seed), mode=mode,
-        target_latency_s=2e-3, use_lsh=use_lsh,
+        target_latency_s=2e-3, scoring=scoring,
     )
     return engine.serve(X, arrivals, k=K, row_indices=rows)
+
+
+def _planted_snapshot(L, n_queries, *, h=128, seed=0, n_planted=5,
+                      support=32):
+    """A synthetic XML-scale snapshot with planted high-similarity labels.
+
+    The model is a transparent 1-hidden-layer MLP (``W1 = I``, zero biases)
+    so each sparse non-negative query row *is* its own hidden activation.
+    The output layer holds ``L`` Gaussian background columns, except that
+    every query gets ``n_planted`` planted columns with cosine similarity
+    0.80–0.97 to its activation (disjoint round-robin label ids). The
+    planted logits sit ~sqrt(h)·cos above the background noise, so the
+    exact top-5 is unambiguous and LSH recall@5 measures exactly how much
+    of it survives candidate retrieval. Sparse support (~support/h dense)
+    keeps background cosines near zero — the selective-retrieval regime
+    the approximate path is built for.
+    """
+    if n_planted * n_queries > L:
+        raise ValueError("need n_planted * n_queries <= L for disjoint ids")
+    rng = np.random.default_rng(seed)
+    arch = MLPArchitecture(h, L, hidden=(h,))
+    state = SparseMLP(arch).init_state(seed=0)
+    state["W1"][...] = np.eye(h, dtype=np.float32)
+    state["b1"][...] = 0.0
+    W2 = rng.normal(size=(h, L)).astype(np.float32)
+    X = np.zeros((n_queries, h), dtype=np.float32)
+    for i in range(n_queries):
+        idx = rng.choice(h, size=support, replace=False)
+        X[i, idx] = rng.gamma(2.0, 1.0, size=support)
+    hhat = X / np.linalg.norm(X, axis=1, keepdims=True)
+    cosines = np.linspace(0.80, 0.97, n_planted)
+    for j in range(n_planted):
+        g = rng.normal(size=(n_queries, h)).astype(np.float32)
+        g -= (g * hhat).sum(axis=1, keepdims=True) * hhat
+        g /= np.linalg.norm(g, axis=1, keepdims=True)
+        planted = np.sqrt(h) * (cosines[j] * hhat
+                                + np.sqrt(1.0 - cosines[j] ** 2) * g)
+        W2[:, np.arange(n_queries) * n_planted + j] = planted.T
+    state["W2"][...] = W2
+    state["b2"][...] = 0.0
+    snapshot = ModelSnapshot(
+        arch=arch, state=state, meta={"dataset": "planted-synthetic"},
+    )
+    return snapshot, sp.csr_matrix(X)
+
+
+def _scale_predictor(snapshot):
+    return Predictor(
+        snapshot, lsh_tables=SCALE_TABLES, lsh_bits=SCALE_BITS,
+        lsh_probes=SCALE_PROBES, lsh_seed=0,
+    )
+
+
+def _best_of(fn, repeats=3):
+    """Min wall time (us) over ``repeats`` — robust to scheduler noise."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times) * 1e6
 
 
 def bench_snapshot(snapshot: ModelSnapshot, workdir: Path) -> dict:
@@ -170,6 +256,66 @@ def bench_lsh(predictor: Predictor, task, smoke: bool) -> dict:
     }
 
 
+def bench_lsh_scale(smoke: bool) -> dict:
+    L, n_queries = (8192, 128) if smoke else (32768, 512)
+    snapshot, X = _planted_snapshot(L, n_queries)
+    predictor = _scale_predictor(snapshot)
+    predictor.rebuild_lsh()
+    # Warm both paths (BLAS thread pools, workspace buffers, flat tables).
+    predictor.topk(X[:8], K)
+    predictor.topk_lsh(X[:8], K)
+    exact_us = _best_of(lambda: predictor.topk(X, K))
+    lsh_us = _best_of(lambda: predictor.topk_lsh(X, K))
+    counts = predictor.candidate_counts(X)
+    return {
+        "what": f"{n_queries} planted queries, batched LSH vs exact dense, "
+                f"L={L}, T={SCALE_TABLES}/K={SCALE_BITS}/P={SCALE_PROBES}",
+        "exact_us": exact_us,
+        "lsh_us": lsh_us,
+        "speedup": exact_us / lsh_us,
+        "recall_at_5": predictor.recall_at_k(X, K),
+        "mean_candidates": float(counts.mean()),
+        "candidate_fraction": float(counts.mean() / L),
+    }
+
+
+def bench_crossover(snapshot: ModelSnapshot, task, smoke: bool) -> dict:
+    n_requests = 100 if smoke else 400
+    L_big, n_big = (4096, 64) if smoke else (16384, 256)
+    planted_snap, X_big = _planted_snapshot(L_big, n_big)
+    # Fresh predictors per scoring run so the candidate-fraction EWMA of one
+    # policy cannot leak into another's cost-model pricing.
+    scenarios = {
+        "small_L": (lambda: Predictor(snapshot), task.test.X),
+        "large_L": (lambda: _scale_predictor(planted_snap), X_big),
+    }
+    out = {"what": f"{n_requests} requests per scoring mode, adaptive "
+                   f"micro-batching, small-L (micro) vs large-L "
+                   f"(planted, L={L_big})"}
+    for name, (make_predictor, X) in scenarios.items():
+        rate = _saturating_rate(make_predictor(), X)
+        load = LoadSpec(n_requests=n_requests, rate_rps=rate, seed=3)
+        arrivals = generate_arrivals(load)
+        rows = sample_query_rows(X.shape[0], n_requests, seed=3)
+        entry = {}
+        for scoring in ("exact", "lsh", "auto"):
+            result = _serve(make_predictor(), X, arrivals, rows,
+                            mode="adaptive", scoring=scoring)
+            entry[scoring] = {
+                "throughput_rps": result.report.throughput_rps,
+                "scoring_batches": result.scoring_batches,
+            }
+            if result.mean_candidate_fraction is not None:
+                entry[scoring]["mean_candidate_fraction"] = (
+                    result.mean_candidate_fraction
+                )
+        best_fixed = max(entry["exact"]["throughput_rps"],
+                         entry["lsh"]["throughput_rps"])
+        entry["auto_vs_best"] = entry["auto"]["throughput_rps"] / best_fixed
+        out[name] = entry
+    return out
+
+
 def bench_burst(predictor: Predictor, task, smoke: bool) -> dict:
     n_requests = 200 if smoke else 2000
     X = task.test.X
@@ -205,6 +351,8 @@ def run(smoke: bool) -> dict:
         sections["snapshot"] = bench_snapshot(snapshot, workdir)
         sections["latency"] = bench_latency(predictor, task, smoke)
         sections["lsh"] = bench_lsh(predictor, task, smoke)
+        sections["lsh_scale"] = bench_lsh_scale(smoke)
+        sections["crossover"] = bench_crossover(snapshot, task, smoke)
         sections["burst"] = bench_burst(predictor, task, smoke)
     s = sections["snapshot"]
     print(f" snapshot: save {s['save_us']:8.1f} us, load {s['load_us']:8.1f} us, "
@@ -217,6 +365,15 @@ def run(smoke: bool) -> dict:
     print(f"      lsh: exact {s['exact_us']:10.1f} us vs lsh {s['lsh_us']:10.1f} us, "
           f"recall@5={s['recall_at_5']:.3f}, "
           f"candidates={s['candidate_fraction'] * 100:.1f}%  [{s['what']}]")
+    s = sections["lsh_scale"]
+    print(f"lsh_scale: exact {s['exact_us']:10.1f} us vs lsh "
+          f"{s['lsh_us']:10.1f} us ({s['speedup']:.2f}x), "
+          f"recall@5={s['recall_at_5']:.3f}, "
+          f"candidates={s['candidate_fraction'] * 100:.2f}%  [{s['what']}]")
+    s = sections["crossover"]
+    print(f"crossover: small-L auto/best {s['small_L']['auto_vs_best']:.3f}, "
+          f"large-L auto/best {s['large_L']['auto_vs_best']:.3f}  "
+          f"[{s['what']}]")
     s = sections["burst"]
     print(f"    burst: poisson p99 {s['poisson']['latency_p99_ms']:.4f} ms vs "
           f"burst p99 {s['burst']['latency_p99_ms']:.4f} ms, "
@@ -250,6 +407,26 @@ def check(results: dict) -> int:
           f"(floor {RECALL_FLOOR:.2f}) -> {status}")
     if recall < RECALL_FLOOR:
         failures.append("lsh")
+    scale_floor = LSH_SCALE_FLOOR_SMOKE if smoke else LSH_SCALE_FLOOR_FULL
+    s = results["sections"]["lsh_scale"]
+    status = "ok" if s["speedup"] >= scale_floor else "REGRESSED"
+    print(f"check lsh_scale: batched LSH speedup {s['speedup']:.2f}x "
+          f"(floor {scale_floor:.2f}x) -> {status}")
+    if s["speedup"] < scale_floor:
+        failures.append("lsh_scale")
+    status = "ok" if s["recall_at_5"] >= RECALL_FLOOR else "BELOW FLOOR"
+    print(f"check lsh_scale: recall@5 {s['recall_at_5']:.3f} "
+          f"(floor {RECALL_FLOOR:.2f}) -> {status}")
+    if s["recall_at_5"] < RECALL_FLOOR:
+        failures.append("lsh_scale_recall")
+    s = results["sections"]["crossover"]
+    for name in ("small_L", "large_L"):
+        ratio = s[name]["auto_vs_best"]
+        status = "ok" if ratio >= CROSSOVER_FLOOR else "REGRESSED"
+        print(f"check crossover: {name} auto/best {ratio:.3f} "
+              f"(floor {CROSSOVER_FLOOR:.2f}) -> {status}")
+        if ratio < CROSSOVER_FLOOR:
+            failures.append(f"crossover_{name}")
     if failures:
         print(f"FAIL: serving regression in {failures}")
         return 1

@@ -11,13 +11,25 @@ weight column ``w_j ∈ R^h`` gets, in each of ``n_tables`` tables, a
 union of its buckets across tables. SimHash collision probability grows
 with cosine similarity, so retrieved labels are the high-activation ones.
 
+**Multi-probe**: a query may additionally probe the buckets reached by
+flipping its least-confident signature bits (the projections closest to the
+hyperplane — exactly the bits most likely to disagree with a near
+neighbour). Probing ``P`` buckets per table buys the recall of ``~P×`` more
+tables at the hashing cost of one, which is what lets the inference path
+run few, highly selective tables (large ``n_bits``) without losing the
+moderate-similarity candidates.
+
 Tables are rebuilt periodically (weights drift during training); the
-rebuild cost is charged to the simulated clock by the trainer.
+rebuild cost is charged to the simulated clock by the trainer. Each rebuild
+also keeps a *flat* sorted-array view of the buckets (one concatenated
+``(table << n_bits) | code`` key space) so batched kernels can resolve
+every (query, table, probe) bucket with a single ``searchsorted`` instead
+of per-row dict lookups — see :mod:`repro.perf.lsh_topk`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +65,12 @@ class SimHashLSH:
         self._powers = (1 << np.arange(n_bits)).astype(np.int64)
         # Per table: bucket-code -> array of item ids.
         self._tables: Optional[List[Dict[int, np.ndarray]]] = None
+        # Flat view (one array over all tables) for the batched kernels:
+        # sorted unique (table << n_bits) | code keys, bucket offsets into
+        # the concatenated item array, and that item array.
+        self._flat_codes: Optional[np.ndarray] = None
+        self._flat_offsets: Optional[np.ndarray] = None
+        self._flat_items: Optional[np.ndarray] = None
         self._n_items = 0
         self.rebuilds = 0
 
@@ -61,12 +79,58 @@ class SimHashLSH:
         """Whether :meth:`rebuild` has populated the tables."""
         return self._tables is not None
 
+    @property
+    def n_items(self) -> int:
+        """Number of indexed items (0 before the first rebuild)."""
+        return self._n_items
+
+    def max_probes(self) -> int:
+        """Largest supported ``n_probes``: the base bucket + every 1-bit flip."""
+        return self.n_bits + 1
+
+    def _check_probes(self, n_probes: int) -> None:
+        if not (1 <= n_probes <= self.max_probes()):
+            raise ConfigurationError(
+                f"n_probes must be in [1, {self.max_probes()}], got {n_probes}"
+            )
+
     def _codes(self, vectors: np.ndarray) -> np.ndarray:
         """Bucket codes for ``vectors`` (n, dim) → (n_tables, n)."""
         # (T, K, d) @ (d, n) -> (T, K, n); sign bits packed little-endian.
         proj = np.einsum("tkd,nd->tkn", self._proj, vectors, optimize=True)
         bits = proj > 0.0
         return np.einsum("tkn,k->tn", bits.astype(np.int64), self._powers)
+
+    def probe_codes(self, vectors: np.ndarray, n_probes: int = 1) -> np.ndarray:
+        """Bucket codes to probe for ``vectors`` — ``(n_tables, n_probes, n)``.
+
+        Probe 0 is the query's own signature; probe ``p >= 1`` flips the
+        signature bit whose projection has the ``p``-th smallest magnitude
+        (the least confident bit — the standard multi-probe heuristic).
+        """
+        self._check_probes(n_probes)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ConfigurationError(
+                f"query block must be (n, {self.dim}), got {vectors.shape}"
+            )
+        proj = np.einsum("tkd,nd->tkn", self._proj, vectors, optimize=True)
+        bits = proj > 0.0
+        codes = np.einsum("tkn,k->tn", bits.astype(np.int64), self._powers)
+        if n_probes == 1:
+            return codes[:, None, :]
+        # Ascending |projection|: flip order = confidence order. Stable sort
+        # keeps the flip sequence deterministic under exact margin ties.
+        flip_order = np.argsort(np.abs(proj), axis=1, kind="stable")
+        out = np.empty(
+            (self.n_tables, n_probes, vectors.shape[0]), dtype=np.int64
+        )
+        out[:, 0, :] = codes
+        for p in range(1, n_probes):
+            flip = np.take_along_axis(
+                flip_order, np.full_like(flip_order[:, :1, :], p - 1), axis=1
+            )[:, 0, :]
+            out[:, p, :] = codes ^ self._powers[flip]
+        return out
 
     def rebuild(self, weights: np.ndarray) -> None:
         """(Re)index ``weights`` — shape ``(dim, n_items)``, column per item."""
@@ -77,6 +141,9 @@ class SimHashLSH:
         items = weights.shape[1]
         codes = self._codes(np.ascontiguousarray(weights.T))  # (T, n)
         tables: List[Dict[int, np.ndarray]] = []
+        flat_codes: List[np.ndarray] = []
+        flat_counts: List[np.ndarray] = []
+        flat_items: List[np.ndarray] = []
         for t in range(self.n_tables):
             order = np.argsort(codes[t], kind="stable")
             sorted_codes = codes[t][order]
@@ -89,41 +156,67 @@ class SimHashLSH:
                 for a, b in zip(starts, stops)
             }
             tables.append(table)
+            # Flat view: keys are (t << n_bits) | code, globally sorted
+            # because t ascends outside and codes ascend inside each table.
+            flat_codes.append(sorted_codes[starts] | (t << self.n_bits))
+            flat_counts.append(stops - starts)
+            flat_items.append(order.astype(np.int64, copy=False))
         self._tables = tables
+        self._flat_codes = np.concatenate(flat_codes)
+        counts = np.concatenate(flat_counts)
+        offsets = np.empty(counts.size + 1, dtype=np.int64)
+        offsets[0] = 0
+        np.cumsum(counts, out=offsets[1:])
+        self._flat_offsets = offsets
+        self._flat_items = np.concatenate(flat_items)
         self._n_items = items
         self.rebuilds += 1
 
-    def query(self, vector: np.ndarray) -> np.ndarray:
-        """Item ids colliding with ``vector`` in any table (sorted, unique)."""
+    def flat_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The flat bucket view: ``(sorted keys, offsets, item ids)``.
+
+        Keys are ``(table << n_bits) | code``; bucket ``i`` holds
+        ``items[offsets[i]:offsets[i + 1]]``. This is what
+        :func:`repro.perf.lsh_topk.probe_candidates` binary-searches.
+        """
+        if self._flat_codes is None:
+            raise ConfigurationError("flat_tables() before rebuild()")
+        return self._flat_codes, self._flat_offsets, self._flat_items
+
+    def query(self, vector: np.ndarray, *, n_probes: int = 1) -> np.ndarray:
+        """Item ids colliding with ``vector`` in any probed bucket
+        (sorted, unique)."""
         if self._tables is None:
             raise ConfigurationError("query() before rebuild()")
         if vector.shape != (self.dim,):
             raise ConfigurationError(
                 f"query vector must have shape ({self.dim},), got {vector.shape}"
             )
-        codes = self._codes(vector[None, :])[:, 0]  # (T,)
+        codes = self.probe_codes(vector[None, :], n_probes)[:, :, 0]  # (T, P)
         return self._lookup(codes)
 
-    def query_batch(self, vectors: np.ndarray) -> List[np.ndarray]:
+    def query_batch(
+        self, vectors: np.ndarray, *, n_probes: int = 1
+    ) -> List[np.ndarray]:
         """Per-row retrieval for a ``(n, dim)`` query block.
 
         All signature projections run as one einsum over the block (the
         expensive part); only the bucket lookups remain per-row. Row *i* of
-        the result equals ``query(vectors[i])``.
+        the result equals ``query(vectors[i])``. (The serving path uses the
+        fully vectorized :func:`repro.perf.lsh_topk.probe_candidates`
+        instead, which returns the same sets in CSR form.)
         """
         if self._tables is None:
             raise ConfigurationError("query_batch() before rebuild()")
-        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
-            raise ConfigurationError(
-                f"query block must be (n, {self.dim}), got {vectors.shape}"
-            )
-        codes = self._codes(vectors)  # (T, n)
-        return [self._lookup(codes[:, i]) for i in range(vectors.shape[0])]
+        codes = self.probe_codes(vectors, n_probes)  # (T, P, n)
+        return [self._lookup(codes[:, :, i]) for i in range(vectors.shape[0])]
 
     def _lookup(self, codes: np.ndarray) -> np.ndarray:
-        """Union of the bucket hits for one sample's per-table codes."""
+        """Union of the bucket hits for one sample's ``(T, P)`` probe codes."""
         hits = [
-            self._tables[t].get(int(codes[t])) for t in range(self.n_tables)
+            self._tables[t].get(int(code))
+            for t in range(self.n_tables)
+            for code in codes[t]
         ]
         hits = [h for h in hits if h is not None]
         if not hits:

@@ -26,8 +26,11 @@ Every paper artifact is reachable from the shell without writing code:
 - ``python -m repro serve`` — replay an open-loop request stream against a
   snapshot on the simulated server and print the p50/p95/p99 latency +
   throughput report (``--mode both`` compares sequential vs adaptive
-  micro-batching; ``--lsh`` serves through the SLIDE-style sparse path and
-  reports recall vs the exact top-k).
+  micro-batching; ``--mode auto`` adds the per-batch cost-model crossover
+  between exact and LSH scoring; ``--scoring exact|lsh|auto`` picks the
+  ranking path explicitly — ``--lsh`` is the deprecated spelling of
+  ``--scoring lsh`` — and the approximate paths report recall vs the
+  exact top-k).
 
 Time budgets use the canonical ``--time-budget-s`` flag (matching the
 Python API's ``time_budget_s`` keyword); the old ``--budget`` spelling is a
@@ -206,7 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", default=None, choices=dataset_names(),
                    help="query source (default: the snapshot's dataset)")
     p.add_argument("--mode", default="both",
-                   choices=("sequential", "adaptive", "both"))
+                   choices=("sequential", "adaptive", "both", "auto"),
+                   help="batching mode; 'auto' = adaptive micro-batching "
+                        "with the cost-model exact/LSH scoring crossover")
     p.add_argument("--requests", type=int, default=2000,
                    help="number of requests to replay")
     p.add_argument("--rate", type=float, default=None, metavar="RPS",
@@ -218,8 +223,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-batch latency target for the adaptive sizer")
     p.add_argument("--k", type=int, default=5,
                    help="labels returned per query")
+    p.add_argument("--scoring", default=None,
+                   choices=("exact", "lsh", "auto"),
+                   help="ranking path per batch: exact dense top-k, the "
+                        "batched LSH pipeline, or per-batch cost-model "
+                        "crossover (default: exact)")
     p.add_argument("--lsh", action="store_true",
-                   help="serve through the LSH-accelerated sparse path "
+                   help="[deprecated: use --scoring lsh] serve through the "
+                        "LSH-accelerated sparse path "
                         "and report recall vs exact")
     p.add_argument("--gpus", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
@@ -497,16 +508,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         tel = Telemetry(label=f"serve-{dataset}") if args.out else None
 
-        modes = (
-            ("sequential", "adaptive") if args.mode == "both"
-            else (args.mode,)
-        )
+        scoring = args.scoring
+        if args.lsh:
+            print(
+                "note: --lsh is deprecated; use --scoring lsh",
+                file=sys.stderr,
+            )
+            if scoring is None:
+                scoring = "lsh"
+        if args.mode == "auto":
+            # Sugar: adaptive micro-batching + the scoring crossover.
+            modes = ("adaptive",)
+            if scoring is None:
+                scoring = "auto"
+        elif args.mode == "both":
+            modes = ("sequential", "adaptive")
+        else:
+            modes = (args.mode,)
+        if scoring is None:
+            scoring = "exact"
+
         results = {}
         for mode in modes:
             engine = ServingEngine(
                 predictor, fresh_server(), mode=mode,
                 target_latency_s=args.slo_ms * 1e-3,
-                use_lsh=args.lsh, telemetry=tel,
+                scoring=scoring, telemetry=tel,
             )
             results[mode] = engine.serve(
                 task.test.X, arrivals, k=args.k, row_indices=rows,
@@ -514,7 +541,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for mode, result in results.items():
             report = result.report
             print(f"-- {mode} --")
-            print(format_kv({
+            rows_out = {
                 "requests": report.n_requests,
                 "offered load (rps)": round(rate, 1),
                 "throughput (rps)": round(report.throughput_rps, 1),
@@ -523,14 +550,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "p99 latency (ms)": round(report.percentile(99) * 1e3, 4),
                 "mean batch size": round(report.mean_batch_size, 2),
                 "max queue depth": result.max_queue_depth,
-            }))
+                "scoring": scoring,
+            }
+            if scoring == "auto":
+                split = result.scoring_batches
+                rows_out["scoring split (batches)"] = " ".join(
+                    f"{path}={n}" for path, n in sorted(split.items())
+                ) or "none"
+            if result.mean_candidate_fraction is not None:
+                rows_out["mean candidate fraction"] = round(
+                    result.mean_candidate_fraction, 4
+                )
+            print(format_kv(rows_out))
         if len(results) == 2:
             ratio = (
                 results["adaptive"].report.throughput_rps
                 / results["sequential"].report.throughput_rps
             )
             print(f"adaptive/sequential throughput: {ratio:.2f}x")
-        if args.lsh:
+        if scoring in ("lsh", "auto"):
             sample = task.test.X[rows[: min(256, len(rows))]]
             recall = predictor.recall_at_k(sample, args.k)
             print(f"LSH recall@{args.k} vs exact: {recall:.3f}")

@@ -195,6 +195,71 @@ class GpuCostModel:
         launch = self.launch_overhead(n_active_gpus) / 3.0
         return compute + transfer + launch + self.params.step_overhead_s
 
+    def lsh_inference_time(
+        self,
+        work: StepWorkload,
+        candidate_fraction: float,
+        *,
+        n_tables: int = 16,
+        n_bits: int = 12,
+        n_probes: int = 1,
+        speed: float = 1.0,
+        n_active_gpus: int = 1,
+        include_h2d: bool = True,
+    ) -> float:
+        """Seconds one LSH-accelerated (serving) pass takes at ``speed``.
+
+        The approximate scorer runs the same trunk as :meth:`inference_time`
+        up to the last hidden layer, then replaces the dense ``(b, L)``
+        output GEMM with: a signature hash (``n_tables × n_bits`` dense
+        projections), a candidate gather-dot over ``candidate_fraction · L``
+        labels per query priced at *sparse* throughput (it is irregular
+        gather work, not a GEMM), and a candidate-sized top-k priced at the
+        memory-bound update throughput. Half the launch overhead of a full
+        step — the pipeline is fused into probe/gather/score/topk kernels,
+        more launches than the plain forward's single output GEMM.
+
+        This is the crossover oracle: ``auto`` serving compares it against
+        :meth:`inference_time` per batch using the predictor's *observed*
+        candidate fraction, so the decision tracks retrieval selectivity —
+        LSH wins when ``candidate_fraction`` is far below the sparse:dense
+        throughput ratio, exact wins on small label spaces where candidate
+        sets cover most of the output layer anyway.
+        """
+        if not (speed > 0):
+            raise ConfigurationError(f"speed must be > 0, got {speed}")
+        if not (0.0 <= candidate_fraction <= 1.0):
+            raise ConfigurationError(
+                f"candidate_fraction must be in [0, 1], got {candidate_fraction}"
+            )
+        if n_tables < 1 or n_bits < 1 or n_probes < 1:
+            raise ConfigurationError(
+                "n_tables, n_bits and n_probes must all be >= 1"
+            )
+        b = work.batch_size
+        L = work.layer_dims[-1]
+        h = work.layer_dims[-2]
+        active = max(1.0, candidate_fraction * L)
+        full = estimate_inference_flops(
+            work.batch_size, work.batch_nnz, work.layer_dims
+        )
+        # Trunk = every dense GEMM except the (b, h, L) output product.
+        trunk_dense = full["dense"] - 2.0 * b * h * L
+        hash_flops = 2.0 * b * n_tables * n_bits * h
+        candidate_flops = 2.0 * b * h * active
+        topk_flops = 2.0 * b * active
+        compute = (
+            full["sparse"] / self.params.sparse_flops_per_s
+            + (trunk_dense + hash_flops) / self.params.dense_flops_per_s
+            + candidate_flops / self.params.sparse_flops_per_s
+            + topk_flops / self.params.update_flops_per_s
+        ) / speed
+        transfer = (
+            work.batch_bytes / self.params.h2d_bytes_per_s if include_h2d else 0.0
+        )
+        launch = self.launch_overhead(n_active_gpus) / 2.0
+        return compute + transfer + launch + self.params.step_overhead_s
+
     def model_transfer_time(self, nbytes: int) -> float:
         """Host↔device time to move a model replica of ``nbytes``."""
         if nbytes < 0:

@@ -17,7 +17,10 @@ Components:
   activation/delta/logits buffers reused by ``SparseMLP`` forward/backward,
   plus zero-copy CSC-transpose handling for the ``X.T @ delta`` product;
 - :mod:`repro.perf.slide_kernel` — the vectorized chunked SLIDE kernel
-  (:func:`slide_chunk_step`) replacing the per-sample Python loop.
+  (:func:`slide_chunk_step`) replacing the per-sample Python loop;
+- :mod:`repro.perf.lsh_topk` — the batched multi-probe LSH inference
+  pipeline (:func:`lsh_topk`: probe → CSR gather → flat gather-dot →
+  segmented top-k) replacing ``Predictor.topk_lsh``'s per-row loop.
 
 Every kernel here is numerically equivalent to the path it replaces
 (bit-for-bit for gather/forward/backward; fp32 tolerance for the SLIDE
@@ -27,6 +30,7 @@ chunk, which batches the sampled softmax) — enforced by
 
 from repro.perf.profile import KernelProfile
 from repro.perf.gather import RowGatherer, gather_rows
+from repro.perf.lsh_topk import lsh_topk
 from repro.perf.slide_kernel import slide_chunk_step
 from repro.perf.workspace import Workspace
 
@@ -35,5 +39,6 @@ __all__ = [
     "gather_rows",
     "Workspace",
     "slide_chunk_step",
+    "lsh_topk",
     "KernelProfile",
 ]

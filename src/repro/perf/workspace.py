@@ -125,21 +125,26 @@ class Workspace:
     _CSC_CACHE_SIZE = 8
 
     def __init__(self) -> None:
-        # (tag, capacity, width) -> (capacity, width) float32 buffer.
-        self._buffers: Dict[Tuple[str, int, int], np.ndarray] = {}
+        # (tag, capacity, width, dtype) -> (capacity, width) buffer.
+        self._buffers: Dict[Tuple[str, int, int, str], np.ndarray] = {}
         self._csc_cache: list = []
 
-    def buffer(self, tag: str, n: int, width: int) -> np.ndarray:
-        """A ``(n, width)`` float32 scratch view, reused across steps.
+    def buffer(
+        self, tag: str, n: int, width: int, dtype: type = np.float32
+    ) -> np.ndarray:
+        """A ``(n, width)`` scratch view, reused across steps.
 
         ``tag`` namespaces concurrent leases within one step (e.g. the
-        forward activation and backward delta of the same layer).
+        forward activation and backward delta of the same layer). Buffers
+        default to float32; the LSH kernel also leases uint8 bitmap and
+        int64 index scratch. Contents are NOT zeroed between leases.
         """
         cap = _capacity(n)
-        key = (tag, cap, width)
+        dt = np.dtype(dtype)
+        key = (tag, cap, width, dt.str)
         buf = self._buffers.get(key)
         if buf is None:
-            buf = np.empty((cap, width), dtype=np.float32)
+            buf = np.empty((cap, width), dtype=dt)
             self._buffers[key] = buf
         return buf[:n]
 

@@ -9,7 +9,12 @@ micro-batches (:mod:`repro.serve.queue`) and scoring them through the exact
 or LSH-accelerated top-k path (:mod:`repro.serve.predictor`).
 """
 
-from repro.serve.engine import SERVE_MODES, ServeResult, ServingEngine
+from repro.serve.engine import (
+    SCORING_MODES,
+    SERVE_MODES,
+    ServeResult,
+    ServingEngine,
+)
 from repro.serve.loadgen import (
     LatencyReport,
     LoadSpec,
@@ -29,6 +34,7 @@ __all__ = [
     "ServingEngine",
     "ServeResult",
     "SERVE_MODES",
+    "SCORING_MODES",
     "AdaptiveBatchSizer",
     "Request",
     "RequestQueue",

@@ -9,9 +9,20 @@ against a snapshot on the simulated heterogeneous server:
   requests (``cap`` from that device's
   :class:`~repro.serve.queue.AdaptiveBatchSizer`, or a fixed size in
   ``sequential`` mode), runs the real top-k numerics on the host, charges
-  the simulated clock with the cost model's forward-only batch time for
-  *this* device at *this* moment (speed profiles keep heterogeneity live
-  during serving), and stamps completion on every request in the batch.
+  the simulated clock with the cost model's batch time for *this* device
+  at *this* moment (speed profiles keep heterogeneity live during
+  serving), and stamps completion on every request in the batch.
+
+Orthogonal to the batching mode, ``scoring`` selects the ranking path per
+batch: ``"exact"`` (dense top-k over all ``L`` labels), ``"lsh"`` (the
+batched multi-probe candidate pipeline), or ``"auto"`` — the crossover
+policy. ``auto`` asks the device's cost model to price both paths
+(:meth:`~repro.gpu.cost.GpuCostModel.inference_time` vs
+:meth:`~repro.gpu.cost.GpuCostModel.lsh_inference_time` at the
+predictor's *observed* candidate fraction) and runs whichever is cheaper,
+charging the simulated clock with the chosen path's modeled time. The
+decision, the fraction it used, and the path taken are recorded on every
+``serve.batch`` span, so ``repro analyze`` can report the scoring split.
 
 Free devices pull work the moment they finish — the paper's dynamic
 dispatch-to-free-device rule, applied to inference. Telemetry mirrors
@@ -23,6 +34,7 @@ serving time with the same invariant as training runs.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -43,9 +55,14 @@ from repro.telemetry.events import (
     SPAN_SERVE_REQUEST,
 )
 
-__all__ = ["ServingEngine", "ServeResult", "SERVE_MODES"]
+__all__ = ["ServingEngine", "ServeResult", "SERVE_MODES", "SCORING_MODES"]
 
 SERVE_MODES = ("sequential", "adaptive")
+SCORING_MODES = ("exact", "lsh", "auto")
+
+#: Queries probed (retrieval only) to seed the candidate-fraction estimate
+#: when ``auto`` serving starts with no prior LSH observations.
+_CALIBRATION_ROWS = 64
 
 
 @dataclass
@@ -62,6 +79,12 @@ class ServeResult:
     #: LSH recall@k vs the exact path (None when the exact path served).
     recall_at_k: Optional[float] = None
     k: int = 5
+    #: The configured scoring policy ("exact", "lsh", or "auto").
+    scoring: str = "exact"
+    #: Scoring path -> batches that ran it (auto splits across both).
+    scoring_batches: Dict[str, int] = field(default_factory=dict)
+    #: Mean candidate fraction over the LSH-scored batches (None if none).
+    mean_candidate_fraction: Optional[float] = None
 
     def as_dict(self) -> dict:
         """JSON-safe summary."""
@@ -71,9 +94,13 @@ class ServeResult:
             "per_device": {str(d): n for d, n in sorted(self.per_device.items())},
             "max_queue_depth": self.max_queue_depth,
             "k": self.k,
+            "scoring": self.scoring,
+            "scoring_batches": dict(sorted(self.scoring_batches.items())),
         })
         if self.recall_at_k is not None:
             out["recall_at_k"] = self.recall_at_k
+        if self.mean_candidate_fraction is not None:
+            out["mean_candidate_fraction"] = self.mean_candidate_fraction
         return out
 
 
@@ -91,6 +118,7 @@ class ServingEngine:
         b_max: int = 256,
         beta: float = 0.5,
         fixed_batch_size: int = 1,
+        scoring: Optional[str] = None,
         use_lsh: bool = False,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
@@ -102,6 +130,20 @@ class ServingEngine:
             raise ConfigurationError(
                 f"fixed_batch_size must be >= 1, got {fixed_batch_size}"
             )
+        if use_lsh:
+            warnings.warn(
+                "use_lsh is deprecated; pass scoring='lsh' instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if scoring is None:
+                scoring = "lsh"
+        if scoring is None:
+            scoring = "exact"
+        if scoring not in SCORING_MODES:
+            raise ConfigurationError(
+                f"scoring must be one of {SCORING_MODES}, got {scoring!r}"
+            )
         self.predictor = predictor
         self.server = server
         self.mode = mode
@@ -110,7 +152,9 @@ class ServingEngine:
         self.b_max = int(b_max)
         self.beta = float(beta)
         self.fixed_batch_size = int(fixed_batch_size)
-        self.use_lsh = bool(use_lsh)
+        self.scoring = scoring
+        #: Back-compat view of the scoring policy (True only for fixed LSH).
+        self.use_lsh = scoring == "lsh"
         self.telemetry: Telemetry = telemetry if telemetry is not None else NULL
 
     # -- the run -------------------------------------------------------------
@@ -126,7 +170,8 @@ class ServingEngine:
 
         ``row_indices`` (default: round-robin over the query matrix) maps
         request *i* to a row of ``X_queries``. Numerics run on the host;
-        the simulated clock advances by the cost model's per-batch time.
+        the simulated clock advances by the cost model's per-batch time
+        for whichever scoring path the policy picked.
         """
         arrival_times = np.asarray(arrival_times, dtype=np.float64)
         n_requests = arrival_times.size
@@ -146,8 +191,18 @@ class ServingEngine:
                 row_indices.min() < 0 or row_indices.max() >= X_queries.shape[0]
             ):
                 raise ConfigurationError("row index outside the query matrix")
-        if self.use_lsh and not self.predictor._lsh_built:
-            self.predictor.rebuild_lsh()
+        predictor = self.predictor
+        if self.scoring in ("lsh", "auto") and not predictor._lsh_built:
+            predictor.rebuild_lsh()
+        if (
+            self.scoring in ("lsh", "auto")
+            and predictor.observed_candidate_fraction() is None
+        ):
+            # Seed the crossover signal deterministically from the head of
+            # the query pool (retrieval only — no scoring work).
+            predictor.calibrate_candidate_fraction(
+                X_queries, max_rows=min(_CALIBRATION_ROWS, X_queries.shape[0])
+            )
 
         env = Environment()
         tel = self.telemetry
@@ -167,6 +222,9 @@ class ServingEngine:
         }
         per_device: Dict[int, int] = {g.device_id: 0 for g in self.server.gpus}
         batch_sizes: List[int] = []
+        scoring_batches: Dict[str, int] = {}
+        lsh_fractions: List[float] = []
+        n_labels = predictor.arch.n_labels
         state = {"arrivals_done": False, "wakeup": env.event()}
 
         def _wake_all() -> None:
@@ -185,6 +243,18 @@ class ServingEngine:
             _wake_all()
             return None
 
+        def _price_lsh(gpu, work, speed: float) -> float:
+            frac = predictor.observed_candidate_fraction()
+            return gpu.cost_model.lsh_inference_time(
+                work,
+                frac if frac is not None else 1.0,
+                n_tables=predictor.lsh_tables,
+                n_bits=predictor.lsh_bits,
+                n_probes=predictor.lsh_probes,
+                speed=speed,
+                n_active_gpus=self.server.n_gpus,
+            )
+
         def worker(env: Environment, gpu):
             device = gpu.device_id
             sizer = sizers[device]
@@ -202,24 +272,50 @@ class ServingEngine:
                 t_dispatch = env.now
                 rows = np.array([r.row for r in batch])
                 X_batch = X_queries[rows]
-                # Real numerics on the host; simulated time from the cost
-                # model for this device's speed at this instant.
-                labels = self.predictor.predict_labels(
-                    X_batch, k, use_lsh=self.use_lsh
+                work = predictor.workload(X_batch)
+                speed = gpu.speed_at(t_dispatch)
+                # Pick the scoring path and its modeled cost *before* the
+                # numerics run, from this device's cost model at this
+                # instant — the crossover decision the ``serve.batch`` span
+                # records.
+                if self.scoring == "auto":
+                    exact_service = gpu.cost_model.inference_time(
+                        work, speed=speed, n_active_gpus=self.server.n_gpus
+                    )
+                    lsh_service = _price_lsh(gpu, work, speed)
+                    if lsh_service < exact_service:
+                        chosen, service = "lsh", lsh_service
+                    else:
+                        chosen, service = "exact", exact_service
+                elif self.scoring == "lsh":
+                    chosen = "lsh"
+                    service = _price_lsh(gpu, work, speed)
+                else:
+                    chosen = "exact"
+                    service = gpu.cost_model.inference_time(
+                        work, speed=speed, n_active_gpus=self.server.n_gpus
+                    )
+                # Real numerics on the host via the chosen path; simulated
+                # time from that path's modeled cost.
+                if chosen == "lsh":
+                    labels, counts = predictor.lsh_stats(X_batch, k)
+                    batch_fraction = (
+                        float(counts.mean()) / n_labels if counts.size else 0.0
+                    )
+                    lsh_fractions.append(batch_fraction)
+                else:
+                    labels = predictor.topk(X_batch, k)
+                    batch_fraction = None
+                span_args = dict(
+                    size=len(batch), nnz=int(X_batch.nnz), scoring=chosen
                 )
-                work = self.predictor.workload(X_batch)
-                service = gpu.cost_model.inference_time(
-                    work,
-                    speed=gpu.speed_at(t_dispatch),
-                    n_active_gpus=self.server.n_gpus,
-                )
-                with tel.span(
-                    SPAN_SERVE_BATCH, device=device,
-                    size=len(batch), nnz=int(X_batch.nnz),
-                ):
+                if batch_fraction is not None:
+                    span_args["candidate_fraction"] = batch_fraction
+                with tel.span(SPAN_SERVE_BATCH, device=device, **span_args):
                     yield env.timeout(service)
                 t_done = env.now
                 gpu.record_busy(service, start=t_dispatch, tag="serve")
+                scoring_batches[chosen] = scoring_batches.get(chosen, 0) + 1
                 for request in batch:
                     request.t_dispatch = t_dispatch
                     request.t_done = t_done
@@ -247,6 +343,7 @@ class ServingEngine:
             dataset=str(self.predictor.snapshot.meta.get("dataset", "queries")),
             n_devices=self.server.n_gpus,
             mode=self.mode,
+            scoring=self.scoring,
             use_lsh=self.use_lsh,
             n_requests=n_requests,
         )
@@ -278,7 +375,11 @@ class ServingEngine:
             latencies_s=latencies,
             queue_delays_s=queue_delays,
             batch_sizes=batch_sizes,
-            meta={"mode": self.mode, "use_lsh": self.use_lsh},
+            meta={
+                "mode": self.mode,
+                "scoring": self.scoring,
+                "use_lsh": self.use_lsh,
+            },
         )
         return ServeResult(
             mode=self.mode,
@@ -288,4 +389,9 @@ class ServingEngine:
             max_queue_depth=queue.max_depth,
             recall_at_k=None,
             k=k,
+            scoring=self.scoring,
+            scoring_batches=scoring_batches,
+            mean_candidate_fraction=(
+                float(np.mean(lsh_fractions)) if lsh_fractions else None
+            ),
         )

@@ -6,20 +6,30 @@ routines as training) and ranks all ``L`` labels with the deterministic
 :func:`~repro.sparse.metrics.topk_indices`.
 
 The LSH path is SLIDE turned inference-side: the output layer's weight
-columns are indexed in :class:`~repro.baselines.slide.sampler`-style
-SimHash tables, a query's last hidden activation retrieves only the labels
-whose weights collide with it, and logits are computed for those candidate
-columns alone — O(h · |candidates|) instead of O(h · L) per query. Rows
-whose retrieval returns fewer than ``k`` candidates are padded with the
-lowest-id unretrieved labels, so the output shape (and tie behaviour) stays
-deterministic. :meth:`Predictor.recall_at_k` reports how much of the exact
-top-k the accelerated path keeps — the accuracy/latency dial the serving
-bench sweeps.
+columns are indexed in SimHash tables, a query's last hidden activation
+retrieves only the labels whose weights collide with it, and logits are
+computed for those candidate columns alone — O(h · |candidates|) instead
+of O(h · L) per query. The whole pipeline is the batched
+:func:`repro.perf.lsh_topk.lsh_topk` kernel: one hash einsum for the
+block, one binary search for every bucket, a bitmap-dedup CSR candidate
+set, a flat gather-dot, and a segmented top-k. Rows whose retrieval
+returns fewer than ``k`` candidates are padded with the lowest-id
+unretrieved labels, so the output shape (and tie behaviour) stays
+deterministic; :meth:`Predictor.topk_lsh_reference` retains the original
+per-row loop as the semantic oracle the kernel is tested against.
+
+Every LSH call also records the batch's mean candidate fraction
+(:meth:`observed_candidate_fraction`) — the selectivity signal the
+``auto`` serving mode feeds into
+:meth:`~repro.gpu.cost.GpuCostModel.lsh_inference_time` to pick exact vs
+LSH per batch. :meth:`Predictor.recall_at_k` reports how much of the
+exact top-k the accelerated path keeps — the accuracy/latency dial the
+serving bench sweeps.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -27,6 +37,7 @@ import scipy.sparse as sp
 from repro.baselines.slide.lsh import SimHashLSH
 from repro.exceptions import ConfigurationError, ServeError
 from repro.gpu.cost import StepWorkload
+from repro.perf.lsh_topk import lsh_topk, probe_candidates
 from repro.perf.workspace import Workspace
 from repro.serve.snapshot import ModelSnapshot
 from repro.sparse.metrics import topk_indices
@@ -47,6 +58,7 @@ class Predictor:
         lsh_tables: int = 24,
         lsh_bits: int = 4,
         lsh_seed: int = 0,
+        lsh_probes: int = 1,
         chunk: int = 2048,
     ) -> None:
         self.snapshot = snapshot
@@ -68,7 +80,18 @@ class Predictor:
             n_bits=lsh_bits,
             seed=lsh_seed,
         )
+        if not (1 <= lsh_probes <= self._lsh.max_probes()):
+            raise ConfigurationError(
+                f"lsh_probes must be in [1, {self._lsh.max_probes()}], "
+                f"got {lsh_probes}"
+            )
+        self.lsh_probes = int(lsh_probes)
         self._lsh_built = False
+        # Row-major transpose of the output weights — the gather stream of
+        # the batched candidate scorer; rebuilt with the tables.
+        self._W_out_T: Optional[np.ndarray] = None
+        # EWMA of observed per-batch candidate fractions (auto-mode signal).
+        self._frac_ewma: Optional[float] = None
 
     # -- plumbing ------------------------------------------------------------
     def _check_query(self, X: sp.csr_matrix) -> None:
@@ -85,6 +108,7 @@ class Predictor:
     def rebuild_lsh(self) -> None:
         """(Re)index the output layer (call after swapping in new weights)."""
         self._lsh.rebuild(self.state[self._out_name])
+        self._W_out_T = np.ascontiguousarray(self.state[self._out_name].T)
         self._lsh_built = True
 
     def workload(self, X: sp.csr_matrix) -> StepWorkload:
@@ -94,6 +118,16 @@ class Predictor:
             batch_nnz=int(X.nnz),
             layer_dims=tuple(self.arch.layer_dims),
         )
+
+    @property
+    def lsh_tables(self) -> int:
+        """Number of SimHash tables in the candidate index."""
+        return self._lsh.n_tables
+
+    @property
+    def lsh_bits(self) -> int:
+        """Signature bits per table in the candidate index."""
+        return self._lsh.n_bits
 
     # -- exact path ----------------------------------------------------------
     def score(self, X: sp.csr_matrix) -> np.ndarray:
@@ -110,21 +144,69 @@ class Predictor:
     # -- LSH-accelerated path -------------------------------------------------
     def hidden(self, X: sp.csr_matrix) -> np.ndarray:
         """Last hidden activation (the LSH query vectors) for ``X``."""
-        self._check_query(X)
-        cache = self.mlp.forward(X, self.state, self.workspace)
         if self._n_layers < 2:
             raise ServeError(
                 "the LSH path needs at least one hidden layer"
             )
-        # activations[-1] is the logits; [-2] the last post-ReLU hidden.
-        return cache.activations[-2]
+        self._check_query(X)
+        # Truncated forward: stop at the last hidden layer — running the
+        # (n, L) output GEMM here would pay the exact path's dominant cost
+        # just to compute the vectors that let us skip it.
+        cache = self.mlp.forward(
+            X, self.state, self.workspace, upto=self._n_layers - 1
+        )
+        return cache.activations[-1]
 
     def topk_lsh(self, X: sp.csr_matrix, k: int) -> np.ndarray:
-        """Top-``k`` via LSH candidate retrieval + candidate-only logits.
+        """Top-``k`` via the batched LSH pipeline (see :meth:`lsh_stats`)."""
+        return self.lsh_stats(X, k)[0]
+
+    def lsh_stats(
+        self, X: sp.csr_matrix, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(topk_ids, candidate_counts)`` from ONE forward + probe.
 
         Each row ranks only its retrieved candidates; rows with fewer than
         ``k`` candidates are padded with the lowest unretrieved label ids
         (scored last), keeping the result rectangular and deterministic.
+        The counts are the per-row candidate-set sizes from the same probe
+        — callers that need both (the serving bench, the crossover
+        calibration) pay for a single hidden forward and retrieval.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if not self._lsh_built:
+            self.rebuild_lsh()
+        L = self.arch.n_labels
+        k = min(k, L)
+        n = X.shape[0]
+        if n == 0:
+            return (
+                np.empty((0, k), dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        # The hidden block lives in a workspace buffer; the LSH kernel only
+        # leases distinct (tag, dtype) scratch, so no defensive copy needed.
+        H = self.hidden(X)
+        out, counts = lsh_topk(
+            self._lsh,
+            H,
+            self._W_out_T,
+            self.state[self._bias_name],
+            k,
+            n_probes=self.lsh_probes,
+            workspace=self.workspace,
+        )
+        self._observe_fraction(counts, L)
+        return out, counts
+
+    def topk_lsh_reference(self, X: sp.csr_matrix, k: int) -> np.ndarray:
+        """The original per-row LSH loop — the batched kernel's oracle.
+
+        Kept verbatim (dict-table lookups, per-row ``sampled_logits`` and
+        1-row top-k) so ``tests/test_perf_lsh_topk.py`` can assert the
+        vectorized pipeline is bit-identical on arbitrary snapshots. Slow
+        by construction; never used by the serving engine.
         """
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
@@ -136,14 +218,10 @@ class Predictor:
         out = np.empty((n, k), dtype=np.int64)
         if n == 0:
             return out
-        # One forward to the last hidden layer for the whole block; the
-        # hidden buffer must outlive the per-row loop, so copy it out of the
-        # workspace (it is (n, h), small next to the (n, L) dense logits the
-        # exact path would allocate).
         H = np.array(self.hidden(X), copy=True)
         W_out = self.state[self._out_name]
         b_out = self.state[self._bias_name]
-        candidates = self._lsh.query_batch(H)
+        candidates = self._lsh.query_batch(H, n_probes=self.lsh_probes)
         for i, cand in enumerate(candidates):
             if cand.size < k:
                 # Deterministic fill: lowest label ids not retrieved.
@@ -163,11 +241,49 @@ class Predictor:
         return out
 
     def candidate_counts(self, X: sp.csr_matrix) -> np.ndarray:
-        """Per-row LSH candidate-set sizes (retrieval selectivity)."""
+        """Per-row LSH candidate-set sizes (retrieval selectivity).
+
+        One forward + one vectorized probe — no scoring, no per-row loop.
+        """
         if not self._lsh_built:
             self.rebuild_lsh()
-        H = np.array(self.hidden(X), copy=True)
-        return np.array([c.size for c in self._lsh.query_batch(H)], dtype=np.int64)
+        H = self.hidden(X)
+        indptr, _ = probe_candidates(
+            self._lsh, H, n_probes=self.lsh_probes, workspace=self.workspace
+        )
+        counts = np.diff(indptr)
+        self._observe_fraction(counts, self.arch.n_labels)
+        return counts
+
+    # -- crossover signal -----------------------------------------------------
+    def _observe_fraction(self, counts: np.ndarray, L: int) -> None:
+        if counts.size == 0 or L == 0:
+            return
+        frac = float(counts.mean()) / L
+        if self._frac_ewma is None:
+            self._frac_ewma = frac
+        else:
+            self._frac_ewma = 0.5 * self._frac_ewma + 0.5 * frac
+
+    def observed_candidate_fraction(self) -> Optional[float]:
+        """EWMA of mean candidate fraction over past LSH probes (or None).
+
+        This is what the serving engine's ``auto`` mode feeds into the cost
+        model's :meth:`~repro.gpu.cost.GpuCostModel.lsh_inference_time`.
+        """
+        return self._frac_ewma
+
+    def calibrate_candidate_fraction(
+        self, X: sp.csr_matrix, *, max_rows: int = 64
+    ) -> float:
+        """Probe up to ``max_rows`` queries to seed the fraction estimate.
+
+        Deterministic (first rows of ``X``), cheap (retrieval only, no
+        scoring), and idempotent with the per-batch EWMA updates.
+        """
+        self.candidate_counts(X[: max(1, max_rows)])
+        assert self._frac_ewma is not None
+        return self._frac_ewma
 
     # -- recall reporting -----------------------------------------------------
     def recall_at_k(self, X: sp.csr_matrix, k: int) -> float:
@@ -176,11 +292,18 @@ class Predictor:
             return 1.0
         exact = self.topk(X, k)
         approx = self.topk_lsh(X, k)
-        kk = exact.shape[1]
-        hits = 0
-        for row_exact, row_approx in zip(exact, approx):
-            hits += np.intersect1d(row_exact, row_approx).size
-        return hits / (exact.shape[0] * kk)
+        n, kk = exact.shape
+        L = self.arch.n_labels
+        # Membership as one sorted search over row-offset keys: label ids
+        # live in [0, L), so row·L + id is unique per (row, id) and row
+        # blocks stay disjoint — no per-row intersect1d loop.
+        offsets = np.arange(n, dtype=np.int64)[:, None] * L
+        exact_keys = np.sort(exact + offsets, axis=1).ravel()
+        approx_keys = (approx + offsets).ravel()
+        pos = np.searchsorted(exact_keys, approx_keys)
+        pos = np.minimum(pos, exact_keys.size - 1)
+        hits = int(np.count_nonzero(exact_keys[pos] == approx_keys))
+        return hits / (n * kk)
 
     def predict_labels(
         self, X: sp.csr_matrix, k: int, *, use_lsh: bool = False

@@ -114,6 +114,8 @@ class SparseMLP:
         X: sp.csr_matrix,
         state: ModelState,
         workspace: Optional[Workspace] = None,
+        *,
+        upto: Optional[int] = None,
     ) -> ForwardCache:
         """Compute activations for ``X``; retain what backward needs.
 
@@ -122,15 +124,25 @@ class SparseMLP:
         the allocating path, since the same BLAS/sparsetools routines run
         with an ``out=`` destination. Buffers stay valid until the next
         ``forward`` with the same workspace, which covers the backward pass.
+
+        ``upto`` stops after that many affine layers (1-based); the default
+        runs them all. The LSH serving path uses it to get the last hidden
+        activation without paying for the dense ``(n, L)`` output GEMM it
+        exists to avoid — a truncated cache cannot feed ``backward``.
         """
         if X.shape[1] != self.arch.n_features:
             raise ConfigurationError(
                 f"X has {X.shape[1]} features, model expects {self.arch.n_features}"
             )
+        n_layers = self._n_layers if upto is None else int(upto)
+        if not (1 <= n_layers <= self._n_layers):
+            raise ConfigurationError(
+                f"upto must be in [1, {self._n_layers}], got {upto}"
+            )
         n = X.shape[0]
         cache = ForwardCache(X=X)
         current: object = X
-        for layer in range(1, self._n_layers + 1):
+        for layer in range(1, n_layers + 1):
             W = state[f"W{layer}"]
             b = state[f"b{layer}"]
             if workspace is None:

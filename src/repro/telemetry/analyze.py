@@ -38,6 +38,7 @@ __all__ = [
     "attribute_time",
     "critical_path",
     "utilization_lanes",
+    "scoring_split",
     "analyze_report",
 ]
 
@@ -486,6 +487,39 @@ def utilization_lanes(run: RunData) -> Dict[str, List[Tuple[float, float, str]]]
 
 
 # -- the aggregated report ---------------------------------------------------
+def scoring_split(run: "RunData") -> Optional[dict]:
+    """Per-path serving summary from the run's ``serve.batch`` spans.
+
+    Returns ``None`` for non-serving runs (or traces recorded before the
+    scoring crossover existed). Otherwise one entry per scoring path —
+    ``exact`` / ``lsh`` — with the batches, samples and simulated seconds it
+    absorbed, plus the mean observed candidate fraction on the LSH side:
+    the `auto`-mode decision record, viewable via ``repro analyze``.
+    """
+    batches = run.spans_named(SPAN_SERVE_BATCH)
+    tagged = [s for s in batches if "scoring" in s.args]
+    if not tagged:
+        return None
+    paths: Dict[str, dict] = {}
+    for span in tagged:
+        path = str(span.args["scoring"])
+        entry = paths.setdefault(
+            path, {"batches": 0, "samples": 0, "sim_s": 0.0}
+        )
+        entry["batches"] += 1
+        entry["samples"] += int(span.args.get("size", 0))
+        entry["sim_s"] += span.dur
+    fractions = [
+        float(s.args["candidate_fraction"])
+        for s in tagged
+        if "candidate_fraction" in s.args
+    ]
+    out = {"paths": paths}
+    if fractions:
+        out["mean_candidate_fraction"] = sum(fractions) / len(fractions)
+    return out
+
+
 def analyze_report(source, *, run: Optional[int] = None) -> dict:
     """The full analysis of a trace as one JSON-safe dict.
 
@@ -505,7 +539,7 @@ def analyze_report(source, *, run: Optional[int] = None) -> dict:
     report_runs = []
     for run_data in runs:
         straggler = critical_path(run_data)
-        report_runs.append({
+        entry = {
             "run": run_data.index,
             "label": run_data.label(),
             "meta": dict(run_data.meta),
@@ -515,7 +549,11 @@ def analyze_report(source, *, run: Optional[int] = None) -> dict:
                 f.as_dict()
                 for f in diagnose(run_data, straggler_report=straggler)
             ],
-        })
+        }
+        scoring = scoring_split(run_data)
+        if scoring is not None:
+            entry["serving_scoring"] = scoring
+        report_runs.append(entry)
     return jsonable({
         "label": data.label,
         "runs": report_runs,

@@ -288,10 +288,43 @@ class TestServingCommands:
         capsys.readouterr()
         assert main([
             "serve", str(stem), "--requests", "100", "--mode", "adaptive",
-            "--lsh",
+            "--scoring", "lsh",
         ]) == 0
         out = capsys.readouterr().out
         assert "-- adaptive --" in out and "-- sequential --" not in out
+        assert "LSH recall@5 vs exact:" in out
+
+    def test_serve_deprecated_lsh_flag_still_works(self, capsys, tmp_path):
+        stem = tmp_path / "model"
+        assert main([
+            "snapshot", str(stem), "--dataset", "micro",
+            "--time-budget-s", "0.02", "--gpus", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", str(stem), "--requests", "100", "--mode", "adaptive",
+            "--lsh",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "LSH recall@5 vs exact:" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_serve_auto_mode_reports_scoring_split(self, capsys, tmp_path):
+        stem = tmp_path / "model"
+        assert main([
+            "snapshot", str(stem), "--dataset", "micro",
+            "--time-budget-s", "0.02", "--gpus", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", str(stem), "--requests", "100", "--mode", "auto",
+        ]) == 0
+        out = capsys.readouterr().out
+        # `--mode auto` is sugar for adaptive batching + auto scoring.
+        assert "-- adaptive --" in out and "-- sequential --" not in out
+        assert "scoring split (batches)" in out
+        # micro's label space is tiny: the crossover must route to exact.
+        assert "exact=" in out
         assert "LSH recall@5 vs exact:" in out
 
     def test_serve_exports_analyzable_telemetry(self, capsys, tmp_path):

@@ -89,6 +89,62 @@ class TestGpuCostModel:
         assert constants < 0.25 * total
 
 
+class TestLshInferenceTime:
+    # XML-shaped workload: wide output layer, small hidden — the regime
+    # the approximate scorer exists for.
+    XML = StepWorkload(batch_size=64, batch_nnz=2000,
+                       layer_dims=(500, 128, 32768))
+
+    def test_selective_retrieval_beats_exact(self):
+        model = GpuCostModel(GpuCostParams.tiny_model_profile())
+        exact = model.inference_time(self.XML)
+        lsh = model.lsh_inference_time(self.XML, 0.01)
+        assert lsh < exact
+
+    def test_full_candidates_lose_to_exact(self):
+        """At fraction 1.0 LSH does the exact path's work at sparse
+        throughput plus hashing — it must always price higher."""
+        model = GpuCostModel(GpuCostParams.tiny_model_profile())
+        exact = model.inference_time(WORK)
+        lsh = model.lsh_inference_time(WORK, 1.0)
+        assert lsh > exact
+
+    def test_monotone_in_candidate_fraction(self):
+        model = GpuCostModel()
+        times = [
+            model.lsh_inference_time(self.XML, f)
+            for f in (0.001, 0.01, 0.1, 1.0)
+        ]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_hash_geometry_costs(self):
+        model = GpuCostModel()
+        cheap = model.lsh_inference_time(self.XML, 0.01, n_tables=4, n_bits=4)
+        steep = model.lsh_inference_time(
+            self.XML, 0.01, n_tables=32, n_bits=16
+        )
+        assert steep > cheap
+
+    def test_speed_scales_service_time(self):
+        model = GpuCostModel()
+        assert model.lsh_inference_time(self.XML, 0.01, speed=0.5) > (
+            model.lsh_inference_time(self.XML, 0.01, speed=1.0)
+        )
+
+    def test_invalid_inputs_rejected(self):
+        model = GpuCostModel()
+        with pytest.raises(ConfigurationError):
+            model.lsh_inference_time(self.XML, -0.1)
+        with pytest.raises(ConfigurationError):
+            model.lsh_inference_time(self.XML, 1.5)
+        with pytest.raises(ConfigurationError):
+            model.lsh_inference_time(self.XML, 0.01, speed=0.0)
+        with pytest.raises(ConfigurationError):
+            model.lsh_inference_time(self.XML, 0.01, n_tables=0)
+        with pytest.raises(ConfigurationError):
+            model.lsh_inference_time(self.XML, 0.01, n_probes=0)
+
+
 class TestStepWorkload:
     def test_batch_bytes(self):
         work = StepWorkload(10, 100, (5, 3, 2))

@@ -1,0 +1,186 @@
+"""Tests for repro.perf.lsh_topk — the batched multi-probe LSH kernel.
+
+The load-bearing property is bit-identity: the vectorized pipeline must
+reproduce the retained per-row reference (`Predictor.topk_lsh_reference`)
+element for element — same candidate sets, same ranking, same tie-breaks,
+same padding — on arbitrary snapshots and hash geometries.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.slide.lsh import SimHashLSH
+from repro.perf import profile as kprofile
+from repro.perf.lsh_topk import (
+    lsh_topk,
+    probe_candidates,
+    score_entries,
+    segmented_topk,
+)
+from repro.perf.workspace import Workspace
+from repro.serve.predictor import Predictor
+from repro.serve.snapshot import ModelSnapshot
+from repro.sparse.mlp import MLPArchitecture, SparseMLP
+
+
+def _snapshot(n_features=24, L=96, hidden=32, seed=0):
+    arch = MLPArchitecture(n_features, L, hidden=(hidden,))
+    state = SparseMLP(arch).init_state(seed=seed)
+    return ModelSnapshot(arch=arch, state=state, meta={"dataset": "synth"})
+
+
+def _queries(n, n_features, seed=0, density=0.4):
+    rng = np.random.default_rng(seed)
+    M = rng.normal(size=(n, n_features)) * (
+        rng.random((n, n_features)) < density
+    )
+    return sp.csr_matrix(M.astype(np.float32))
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("trial", range(6))
+    def test_matches_reference_on_random_geometry(self, trial):
+        """Randomized tables/bits/probes/k: batched == per-row, bit for bit."""
+        rng = np.random.default_rng(100 + trial)
+        tables = int(rng.integers(1, 6))
+        bits = int(rng.integers(1, 9))
+        probes = int(rng.integers(1, bits + 2))
+        k = int(rng.integers(1, 12))
+        snap = _snapshot(L=int(rng.integers(20, 150)), seed=trial)
+        pred = Predictor(
+            snap, lsh_tables=tables, lsh_bits=bits, lsh_probes=probes,
+            lsh_seed=trial,
+        )
+        X = _queries(16, snap.arch.n_features, seed=trial)
+        assert np.array_equal(
+            pred.topk_lsh(X, k), pred.topk_lsh_reference(X, k)
+        )
+
+    def test_candidate_sets_match_query_batch(self):
+        """CSR candidates == the dict-table union, row by row."""
+        rng = np.random.default_rng(7)
+        lsh = SimHashLSH(dim=16, n_tables=3, n_bits=5, seed=7)
+        lsh.rebuild(rng.normal(size=(16, 80)).astype(np.float32))
+        H = rng.normal(size=(12, 16)).astype(np.float32)
+        indptr, ids = probe_candidates(lsh, H, n_probes=3)
+        ref = lsh.query_batch(H, n_probes=3)
+        assert indptr.shape == (13,)
+        for i, cand in enumerate(ref):
+            assert np.array_equal(ids[indptr[i]:indptr[i + 1]], cand)
+
+    def test_workspace_mask_reuse_is_clean(self):
+        """Repeated calls through one workspace must not leak mask bits."""
+        snap = _snapshot()
+        pred = Predictor(
+            snap, workspace=Workspace(), lsh_tables=2, lsh_bits=6,
+        )
+        X = _queries(10, snap.arch.n_features, seed=1)
+        first = pred.topk_lsh(X, 5)
+        assert np.array_equal(first, pred.topk_lsh(X, 5))
+        assert np.array_equal(first, pred.topk_lsh_reference(X, 5))
+
+
+class TestSegmentedTopk:
+    def test_empty_candidate_row_pads_lowest_ids(self):
+        indptr = np.array([0, 0, 3], dtype=np.int64)
+        ids = np.array([5, 7, 9], dtype=np.int64)
+        logits = np.array([1.0, 3.0, 2.0], dtype=np.float32)
+        out = segmented_topk(indptr, ids, logits, L=20, k=4)
+        # Row 0 retrieved nothing: deterministic fill with the lowest ids.
+        assert np.array_equal(out[0], [0, 1, 2, 3])
+        # Row 1 is underfull (3 < 4): all candidates best-first, then fill.
+        assert np.array_equal(out[1], [7, 9, 5, 0])
+
+    def test_all_rows_underfull(self):
+        indptr = np.array([0, 1, 2], dtype=np.int64)
+        ids = np.array([4, 0], dtype=np.int64)
+        logits = np.array([2.0, -1.0], dtype=np.float32)
+        out = segmented_topk(indptr, ids, logits, L=6, k=3)
+        assert np.array_equal(out[0], [4, 0, 1])
+        assert np.array_equal(out[1], [0, 1, 2])
+
+    def test_full_row_ties_break_to_lowest_label_id(self):
+        indptr = np.array([0, 4], dtype=np.int64)
+        ids = np.array([2, 5, 8, 11], dtype=np.int64)
+        logits = np.array([1.0, 1.0, 1.0, 2.0], dtype=np.float32)
+        out = segmented_topk(indptr, ids, logits, L=16, k=2)
+        assert np.array_equal(out[0], [11, 2])
+
+    def test_mixed_full_and_underfull_rows(self):
+        indptr = np.array([0, 5, 6], dtype=np.int64)
+        ids = np.array([1, 3, 4, 8, 9, 2], dtype=np.int64)
+        logits = np.array(
+            [0.5, 2.0, -1.0, 2.0, 0.0, 7.0], dtype=np.float32
+        )
+        out = segmented_topk(indptr, ids, logits, L=10, k=3)
+        assert np.array_equal(out[0], [3, 8, 1])  # tie 2.0: lower id first
+        assert np.array_equal(out[1], [2, 0, 1])
+
+
+class TestScoreEntries:
+    def test_matches_dense_logits(self):
+        rng = np.random.default_rng(0)
+        H = rng.normal(size=(5, 8)).astype(np.float32)
+        W = rng.normal(size=(8, 12)).astype(np.float32)
+        b = rng.normal(size=12).astype(np.float32)
+        rows = np.array([0, 0, 2, 4], dtype=np.int64)
+        ids = np.array([3, 11, 0, 7], dtype=np.int64)
+        logits = score_entries(H, np.ascontiguousarray(W.T), b, rows, ids)
+        dense = H @ W + b
+        assert np.allclose(logits, dense[rows, ids], atol=1e-5)
+
+
+class TestKernelEdges:
+    def test_empty_query_block(self):
+        rng = np.random.default_rng(1)
+        lsh = SimHashLSH(dim=8, n_tables=2, n_bits=3, seed=1)
+        W = rng.normal(size=(8, 20)).astype(np.float32)
+        lsh.rebuild(W)
+        H = np.empty((0, 8), dtype=np.float32)
+        out, counts = lsh_topk(
+            lsh, H, np.ascontiguousarray(W.T),
+            np.zeros(20, dtype=np.float32), 5,
+        )
+        assert out.shape == (0, 5)
+        assert counts.shape == (0,)
+
+    def test_no_workspace_allocates_fresh_mask(self):
+        rng = np.random.default_rng(2)
+        lsh = SimHashLSH(dim=8, n_tables=4, n_bits=2, seed=2)
+        W = rng.normal(size=(8, 30)).astype(np.float32)
+        lsh.rebuild(W)
+        H = rng.normal(size=(6, 8)).astype(np.float32)
+        indptr, ids = probe_candidates(lsh, H, n_probes=1)
+        ref = lsh.query_batch(H, n_probes=1)
+        for i, cand in enumerate(ref):
+            assert np.array_equal(ids[indptr[i]:indptr[i + 1]], cand)
+
+
+class TestProfileCounters:
+    def test_phases_recorded_with_units(self):
+        snap = _snapshot()
+        pred = Predictor(snap, lsh_tables=4, lsh_bits=3, lsh_probes=2)
+        X = _queries(8, snap.arch.n_features)
+        prof = kprofile.KernelProfile()
+        kprofile.activate(prof)
+        try:
+            pred.topk_lsh(X, 5)
+        finally:
+            kprofile.deactivate()
+        assert {"lsh_probe", "lsh_gather", "lsh_score", "lsh_topk"} <= set(
+            prof.stats
+        )
+        # probe units = n · tables · probes bucket lookups
+        assert prof.stats["lsh_probe"][2] == 8 * 4 * 2
+        # gather counts raw bucket entries; score counts the deduped
+        # candidates — dedup can only shrink the stream.
+        assert 0 < prof.stats["lsh_score"][2] <= prof.stats["lsh_gather"][2]
+        assert prof.stats["lsh_topk"][2] == 8
+
+    def test_disabled_profile_records_nothing(self):
+        snap = _snapshot()
+        pred = Predictor(snap)
+        X = _queries(4, snap.arch.n_features)
+        assert kprofile.active is None
+        pred.topk_lsh(X, 3)  # must not raise with the slot empty

@@ -119,13 +119,99 @@ class TestAdaptiveMode:
         rows = sample_query_rows(X.shape[0], 60, seed=3)
         arrivals = saturating_arrivals(predictor, X, 60)
         engine = ServingEngine(
-            predictor, serve_server(), mode="adaptive", use_lsh=True
+            predictor, serve_server(), mode="adaptive", scoring="lsh"
         )
         result = engine.serve(X, arrivals, k=5, row_indices=rows)
         approx = predictor.topk_lsh(X[rows], 5)
         served = {r.req_id: r.labels for r in result.requests}
         for i in range(60):
             assert served[i] == approx[i].tolist()
+
+
+class TestScoringPolicy:
+    def test_lsh_result_fields(self, predictor, micro_task):
+        X = micro_task.test.X
+        arrivals = saturating_arrivals(predictor, X, 50)
+        engine = ServingEngine(
+            predictor, serve_server(), mode="adaptive", scoring="lsh"
+        )
+        result = engine.serve(X, arrivals, k=5)
+        assert result.scoring == "lsh"
+        assert set(result.scoring_batches) == {"lsh"}
+        assert sum(result.scoring_batches.values()) == len(
+            result.report.batch_sizes
+        )
+        assert 0.0 < result.mean_candidate_fraction <= 1.0
+        as_dict = result.as_dict()
+        assert as_dict["scoring"] == "lsh"
+        assert "mean_candidate_fraction" in as_dict
+
+    def test_auto_picks_exact_at_small_label_count(
+        self, predictor, micro_task
+    ):
+        """At L=64 the candidate fraction is ~0.75 — the cost model must
+        route every batch to the exact path (the small-L crossover side)."""
+        X = micro_task.test.X
+        arrivals = saturating_arrivals(predictor, X, 50)
+        engine = ServingEngine(
+            predictor, serve_server(), mode="adaptive", scoring="auto"
+        )
+        result = engine.serve(X, arrivals, k=5)
+        assert result.scoring == "auto"
+        assert set(result.scoring_batches) == {"exact"}
+        # Calibration seeded the crossover signal even though no LSH batch
+        # ran — that's what made the exact choice informed, not default.
+        assert predictor.observed_candidate_fraction() is not None
+
+    def test_auto_matches_exact_labels_when_it_chooses_exact(
+        self, predictor, micro_task
+    ):
+        X = micro_task.test.X
+        rows = sample_query_rows(X.shape[0], 40, seed=4)
+        arrivals = saturating_arrivals(predictor, X, 40)
+        engine = ServingEngine(
+            predictor, serve_server(), mode="adaptive", scoring="auto"
+        )
+        result = engine.serve(X, arrivals, k=5, row_indices=rows)
+        exact = predictor.topk(X[rows], 5)
+        served = {r.req_id: r.labels for r in result.requests}
+        for i in range(40):
+            assert served[i] == exact[i].tolist()
+
+    def test_use_lsh_deprecated_but_equivalent(self, predictor):
+        with pytest.warns(DeprecationWarning, match="scoring='lsh'"):
+            engine = ServingEngine(predictor, serve_server(), use_lsh=True)
+        assert engine.scoring == "lsh"
+        assert engine.use_lsh is True
+
+    def test_bad_scoring_rejected(self, predictor):
+        with pytest.raises(ConfigurationError, match="scoring"):
+            ServingEngine(predictor, serve_server(), scoring="psychic")
+
+    def test_batch_spans_record_scoring(self, predictor, micro_task):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.analyze import scoring_split
+        from repro.telemetry.events import SPAN_SERVE_BATCH
+        from repro.telemetry.trace_data import TraceData
+
+        X = micro_task.test.X
+        arrivals = saturating_arrivals(predictor, X, 60)
+        tel = Telemetry(label="scoring-split")
+        engine = ServingEngine(
+            predictor, serve_server(), mode="adaptive", scoring="lsh",
+            telemetry=tel,
+        )
+        result = engine.serve(X, arrivals, k=5)
+        spans = [s for s in tel.spans if s.name == SPAN_SERVE_BATCH]
+        assert all(s.args["scoring"] == "lsh" for s in spans)
+        assert all(0.0 < s.args["candidate_fraction"] <= 1.0 for s in spans)
+        split = scoring_split(TraceData.from_telemetry(tel).run(0))
+        assert set(split["paths"]) == {"lsh"}
+        assert split["paths"]["lsh"]["batches"] == len(spans)
+        assert split["paths"]["lsh"]["samples"] == 60
+        assert split["mean_candidate_fraction"] == pytest.approx(
+            result.mean_candidate_fraction
+        )
 
 
 class TestValidation:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ServeError
 from repro.serve.predictor import Predictor
 from repro.serve.snapshot import ModelSnapshot
 from repro.sparse.mlp import MLPArchitecture, SparseMLP
@@ -122,3 +122,73 @@ class TestLshPath:
             predictor.predict_labels(X, 5, use_lsh=True),
             predictor.topk_lsh(X, 5),
         )
+
+    def test_matches_per_row_reference(self, predictor, micro_task):
+        """The batched kernel vs the retained per-row oracle, bit for bit."""
+        X = micro_task.test.X[:32]
+        assert np.array_equal(
+            predictor.topk_lsh(X, 5), predictor.topk_lsh_reference(X, 5)
+        )
+
+    def test_bad_probes_rejected(self, micro_snapshot):
+        # max_probes = n_bits + 1 (base signature + one flip per bit)
+        with pytest.raises(ConfigurationError, match="lsh_probes"):
+            Predictor(micro_snapshot, lsh_bits=4, lsh_probes=6)
+
+    def test_probes_expand_candidates(self, micro_snapshot, micro_task):
+        X = micro_task.test.X[:16]
+        base = Predictor(
+            micro_snapshot, lsh_tables=2, lsh_bits=8, lsh_seed=3
+        )
+        multi = Predictor(
+            micro_snapshot, lsh_tables=2, lsh_bits=8, lsh_seed=3,
+            lsh_probes=4,
+        )
+        assert (
+            multi.candidate_counts(X).sum() >= base.candidate_counts(X).sum()
+        )
+
+    def test_lsh_stats_shares_one_probe(self, predictor, micro_task):
+        X = micro_task.test.X[:12]
+        out, counts = predictor.lsh_stats(X, 5)
+        assert np.array_equal(out, predictor.topk_lsh(X, 5))
+        assert np.array_equal(counts, predictor.candidate_counts(X))
+
+    def test_hidden_validates_layer_count_before_forward(
+        self, micro_snapshot, micro_task, monkeypatch
+    ):
+        """A 1-layer predictor must fail with the serve-side error, not a
+        forward-pass one — the layer check has to run first."""
+        predictor = Predictor(micro_snapshot)
+        monkeypatch.setattr(predictor, "_n_layers", 1)
+        with pytest.raises(ServeError, match="hidden layer"):
+            predictor.hidden(micro_task.test.X[:2])
+
+
+class TestCrossoverSignal:
+    def test_fraction_observation_lifecycle(self, micro_snapshot, micro_task):
+        predictor = Predictor(micro_snapshot)
+        assert predictor.observed_candidate_fraction() is None
+        frac = predictor.calibrate_candidate_fraction(
+            micro_task.test.X[:32], max_rows=8
+        )
+        assert 0.0 < frac <= 1.0
+        assert predictor.observed_candidate_fraction() == pytest.approx(frac)
+
+    def test_lsh_calls_update_ewma(self, micro_snapshot, micro_task):
+        predictor = Predictor(micro_snapshot)
+        predictor.topk_lsh(micro_task.test.X[:8], 5)
+        assert predictor.observed_candidate_fraction() is not None
+
+
+class TestRecall:
+    def test_vectorized_recall_matches_per_row_intersection(
+        self, predictor, micro_task
+    ):
+        X = micro_task.test.X[:32]
+        exact = predictor.topk(X, 5)
+        approx = predictor.topk_lsh(X, 5)
+        expected = float(np.mean([
+            np.intersect1d(e, a).size / 5.0 for e, a in zip(exact, approx)
+        ]))
+        assert predictor.recall_at_k(X, 5) == pytest.approx(expected)
