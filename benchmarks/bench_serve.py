@@ -27,15 +27,26 @@ heterogeneous server. Six sections:
    planted snapshot, where LSH must win). Simulated-clock throughput;
    ``auto_vs_best`` is auto's throughput over the better fixed mode's;
 6. **burst** — the adaptive sizer under a 4x burst arrival pattern vs the
-   same-rate Poisson stream: p99 and queue high-water mark.
+   same-rate Poisson stream: p99 and queue high-water mark;
+7. **swap** — zero-downtime hot-swap under load: a training session
+   publishes versions into a snapshot store on the sim clock, and a
+   Poisson stream spanning that publish window is served while every
+   later version swaps in mid-traffic (warming off the dispatch path,
+   per-request pinning, labeled recall canary). Reports swap counts,
+   versions served, and p99 of requests overlapping a swap window vs the
+   steady state; a second sub-run publishes a garbage model mid-window
+   and must roll back to the prior version.
 
 Run as a script: ``python benchmarks/bench_serve.py [--smoke] [--out F]
 [--check]``. ``--check`` gates on absolute floors: adaptive throughput
 must be >= 1x sequential in smoke mode (>= 3x full), LSH recall@5 must be
 >= 0.8 in both LSH sections, the lsh_scale speedup must be >= 1x in smoke
 mode (>= 3x full, the paper-style claim: batching makes the approximate
-path actually win), and ``auto`` must land within 10% of the better fixed
-scoring mode in both crossover regimes — the CI gate.
+path actually win), ``auto`` must land within 10% of the better fixed
+scoring mode in both crossover regimes, and the swap section must commit
+at least one hot-swap with zero shed/mis-versioned requests, a
+swap-window p99 within 1.25x steady state, and a rollback on the
+injected recall regression — the CI gate.
 """
 
 from __future__ import annotations
@@ -52,7 +63,7 @@ import scipy.sparse as sp
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.api import make_trainer  # noqa: E402
+from repro.api import make_engine, make_trainer  # noqa: E402
 from repro.data.registry import load_task  # noqa: E402
 from repro.gpu.cluster import make_server  # noqa: E402
 from repro.gpu.cost import GpuCostParams  # noqa: E402
@@ -62,7 +73,9 @@ from repro.serve import (  # noqa: E402
     ModelSnapshot,
     Predictor,
     ServingEngine,
+    SnapshotStore,
     generate_arrivals,
+    nearest_rank_percentile,
     sample_query_rows,
 )
 from repro.sparse.mlp import MLPArchitecture, SparseMLP  # noqa: E402
@@ -75,6 +88,9 @@ LSH_SCALE_FLOOR_SMOKE = 1.0
 LSH_SCALE_FLOOR_FULL = 3.0
 #: ``auto`` scoring may lose at most 10% to the better fixed mode.
 CROSSOVER_FLOOR = 0.9
+#: p99 of requests overlapping a swap window vs steady state (the
+#: zero-downtime claim: warming happens off the dispatch path).
+SWAP_P99_FACTOR = 1.25
 #: Planted-similarity LSH geometry (tuned: ~0.8% candidate fraction with
 #: recall@5 ~0.95 at both bench scales).
 SCALE_TABLES, SCALE_BITS, SCALE_PROBES = 12, 13, 4
@@ -341,6 +357,106 @@ def bench_burst(predictor: Predictor, task, smoke: bool) -> dict:
     return out
 
 
+def bench_swap(task, workdir: Path, smoke: bool) -> dict:
+    """Hot-swap under load (good path) + injected-regression rollback."""
+    budget = 0.05 if smoke else 0.2
+    n_requests = 600 if smoke else 3000
+    X, Y = task.test.X, task.test.Y
+
+    # A training session publishing ~5 versions on the sim clock.
+    store = SnapshotStore(workdir / "bench-store")
+    spec = ExperimentSpec(
+        dataset="micro", gpu_counts=(N_GPUS,), time_budget_s=budget,
+    )
+    trainer = make_trainer("adaptive", spec)
+    trainer.publish_snapshot(store, every_s=budget / 5.0)
+    trainer.run(time_budget_s=budget)
+
+    # Arrivals span the publish window (plus slack) at a rate well below
+    # capacity, so steady-state latency is uniform and the swap-window p99
+    # comparison is meaningful.
+    span = store.entries[-1].published_s * 1.2
+    rate = n_requests / span
+    arrivals = generate_arrivals(
+        LoadSpec(n_requests=n_requests, rate_rps=rate, seed=4)
+    )
+    rows = sample_query_rows(X.shape[0], n_requests, seed=4)
+    engine = make_engine(
+        store, mode="adaptive", scoring="auto", n_gpus=N_GPUS,
+    )
+    result = engine.serve(X, arrivals, k=K, row_indices=rows,
+                          canary_labels=Y)
+
+    # p99 of requests whose lifetime overlapped a swap (warming -> commit)
+    # window vs everything else.
+    windows = [
+        (s["t_warm_start"], s["t_commit"])
+        for s in result.swaps if "t_commit" in s
+    ]
+
+    def _in_window(r):
+        return any(
+            r.t_arrival <= t1 and r.t_done >= t0 for t0, t1 in windows
+        )
+
+    served = [r for r in result.requests if r.t_done is not None]
+    in_window = [r.latency_s for r in served if _in_window(r)]
+    steady = [r.latency_s for r in served if not _in_window(r)]
+    good = {
+        "n_requests": n_requests,
+        "n_versions": len(store.versions()),
+        "swaps": result.n_swaps,
+        "rollbacks": result.n_rollbacks,
+        "swap_failures": result.n_swap_failures,
+        "mis_versioned": result.mis_versioned,
+        "n_shed": result.n_shed,
+        "versions_served": {
+            str(v): n for v, n in sorted(result.versions_served.items())
+        },
+        "requests_in_swap_windows": len(in_window),
+    }
+    if in_window and steady:
+        good["p99_in_window_ms"] = nearest_rank_percentile(in_window, 99) * 1e3
+        good["p99_steady_ms"] = nearest_rank_percentile(steady, 99) * 1e3
+        good["swap_p99_ratio"] = (
+            good["p99_in_window_ms"] / good["p99_steady_ms"]
+        )
+
+    # Injected regression: trained v1 at t=0, a garbage re-init mid-window.
+    # The labeled recall canary must roll the active pointer back to v1.
+    bad_store = SnapshotStore(workdir / "bench-store-bad")
+    trained = store.load(store.latest_version())
+    bad_store.publish(trained, published_s=0.0)
+    garbage = ModelSnapshot(
+        arch=trained.arch,
+        state=SparseMLP(trained.arch).init_state(seed=999),
+        meta=dict(trained.meta),
+    )
+    bad_store.publish(garbage, published_s=span / 2.0)
+    engine = make_engine(bad_store, mode="adaptive", n_gpus=N_GPUS)
+    bad_result = engine.serve(X, arrivals, k=K, row_indices=rows,
+                              canary_labels=Y)
+    rollback = {
+        "swaps": bad_result.n_swaps,
+        "rollbacks": bad_result.n_rollbacks,
+        "active_version": bad_result.active_version,
+        "n_unserved": sum(
+            1 for r in bad_result.requests if r.t_done is None
+        ),
+        "reasons": [
+            s.get("rollback_reason") for s in bad_result.swaps
+            if s.get("rolled_back")
+        ],
+    }
+    return {
+        "what": f"{n_requests} Poisson requests spanning a "
+                f"{len(store.versions())}-version publish schedule, "
+                f"adaptive mode, auto scoring",
+        "good_path": good,
+        "rollback": rollback,
+    }
+
+
 def run(smoke: bool) -> dict:
     task = load_task("micro", seed=0)
     sections = {}
@@ -354,6 +470,7 @@ def run(smoke: bool) -> dict:
         sections["lsh_scale"] = bench_lsh_scale(smoke)
         sections["crossover"] = bench_crossover(snapshot, task, smoke)
         sections["burst"] = bench_burst(predictor, task, smoke)
+        sections["swap"] = bench_swap(task, workdir, smoke)
     s = sections["snapshot"]
     print(f" snapshot: save {s['save_us']:8.1f} us, load {s['load_us']:8.1f} us, "
           f"bit-identical={s['bit_identical']}  [{s['what']}]")
@@ -378,6 +495,15 @@ def run(smoke: bool) -> dict:
     print(f"    burst: poisson p99 {s['poisson']['latency_p99_ms']:.4f} ms vs "
           f"burst p99 {s['burst']['latency_p99_ms']:.4f} ms, "
           f"burst queue depth {s['burst']['max_queue_depth']}  [{s['what']}]")
+    s = sections["swap"]
+    g, rb = s["good_path"], s["rollback"]
+    ratio = (f", swap-window/steady p99 {g['swap_p99_ratio']:.3f}"
+             if "swap_p99_ratio" in g else "")
+    print(f"     swap: {g['swaps']} committed / {g['rollbacks']} rolled back "
+          f"/ {g['swap_failures']} failed, mis-versioned={g['mis_versioned']}, "
+          f"shed={g['n_shed']}{ratio}; injected regression -> "
+          f"{rb['rollbacks']} rollback(s), active v{rb['active_version']}  "
+          f"[{s['what']}]")
     return {
         "benchmark": "serve",
         "mode": "smoke" if smoke else "full",
@@ -427,6 +553,37 @@ def check(results: dict) -> int:
               f"(floor {CROSSOVER_FLOOR:.2f}) -> {status}")
         if ratio < CROSSOVER_FLOOR:
             failures.append(f"crossover_{name}")
+    g = results["sections"]["swap"]["good_path"]
+    swapped = g["swaps"] - g["rollbacks"]
+    status = "ok" if swapped >= 1 else "NO SWAP"
+    print(f"check swap: {swapped} committed-and-kept hot-swap(s) -> {status}")
+    if swapped < 1:
+        failures.append("swap_commit")
+    clean = g["mis_versioned"] == 0 and g["n_shed"] == 0
+    status = "ok" if clean else "DROPPED/MIXED"
+    print(f"check swap: mis-versioned={g['mis_versioned']}, "
+          f"shed={g['n_shed']} -> {status}")
+    if not clean:
+        failures.append("swap_requests")
+    if "swap_p99_ratio" in g:
+        ratio = g["swap_p99_ratio"]
+        status = "ok" if ratio <= SWAP_P99_FACTOR else "REGRESSED"
+        print(f"check swap: swap-window/steady p99 {ratio:.3f} "
+              f"(ceiling {SWAP_P99_FACTOR:.2f}) -> {status}")
+        if ratio > SWAP_P99_FACTOR:
+            failures.append("swap_p99")
+    rb = results["sections"]["swap"]["rollback"]
+    rolled = (
+        rb["rollbacks"] >= 1
+        and rb["active_version"] == 1
+        and rb["n_unserved"] == 0
+    )
+    status = "ok" if rolled else "NOT ROLLED BACK"
+    print(f"check swap: injected regression -> {rb['rollbacks']} "
+          f"rollback(s), active v{rb['active_version']}, "
+          f"{rb['n_unserved']} unserved -> {status}")
+    if not rolled:
+        failures.append("swap_rollback")
     if failures:
         print(f"FAIL: serving regression in {failures}")
         return 1

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""The train → deploy loop: snapshot a trained model and serve it.
+"""The train → deploy → keep-learning loop, through ``repro.api``.
 
 The same amortization argument the paper makes for training mega-batches
 (Figure 6a) applies to inference: a batch-1 dispatch pays the full fixed
@@ -14,7 +14,14 @@ micro-batches multiplies throughput. This demo walks the whole loop:
 3. **burst absorption** — a 4x hot/cold arrival pattern at the same
    average rate: watch the cap grow inside bursts and shrink after;
 4. **the LSH dial** — the SLIDE-style candidates-only path vs exact
-   top-k: recall@5 traded against per-query work.
+   top-k: recall@5 traded against per-query work;
+5. **continuous learning** — a training session publishes checkpoints
+   into a snapshot store on the sim clock; a serving run replays that
+   publish schedule and hot-swaps each version in mid-traffic (warming
+   off the dispatch path, per-request pinning, labeled recall canary).
+
+Every engine is built through :func:`repro.api.make_engine` — the one
+validated front door for serving, mirroring ``make_trainer``.
 
 Run:  python examples/serving_demo.py [--budget 0.2] [--requests 1500]
 """
@@ -23,28 +30,18 @@ import argparse
 import tempfile
 from pathlib import Path
 
-from repro.api import make_trainer
+from repro.api import make_engine, make_trainer
 from repro.data.registry import load_task
-from repro.gpu.cluster import make_server
-from repro.gpu.cost import GpuCostParams
 from repro.harness.experiment import ExperimentSpec
 from repro.serve import (
     LoadSpec,
     ModelSnapshot,
-    Predictor,
-    ServingEngine,
+    SnapshotStore,
     generate_arrivals,
     sample_query_rows,
 )
 
 N_GPUS = 2
-
-
-def fresh_server(seed: int = 0):
-    return make_server(
-        N_GPUS, heterogeneity="het",
-        cost_params=GpuCostParams.tiny_model_profile(), seed=seed,
-    )
 
 
 def train_snapshot(workdir: Path, budget: float) -> ModelSnapshot:
@@ -82,12 +79,12 @@ def main() -> None:
     task = load_task("micro", seed=0)
     with tempfile.TemporaryDirectory(prefix="serving-demo-") as tmp:
         snapshot = train_snapshot(Path(tmp), args.budget)
-    predictor = Predictor(snapshot)
 
     # A saturating load: ~10x what batch-1 dispatch can sustain, so the
     # fixed per-dispatch overhead (not the offered rate) is the bottleneck.
-    probe = predictor.workload(task.test.X[:1])
-    per_request = fresh_server().gpus[0].cost_model.inference_time(
+    probe_engine = make_engine(snapshot, n_gpus=N_GPUS)
+    probe = probe_engine.predictor.workload(task.test.X[:1])
+    per_request = probe_engine.server.gpus[0].cost_model.inference_time(
         probe, n_active_gpus=N_GPUS,
     )
     rate = 10.0 * N_GPUS / per_request
@@ -99,7 +96,7 @@ def main() -> None:
     arrivals = generate_arrivals(load)
     results = {}
     for mode in ("sequential", "adaptive"):
-        engine = ServingEngine(predictor, fresh_server(), mode=mode)
+        engine = make_engine(snapshot, mode=mode, n_gpus=N_GPUS)
         results[mode] = engine.serve(
             task.test.X, arrivals, k=5, row_indices=rows
         )
@@ -115,7 +112,7 @@ def main() -> None:
             n_requests=args.requests, rate_rps=rate / 4.0,
             pattern=pattern, seed=1,
         )
-        engine = ServingEngine(predictor, fresh_server(), mode="adaptive")
+        engine = make_engine(snapshot, mode="adaptive", n_gpus=N_GPUS)
         result = engine.serve(
             task.test.X, generate_arrivals(load), k=5, row_indices=rows
         )
@@ -123,6 +120,9 @@ def main() -> None:
     print()
 
     print("-- the LSH dial (SLIDE-style candidates-only scoring) --")
+    engine = make_engine(snapshot, mode="adaptive", scoring="lsh",
+                         n_gpus=N_GPUS)
+    predictor = engine.predictor
     sample = task.test.X[rows[:256]]
     predictor.rebuild_lsh()
     counts = predictor.candidate_counts(sample)
@@ -131,14 +131,56 @@ def main() -> None:
           f"{predictor.arch.n_labels} labels "
           f"({100 * counts.mean() / predictor.arch.n_labels:.0f}%)")
     print(f"  recall@5 vs exact top-5: {recall:.3f}")
-    engine = ServingEngine(
-        predictor, fresh_server(), mode="adaptive", use_lsh=True
-    )
     load = LoadSpec(n_requests=args.requests, rate_rps=rate, seed=2)
     result = engine.serve(
         task.test.X, generate_arrivals(load), k=5, row_indices=rows
     )
     report_line("adaptive+lsh", result)
+    print()
+
+    print("-- continuous learning (publish mid-serve, hot-swap, canary) --")
+    with tempfile.TemporaryDirectory(prefix="serving-demo-store-") as tmp:
+        store = SnapshotStore(tmp)
+        spec = ExperimentSpec(
+            dataset="micro", gpu_counts=(N_GPUS,), time_budget_s=args.budget,
+        )
+        trainer = make_trainer("adaptive", spec)
+        # Checkpoint-aligned publishing: ~5 versions over the budget,
+        # stamped with their sim publish times.
+        trainer.publish_snapshot(store, every_s=args.budget / 5.0)
+        trainer.run(time_budget_s=args.budget)
+        published = ", ".join(
+            f"v{e.version}@{e.published_s:.3f}s" for e in store.entries
+        )
+        print(f"  published: {published}")
+        # Serving from the store directory auto-subscribes for hot-swaps;
+        # the arrival window spans the publish schedule so every later
+        # version lands mid-traffic.
+        engine = make_engine(tmp, mode="adaptive", n_gpus=N_GPUS)
+        span = store.entries[-1].published_s * 1.2
+        load = LoadSpec(
+            n_requests=args.requests,
+            rate_rps=args.requests / span, seed=3,
+        )
+        result = engine.serve(
+            task.test.X, generate_arrivals(load), k=5, row_indices=rows,
+            canary_labels=task.test.Y,
+        )
+        report_line("hot-swap", result)
+        served = " ".join(
+            f"v{v}={n}" for v, n in sorted(result.versions_served.items())
+        )
+        print(f"  swaps: {result.n_swaps} committed, "
+              f"{result.n_rollbacks} rolled back, "
+              f"{result.n_swap_failures} failed; "
+              f"mis-versioned batches: {result.mis_versioned}")
+        print(f"  versions served: {served}")
+        for swap in result.swaps:
+            if "canary_recall_new" in swap:
+                print(f"  canary recall@5: v{swap['version_from']} "
+                      f"{swap['canary_recall_prev']:.3f} -> "
+                      f"v{swap['version_to']} "
+                      f"{swap['canary_recall_new']:.3f}")
 
 
 if __name__ == "__main__":

@@ -33,7 +33,7 @@ Quickstart::
     print(trace.best_accuracy, trace.time_to_accuracy(0.5))
 """
 
-from repro.api import make_trainer, register_trainer, trainer_names
+from repro.api import make_engine, make_trainer, register_trainer, trainer_names
 from repro.core.adaptive import AdaptiveSGDTrainer
 from repro.core.config import AdaptiveSGDConfig
 from repro.data.registry import dataset_names, load_task
@@ -51,6 +51,7 @@ __all__ = [
     "load_task",
     "make_server",
     "make_trainer",
+    "make_engine",
     "register_trainer",
     "trainer_names",
     "Telemetry",

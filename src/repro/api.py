@@ -1,4 +1,4 @@
-"""The unified trainer construction API.
+"""The unified construction API: one front door each for train and serve.
 
 Every training algorithm in the reproduction is registered here under the
 name the paper's figures use, and :func:`make_trainer` is the one front door
@@ -14,11 +14,25 @@ telemetry recorder attached::
     trainer = make_trainer("adaptive", spec, telemetry=tel)
     trace = trainer.run(time_budget_s=spec.time_budget_s)
 
-The direct constructors (``AdaptiveSGDTrainer(task, server, config)`` etc.)
-keep working — they and :func:`make_trainer` produce bit-identical runs for
-the same seeds (parity-tested). ``make_trainer`` adds name-based selection,
-spec-driven defaults, early validation of unknown options, and uniform
-handling of deprecated keyword spellings.
+:func:`make_engine` mirrors it on the serving side: it accepts anything
+that names a model — a :class:`~repro.serve.snapshot.ModelSnapshot`, a
+snapshot path/stem, a prebuilt :class:`~repro.serve.predictor.Predictor`,
+or a :class:`~repro.serve.store.SnapshotStore` (directory or instance, in
+which case the engine auto-subscribes for hot-swaps) — builds the
+heterogeneous server, and validates every option through
+:class:`~repro.serve.config.ServingConfig`::
+
+    from repro import make_engine
+
+    engine = make_engine("model", scoring="auto", target_latency_s=2e-3)
+    result = engine.serve(X, arrivals)
+
+The direct constructors (``AdaptiveSGDTrainer(task, server, config)``,
+``ServingEngine(predictor, server, ...)`` etc.) keep working — the facades
+add name-based selection, spec-driven defaults, early validation of
+unknown options, and uniform handling of deprecated keyword spellings
+(``use_lsh`` → ``scoring='lsh'`` lives in ``ServingConfig.from_options``,
+the single serving deprecation layer).
 """
 
 from __future__ import annotations
@@ -45,6 +59,7 @@ __all__ = [
     "trainer_names",
     "trainer_class",
     "make_trainer",
+    "make_engine",
 ]
 
 #: Paper-figure algorithm names -> trainer classes. Mutate only through
@@ -171,6 +186,122 @@ def make_trainer(
     )
     kwargs.update(options)  # explicit options beat spec-derived defaults
     return cls(task, server, spec.config, **kwargs)
+
+
+def make_engine(
+    source,
+    config=None,
+    *,
+    server: Optional[MultiGPUServer] = None,
+    n_gpus: int = 2,
+    seed: int = 0,
+    version: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+    **options,
+):
+    """Build a :class:`~repro.serve.engine.ServingEngine` for ``source``.
+
+    The serving mirror of :func:`make_trainer`. ``source`` names the model:
+
+    - a :class:`~repro.serve.snapshot.ModelSnapshot`;
+    - a snapshot stem / header path (``"model"``,
+      ``"model.snapshot.json"``);
+    - a :class:`~repro.serve.store.SnapshotStore` instance or a store
+      *directory* path — the engine serves the version a subscriber
+      starting at sim time 0 would run (``version=`` overrides) and
+      **auto-subscribes for hot-swaps**: newer versions published on the
+      sim clock are picked up mid-run, warmed off the dispatch path, and
+      canary-guarded;
+    - a prebuilt :class:`~repro.serve.predictor.Predictor` (advanced:
+      ``version`` tags it for pinning, default 0).
+
+    ``config`` is a prebuilt :class:`~repro.serve.config.ServingConfig`;
+    alternatively pass its fields as keyword ``options`` — they are
+    validated by ``ServingConfig.from_options``, the single layer that
+    rejects unknown options early and maps the deprecated ``use_lsh``
+    spelling onto ``scoring='lsh'`` with one uniform ``DeprecationWarning``.
+    ``server`` overrides the default heterogeneous ``n_gpus``-device server
+    (tiny-model cost profile, seeded like the benchmarks).
+    """
+    from pathlib import Path
+
+    from repro.gpu.cluster import make_server
+    from repro.gpu.cost import GpuCostParams
+    from repro.serve.config import ServingConfig
+    from repro.serve.engine import ServingEngine
+    from repro.serve.predictor import Predictor
+    from repro.serve.snapshot import ModelSnapshot
+    from repro.serve.store import MANIFEST_NAME, SnapshotStore
+
+    if config is None:
+        config = ServingConfig.from_options(**options)
+    elif options:
+        raise ConfigurationError(
+            f"pass either config= or keyword options, not both "
+            f"(got {sorted(options)})"
+        )
+    elif not isinstance(config, ServingConfig):
+        raise ConfigurationError(
+            f"config must be a ServingConfig, got {type(config).__name__}"
+        )
+
+    store: Optional[SnapshotStore] = None
+    resolved = source
+    if isinstance(resolved, (str, Path)):
+        path = Path(resolved)
+        if (path / MANIFEST_NAME).exists():
+            resolved = SnapshotStore(path, create=False)
+        else:
+            resolved = ModelSnapshot.load(path)
+
+    if isinstance(resolved, SnapshotStore):
+        store = resolved
+        if version is None:
+            version = store.version_at(0.0)
+            if version is None:
+                raise ConfigurationError(
+                    f"snapshot store {store.root} is empty; publish a "
+                    f"version before serving from it"
+                )
+        snapshot = store.load(version)
+        resolved = None
+    elif isinstance(resolved, ModelSnapshot):
+        snapshot = resolved
+        resolved = None
+    elif isinstance(resolved, Predictor):
+        snapshot = None
+    else:
+        raise ConfigurationError(
+            f"make_engine source must be a snapshot, snapshot path, "
+            f"store, store directory, or Predictor; got {type(source).__name__}"
+        )
+
+    if isinstance(source, Predictor):
+        predictor = source
+    else:
+        predictor = Predictor(
+            snapshot,
+            lsh_tables=config.lsh_tables,
+            lsh_bits=config.lsh_bits,
+            lsh_probes=config.lsh_probes,
+            lsh_seed=config.lsh_seed,
+            chunk=config.chunk,
+        )
+    if server is None:
+        server = make_server(
+            n_gpus,
+            heterogeneity="het",
+            cost_params=GpuCostParams.tiny_model_profile(),
+            seed=seed,
+        )
+    return ServingEngine(
+        predictor,
+        server,
+        config=config,
+        store=store,
+        base_version=version if version is not None else 0,
+        telemetry=telemetry,
+    )
 
 
 # -- the built-in algorithms (names match the paper's figures) ---------------

@@ -139,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snapshot", metavar="STEM",
                    help="also save the trained model as a serving snapshot "
                         "(STEM.snapshot.json + STEM.snapshot.npz)")
+    p.add_argument("--store", metavar="DIR",
+                   help="publish the trained model into a snapshot store at "
+                        "DIR (`repro serve DIR` hot-swaps versions from it)")
+    p.add_argument("--publish-every-s", type=float, default=None,
+                   metavar="S",
+                   help="with --store: publish a version every S simulated "
+                        "seconds during the run (checkpoint-aligned), not "
+                        "just once at the end")
 
     p = sub.add_parser(
         "trace",
@@ -205,7 +213,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay an open-loop load against a snapshot; print latency",
     )
     p.add_argument("snapshot", metavar="STEM",
-                   help="snapshot stem (or .snapshot.json path) to serve")
+                   help="snapshot stem (or .snapshot.json path) to serve, "
+                        "or a snapshot-store directory (versions published "
+                        "on the sim clock then hot-swap in mid-run)")
     p.add_argument("--dataset", default=None, choices=dataset_names(),
                    help="query source (default: the snapshot's dataset)")
     p.add_argument("--mode", default="both",
@@ -232,6 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="[deprecated: use --scoring lsh] serve through the "
                         "LSH-accelerated sparse path "
                         "and report recall vs exact")
+    p.add_argument("--max-queue-depth", type=int, default=None,
+                   metavar="N",
+                   help="admission-control cap: arrivals beyond N queued "
+                        "requests are shed (default: unbounded)")
     p.add_argument("--gpus", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", metavar="STEM", default=None,
@@ -333,7 +347,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             config=default_config_for(args.dataset),
             seed=args.seed,
         )
+        if args.publish_every_s is not None and not args.store:
+            print("error: --publish-every-s requires --store", file=sys.stderr)
+            return 1
         trainer = make_trainer("adaptive", spec)
+        store = None
+        if args.store:
+            from repro.serve import SnapshotStore
+
+            store = SnapshotStore(args.store)
+            if args.publish_every_s is not None:
+                trainer.publish_snapshot(
+                    store, every_s=args.publish_every_s,
+                    time_budget_s=args.time_budget_s,
+                )
         trace = trainer.run(time_budget_s=args.time_budget_s)
         print(format_kv({
             "dataset": args.dataset,
@@ -354,6 +381,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.snapshot, time_budget_s=args.time_budget_s,
             )
             print(f"snapshot: {header}")
+        if store is not None:
+            if args.publish_every_s is None:
+                trainer.publish_snapshot(
+                    store, time_budget_s=args.time_budget_s,
+                )
+            print(
+                f"store: {store.root} (versions "
+                f"{' '.join(f'v{v}' for v in store.versions())})"
+            )
         return 0
 
     if args.command == "trace":
@@ -451,6 +487,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "serve":
+        import warnings
+        from pathlib import Path
+
+        from repro.api import make_engine
         from repro.data.registry import load_task
         from repro.exceptions import ReproError
         from repro.gpu.cluster import make_server
@@ -458,16 +498,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.serve import (
             LoadSpec,
             ModelSnapshot,
-            Predictor,
-            ServingEngine,
+            ServingConfig,
+            SnapshotStore,
             generate_arrivals,
             sample_query_rows,
         )
+        from repro.serve.store import MANIFEST_NAME
         from repro.telemetry import Telemetry
         from repro.utils.tables import format_kv
 
+        source_path = Path(args.snapshot)
+        store = None
         try:
-            snapshot = ModelSnapshot.load(args.snapshot)
+            if (source_path / MANIFEST_NAME).exists():
+                store = SnapshotStore(source_path, create=False)
+                base_version = store.version_at(0.0)
+                if base_version is None:
+                    print(
+                        f"error: snapshot store {store.root} is empty",
+                        file=sys.stderr,
+                    )
+                    return 1
+                snapshot = store.load(base_version)
+            else:
+                snapshot = ModelSnapshot.load(args.snapshot)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -480,7 +534,6 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 1
-        predictor = Predictor(snapshot, lsh_seed=args.seed)
         cost_params = GpuCostParams.tiny_model_profile()
 
         def fresh_server():
@@ -489,33 +542,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 cost_params=cost_params, seed=args.seed,
             )
 
-        if args.rate is None:
-            # Saturating default: ~10x the cluster's sequential capacity.
-            probe = predictor.workload(task.test.X[:1])
-            per_request = fresh_server().gpus[0].cost_model.inference_time(
-                probe, n_active_gpus=args.gpus,
-            )
-            rate = 10.0 * args.gpus / per_request
-        else:
-            rate = args.rate
-        load = LoadSpec(
-            n_requests=args.requests, rate_rps=rate,
-            pattern=args.pattern, seed=args.seed,
-        )
-        arrivals = generate_arrivals(load)
-        rows = sample_query_rows(
-            task.test.X.shape[0], args.requests, seed=args.seed
-        )
-        tel = Telemetry(label=f"serve-{dataset}") if args.out else None
-
         scoring = args.scoring
         if args.lsh:
-            print(
-                "note: --lsh is deprecated; use --scoring lsh",
-                file=sys.stderr,
-            )
-            if scoring is None:
-                scoring = "lsh"
+            # The deprecation text lives in ServingConfig.from_options (the
+            # single validation layer); the CLI only surfaces it on stderr.
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always", DeprecationWarning)
+                remapped = ServingConfig.from_options(
+                    use_lsh=True, scoring=scoring,
+                )
+            for w in caught:
+                print(f"note: {w.message}", file=sys.stderr)
+            scoring = remapped.scoring
         if args.mode == "auto":
             # Sugar: adaptive micro-batching + the scoring crossover.
             modes = ("adaptive",)
@@ -528,15 +566,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         if scoring is None:
             scoring = "exact"
 
-        results = {}
-        for mode in modes:
-            engine = ServingEngine(
-                predictor, fresh_server(), mode=mode,
-                target_latency_s=args.slo_ms * 1e-3,
-                scoring=scoring, telemetry=tel,
+        tel = Telemetry(label=f"serve-{dataset}") if args.out else None
+        engines = {}
+        try:
+            for mode in modes:
+                config = ServingConfig.from_options(
+                    mode=mode,
+                    target_latency_s=args.slo_ms * 1e-3,
+                    scoring=scoring,
+                    k=args.k,
+                    lsh_seed=args.seed,
+                    max_queue_depth=args.max_queue_depth,
+                )
+                engines[mode] = make_engine(
+                    store if store is not None else snapshot,
+                    config=config, server=fresh_server(), telemetry=tel,
+                )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        first = next(iter(engines.values()))
+
+        if args.rate is not None:
+            rate = args.rate
+        elif store is not None and store.entries[-1].published_s > 0:
+            # Span the training session's publish window (plus slack) so
+            # every later version hot-swaps in mid-run.
+            rate = args.requests / (store.entries[-1].published_s * 1.2)
+        else:
+            # Saturating default: ~10x the cluster's sequential capacity.
+            probe = first.predictor.workload(task.test.X[:1])
+            per_request = first.server.gpus[0].cost_model.inference_time(
+                probe, n_active_gpus=args.gpus,
             )
+            rate = 10.0 * args.gpus / per_request
+        load = LoadSpec(
+            n_requests=args.requests, rate_rps=rate,
+            pattern=args.pattern, seed=args.seed,
+        )
+        arrivals = generate_arrivals(load)
+        rows = sample_query_rows(
+            task.test.X.shape[0], args.requests, seed=args.seed
+        )
+
+        results = {}
+        for mode, engine in engines.items():
             results[mode] = engine.serve(
                 task.test.X, arrivals, k=args.k, row_indices=rows,
+                canary_labels=task.test.Y if store is not None else None,
             )
         for mode, result in results.items():
             report = result.report
@@ -561,6 +638,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 rows_out["mean candidate fraction"] = round(
                     result.mean_candidate_fraction, 4
                 )
+            if store is not None:
+                rows_out["hot swaps"] = (
+                    f"{result.n_swaps} committed, "
+                    f"{result.n_rollbacks} rolled back, "
+                    f"{result.n_swap_failures} failed"
+                )
+                rows_out["versions served"] = " ".join(
+                    f"v{v}={n}"
+                    for v, n in sorted(result.versions_served.items())
+                ) or "none"
+                rows_out["mis-versioned"] = result.mis_versioned
+            if args.max_queue_depth is not None:
+                rows_out["shed requests"] = report.n_shed
             print(format_kv(rows_out))
         if len(results) == 2:
             ratio = (
@@ -570,7 +660,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"adaptive/sequential throughput: {ratio:.2f}x")
         if scoring in ("lsh", "auto"):
             sample = task.test.X[rows[: min(256, len(rows))]]
-            recall = predictor.recall_at_k(sample, args.k)
+            recall = first.predictor.recall_at_k(sample, args.k)
             print(f"LSH recall@{args.k} vs exact: {recall:.3f}")
         if args.out and tel is not None:
             from pathlib import Path

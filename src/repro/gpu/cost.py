@@ -260,6 +260,47 @@ class GpuCostModel:
         launch = self.launch_overhead(n_active_gpus) / 2.0
         return compute + transfer + launch + self.params.step_overhead_s
 
+    def lsh_rebuild_time(
+        self,
+        n_labels: int,
+        dim: int,
+        *,
+        n_tables: int = 16,
+        n_bits: int = 12,
+        speed: float = 1.0,
+        n_active_gpus: int = 1,
+    ) -> float:
+        """Seconds to warm a swapped-in model's serving index at ``speed``.
+
+        Prices what :meth:`~repro.serve.predictor.Predictor.rebuild_lsh`
+        does when a hot-swap stages a new snapshot: hash all ``L`` output
+        columns through the ``n_tables × n_bits`` signature projections
+        (one dense GEMM), scatter the codes into the tables plus rebuild
+        the flat sorted-key view (memory-bound, priced at update
+        throughput), and re-cache the contiguous ``W_out.T`` gather stream
+        (a transpose copy, also memory-bound). Half a step's launch
+        overhead: the rebuild is a handful of fused kernels, and it runs
+        *off* the dispatch path — this cost is the swap's warming time, not
+        any request's service time.
+        """
+        if n_labels < 1 or dim < 1:
+            raise ConfigurationError(
+                f"n_labels and dim must be >= 1, got {n_labels}, {dim}"
+            )
+        if n_tables < 1 or n_bits < 1:
+            raise ConfigurationError("n_tables and n_bits must be >= 1")
+        if not (speed > 0):
+            raise ConfigurationError(f"speed must be > 0, got {speed}")
+        hash_flops = 2.0 * n_labels * n_tables * n_bits * dim
+        scatter_flops = 2.0 * n_labels * n_tables
+        recache_flops = 2.0 * n_labels * dim
+        compute = (
+            hash_flops / self.params.dense_flops_per_s
+            + (scatter_flops + recache_flops) / self.params.update_flops_per_s
+        ) / speed
+        launch = self.launch_overhead(n_active_gpus) / 2.0
+        return compute + launch + self.params.step_overhead_s
+
     def model_transfer_time(self, nbytes: int) -> float:
         """Host↔device time to move a model replica of ``nbytes``."""
         if nbytes < 0:

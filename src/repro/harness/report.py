@@ -26,6 +26,7 @@ __all__ = [
     "render_utilization",
     "render_straggler",
     "render_findings",
+    "render_swaps",
     "render_comparison",
     "render_analysis",
 ]
@@ -102,8 +103,8 @@ def render_utilization(run_data, *, width: int = 64) -> str:
         width=width,
         title=f"Device utilization — {run_data.label()}",
         legend={
-            "#": "compute", "T": "transfer", "R": "rebuild",
-            "M": "merge", "A": "allreduce",
+            "#": "compute", "S": "serve", "T": "transfer", "R": "rebuild",
+            "M": "merge", "A": "allreduce", "W": "swap-warm",
         },
     )
 
@@ -172,6 +173,37 @@ def render_findings(findings: Sequence) -> str:
         rows,
         title=f"Findings ({len(findings)})",
     )
+
+
+def render_swaps(swaps: Mapping) -> str:
+    """Hot-swap section for one serving run.
+
+    ``swaps`` is the dict :func:`repro.telemetry.analyze.swap_events`
+    returns (commit/rollback/failure counts + per-warming-window latency
+    attribution).
+    """
+    lines = [
+        f"Hot swaps — {swaps['commits']} committed, "
+        f"{swaps['rollbacks']} rolled back, {swaps['failures']} failed"
+    ]
+    for event in swaps.get("events", []):
+        verdict = "ROLLED BACK" if event.get("rolled_back") else "ok"
+        piece = (
+            f"  v{event.get('version_from')} -> v{event.get('version_to')} "
+            f"@ {event['t_commit']:.4g}s "
+            f"(warm {event['warm_s'] * 1e3:.4g} ms): {verdict}"
+        )
+        if "p99_in_window_s" in event and "p99_steady_s" in event:
+            piece += (
+                f", p99 in window {event['p99_in_window_s'] * 1e3:.4g} ms "
+                f"vs steady {event['p99_steady_s'] * 1e3:.4g} ms"
+            )
+        lines.append(piece)
+    for reason in swaps.get("rollback_reasons", []):
+        lines.append(f"  rollback: {reason}")
+    for error in swaps.get("failure_errors", []):
+        lines.append(f"  failure: {error}")
+    return "\n".join(lines)
 
 
 def render_comparison(cmp) -> str:
@@ -245,7 +277,11 @@ def render_analysis(source, *, run=None, width: int = 64) -> str:
     Accepts anything :func:`repro.telemetry.trace_data.load_trace_data`
     does (live recorder, JSONL archive, Chrome trace, result-set dir).
     """
-    from repro.telemetry.analyze import attribute_time, critical_path
+    from repro.telemetry.analyze import (
+        attribute_time,
+        critical_path,
+        swap_events,
+    )
     from repro.telemetry.diagnose import diagnose
     from repro.telemetry.trace_data import load_trace_data
 
@@ -260,8 +296,13 @@ def render_analysis(source, *, run=None, width: int = 64) -> str:
             render_attribution(attribute_time(run_data)),
             render_utilization(run_data, width=width),
             render_straggler(straggler),
-            render_findings(diagnose(run_data, straggler_report=straggler)),
         ]
+        swaps = swap_events(run_data)
+        if swaps is not None:
+            parts.append(render_swaps(swaps))
+        parts.append(
+            render_findings(diagnose(run_data, straggler_report=straggler))
+        )
         sections.append("\n\n".join(parts))
     return "\n\n".join(sections)
 

@@ -106,6 +106,11 @@ class TrainerBase(ABC):
         #: every algorithm checkpoints its live global model, so after
         #: ``run()`` this is the trained model :meth:`save_snapshot` ships.
         self.final_state: Optional[ModelState] = None
+        #: Armed by :meth:`publish_snapshot`(every_s=...): periodic
+        #: publication state checked at every checkpoint.
+        self._publisher: Optional[dict] = None
+        #: Sim time of the most recent checkpoint (stamps one-shot publishes).
+        self._last_checkpoint_s: float = 0.0
 
     # -- shared protocol -----------------------------------------------------
     def initial_state(self) -> ModelState:
@@ -147,6 +152,16 @@ class TrainerBase(ABC):
     ) -> TracePoint:
         """Evaluate ``state`` and append a checkpoint at the current sim time."""
         self.final_state = state
+        self._last_checkpoint_s = env.now
+        pub = self._publisher
+        if pub is not None and env.now >= pub["next_s"]:
+            # Checkpoint-aligned publishing: the live global model versions
+            # into the store at the current sim time, so a serving run can
+            # replay this training session's publish schedule.
+            pub["store"].publish(
+                self._as_snapshot(**pub["meta"]), published_s=env.now
+            )
+            pub["next_s"] = env.now + pub["every_s"]
         tel = self.telemetry
         host_t0 = perf_counter() if tel.enabled else 0.0
         point = TracePoint(
@@ -187,21 +202,14 @@ class TrainerBase(ABC):
             for device, lr in enumerate(learning_rates):
                 tel.gauge(GAUGE_LR, lr, device=device)
 
-    def save_snapshot(self, stem, **meta):
-        """Persist the trained model as a serving snapshot at ``stem``.
-
-        Writes ``<stem>.snapshot.json`` + ``<stem>.snapshot.npz`` (see
-        :mod:`repro.serve.snapshot`) from the model recorded at the last
-        checkpoint. Extra ``meta`` keywords land in the header's ``meta``
-        section alongside the trainer's provenance fields. Returns the
-        header path; raises if no run has checkpointed a model yet.
-        """
+    def _as_snapshot(self, **meta):
+        """The last-checkpointed model as a ModelSnapshot with provenance."""
         from repro.serve.snapshot import ModelSnapshot
 
         if self.final_state is None:
             raise ConfigurationError(
-                "save_snapshot() before any checkpoint: run the trainer "
-                "first (every run records at least the initial checkpoint)"
+                "no checkpointed model yet: run the trainer first (every "
+                "run records at least the initial checkpoint)"
             )
         merged_meta = {
             "algorithm": self.algorithm,
@@ -212,10 +220,57 @@ class TrainerBase(ABC):
             "data_seed": self.data_seed,
             **meta,
         }
-        snapshot = ModelSnapshot(
+        return ModelSnapshot(
             arch=self.arch, state=self.final_state, meta=merged_meta
         )
-        return snapshot.save(stem)
+
+    def save_snapshot(self, stem, **meta):
+        """Persist the trained model as a serving snapshot at ``stem``.
+
+        Writes ``<stem>.snapshot.json`` + ``<stem>.snapshot.npz`` (see
+        :mod:`repro.serve.snapshot`) from the model recorded at the last
+        checkpoint. Extra ``meta`` keywords land in the header's ``meta``
+        section alongside the trainer's provenance fields. Returns the
+        header path; raises if no run has checkpointed a model yet.
+        """
+        return self._as_snapshot(**meta).save(stem)
+
+    def publish_snapshot(self, store, *, every_s=None, **meta):
+        """Publish into a :class:`~repro.serve.store.SnapshotStore`.
+
+        Two modes:
+
+        - ``every_s=None`` (immediate): versions the last-checkpointed
+          model into ``store`` right now and returns the new version id —
+          the one-shot deploy, requires a completed run.
+        - ``every_s=<sim seconds>`` (armed, call *before* ``run()``):
+          checkpoint-aligned continuous publishing. At the first checkpoint
+          and then whenever ``every_s`` more simulated seconds have
+          elapsed, the live global model is versioned into the store
+          stamped with the current sim time — the publish schedule a
+          concurrently-serving engine replays for hot-swaps. Returns
+          ``None``; disarm by passing ``store=None``.
+
+        Extra ``meta`` keywords flow into every published header.
+        """
+        if every_s is None:
+            snapshot = self._as_snapshot(**meta)
+            return store.publish(snapshot, published_s=self._last_checkpoint_s)
+        if store is None:
+            self._publisher = None
+            return None
+        if not (every_s > 0):
+            raise ConfigurationError(
+                f"every_s must be > 0 (or None for immediate publish), "
+                f"got {every_s}"
+            )
+        self._publisher = {
+            "store": store,
+            "every_s": float(every_s),
+            "meta": dict(meta),
+            "next_s": 0.0,
+        }
+        return None
 
     # -- entry point ---------------------------------------------------------
     def run(

@@ -2,19 +2,20 @@
 
 Closes the train → deploy loop of the reproduction: any registry trainer
 can persist its final model as a versioned snapshot
-(:mod:`repro.serve.snapshot`), and :class:`~repro.serve.engine.ServingEngine`
-replays an open-loop request stream (:mod:`repro.serve.loadgen`) against it
-on the simulated heterogeneous server — coalescing queries into adaptive
-micro-batches (:mod:`repro.serve.queue`) and scoring them through the exact
-or LSH-accelerated top-k path (:mod:`repro.serve.predictor`).
+(:mod:`repro.serve.snapshot`) — or *publish* a stream of them into a
+:class:`~repro.serve.store.SnapshotStore` — and
+:class:`~repro.serve.engine.ServingEngine` replays an open-loop request
+stream (:mod:`repro.serve.loadgen`) against it on the simulated
+heterogeneous server: coalescing queries into adaptive micro-batches
+(:mod:`repro.serve.queue`), scoring them through the exact or
+LSH-accelerated top-k path (:mod:`repro.serve.predictor`), and hot-swapping
+newly published versions mid-traffic with per-request model pinning and
+canary-guarded rollback. :class:`~repro.serve.config.ServingConfig` is the
+single validated option surface, fronted by ``repro.api.make_engine``.
 """
 
-from repro.serve.engine import (
-    SCORING_MODES,
-    SERVE_MODES,
-    ServeResult,
-    ServingEngine,
-)
+from repro.serve.config import SCORING_MODES, SERVE_MODES, ServingConfig
+from repro.serve.engine import ServeResult, ServingEngine
 from repro.serve.loadgen import (
     LatencyReport,
     LoadSpec,
@@ -25,13 +26,19 @@ from repro.serve.loadgen import (
 from repro.serve.predictor import Predictor
 from repro.serve.queue import AdaptiveBatchSizer, Request, RequestQueue
 from repro.serve.snapshot import SNAPSHOT_FORMAT, SNAPSHOT_VERSION, ModelSnapshot
+from repro.serve.store import STORE_FORMAT, STORE_VERSION, SnapshotStore, StoreEntry
 
 __all__ = [
     "ModelSnapshot",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "SnapshotStore",
+    "StoreEntry",
+    "STORE_FORMAT",
+    "STORE_VERSION",
     "Predictor",
     "ServingEngine",
+    "ServingConfig",
     "ServeResult",
     "SERVE_MODES",
     "SCORING_MODES",

@@ -1,0 +1,186 @@
+"""ServingConfig: the one validated option surface for the serving stack.
+
+Every way to build a serving engine — ``repro.api.make_engine``, the
+``repro serve`` CLI, or constructing :class:`~repro.serve.engine.ServingEngine`
+directly with keyword options — funnels through
+:meth:`ServingConfig.from_options`. That makes this module the *single*
+place where
+
+- unknown options fail early with a :class:`~repro.exceptions.ConfigurationError`
+  listing what is accepted (mirroring ``make_trainer``'s contract), and
+- deprecated spellings (``use_lsh=True`` for ``scoring='lsh'``, which also
+  backs the CLI's ``--lsh`` flag) emit one uniform ``DeprecationWarning``
+  and remap.
+
+The dataclass owns three option families:
+
+- **batching** — dispatch mode, the per-batch latency SLO and the adaptive
+  sizer's bounds/gain (:class:`~repro.serve.queue.AdaptiveBatchSizer`);
+- **scoring** — exact / LSH / auto plus the LSH index geometry the
+  predictor is built with;
+- **continuous learning** — admission control (``max_queue_depth``) and the
+  hot-swap protocol: poll cadence, canary probe size, the tolerated
+  recall@k drop and latency factor that trigger automatic rollback.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ServingConfig", "SERVE_MODES", "SCORING_MODES"]
+
+SERVE_MODES = ("sequential", "adaptive")
+SCORING_MODES = ("exact", "lsh", "auto")
+
+
+@dataclass
+class ServingConfig:
+    """Validated options for one serving engine."""
+
+    # -- batching ------------------------------------------------------------
+    mode: str = "adaptive"
+    #: Per-batch service-time SLO the adaptive sizer targets.
+    target_latency_s: float = 2e-3
+    b_min: int = 1
+    b_max: int = 256
+    beta: float = 0.5
+    #: Dispatch size in ``sequential`` mode.
+    fixed_batch_size: int = 1
+
+    # -- scoring -------------------------------------------------------------
+    scoring: str = "exact"
+    #: Labels returned per query.
+    k: int = 5
+    lsh_tables: int = 24
+    lsh_bits: int = 4
+    lsh_probes: int = 1
+    lsh_seed: int = 0
+    #: Exact-path prediction chunk (rows per fused forward).
+    chunk: int = 2048
+
+    # -- admission control ---------------------------------------------------
+    #: Queue-depth cap; arrivals beyond it are shed (counted, not silently
+    #: queued). ``None`` keeps the unbounded legacy behaviour.
+    max_queue_depth: Optional[int] = None
+
+    # -- continuous learning (hot-swap) --------------------------------------
+    #: Sim seconds between store polls by the swap manager.
+    swap_check_every_s: float = 1e-3
+    #: Probe queries for the post-swap recall canary.
+    canary_queries: int = 64
+    #: Max tolerated drop in labeled recall@k of the incoming version versus
+    #: the outgoing one (measured host-side on a deterministic probe block;
+    #: requires ``canary_labels`` at serve time). A larger drop triggers
+    #: rollback. ``None`` disables the recall canary.
+    canary_recall_drop: Optional[float] = 0.1
+    #: Post-swap windowed p99 above ``factor × pre-swap p99`` triggers
+    #: rollback. ``None`` disables the latency canary.
+    canary_latency_factor: Optional[float] = None
+    #: Completed requests needed on each side of a swap before the latency
+    #: canary is trusted.
+    canary_min_samples: int = 32
+
+    def __post_init__(self) -> None:
+        if self.mode not in SERVE_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {SERVE_MODES}, got {self.mode!r}"
+            )
+        if self.scoring not in SCORING_MODES:
+            raise ConfigurationError(
+                f"scoring must be one of {SCORING_MODES}, got {self.scoring!r}"
+            )
+        if not (self.target_latency_s > 0):
+            raise ConfigurationError(
+                f"target_latency_s must be > 0, got {self.target_latency_s}"
+            )
+        if not (1 <= self.b_min <= self.b_max):
+            raise ConfigurationError(
+                f"need 1 <= b_min <= b_max, got [{self.b_min}, {self.b_max}]"
+            )
+        if self.beta <= 0:
+            raise ConfigurationError(f"beta must be > 0, got {self.beta}")
+        if self.fixed_batch_size < 1:
+            raise ConfigurationError(
+                f"fixed_batch_size must be >= 1, got {self.fixed_batch_size}"
+            )
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        for name in ("lsh_tables", "lsh_bits", "lsh_probes", "chunk"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1 or None, "
+                f"got {self.max_queue_depth}"
+            )
+        if not (self.swap_check_every_s > 0):
+            raise ConfigurationError(
+                f"swap_check_every_s must be > 0, got {self.swap_check_every_s}"
+            )
+        if self.canary_queries < 1:
+            raise ConfigurationError(
+                f"canary_queries must be >= 1, got {self.canary_queries}"
+            )
+        if self.canary_recall_drop is not None and not (
+            0.0 <= self.canary_recall_drop < 1.0
+        ):
+            raise ConfigurationError(
+                f"canary_recall_drop must be in [0, 1) or None, "
+                f"got {self.canary_recall_drop}"
+            )
+        if self.canary_latency_factor is not None and not (
+            self.canary_latency_factor > 1.0
+        ):
+            raise ConfigurationError(
+                f"canary_latency_factor must be > 1 or None, "
+                f"got {self.canary_latency_factor}"
+            )
+        if self.canary_min_samples < 1:
+            raise ConfigurationError(
+                f"canary_min_samples must be >= 1, "
+                f"got {self.canary_min_samples}"
+            )
+
+    @classmethod
+    def option_names(cls) -> list:
+        """Accepted keyword options, sorted (for error messages and docs)."""
+        return sorted(f.name for f in fields(cls))
+
+    @classmethod
+    def from_options(cls, **options) -> "ServingConfig":
+        """Build a config from keyword options — *the* validation layer.
+
+        Handles the deprecated spellings uniformly (``use_lsh=True`` ⇒
+        ``scoring='lsh'`` with a ``DeprecationWarning``; this also backs the
+        CLI's ``--lsh`` flag) and rejects unknown options up front, before
+        any engine or predictor is built.
+        """
+        if options.get("scoring") is None:
+            options.pop("scoring", None)  # None means "unset", not a policy
+        if "use_lsh" in options:
+            use_lsh = options.pop("use_lsh")
+            warnings.warn(
+                "use_lsh is deprecated; pass scoring='lsh' instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if use_lsh and "scoring" not in options:
+                options["scoring"] = "lsh"
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(k for k in options if k not in known)
+        if unknown:
+            raise ConfigurationError(
+                f"ServingConfig got unknown option(s) {unknown}; "
+                f"accepted: {cls.option_names()}"
+            )
+        return cls(**options)
+
+    def as_dict(self) -> dict:
+        """JSON-safe view (what telemetry and reports attach)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,10 +1,11 @@
-"""The sim-clock serving engine: request loop, dispatch, and telemetry.
+"""The sim-clock serving engine: request loop, dispatch, and hot-swap.
 
 One :class:`ServingEngine` run replays an open-loop arrival schedule
 against a snapshot on the simulated heterogeneous server:
 
-- a **source process** enqueues each request at its arrival time and wakes
-  any idle device worker;
+- a **source process** enqueues each request at its arrival time (or sheds
+  it when admission control caps the queue) and wakes any idle device
+  worker;
 - one **worker process per GPU** pops up to ``min(cap, queue depth)``
   requests (``cap`` from that device's
   :class:`~repro.serve.queue.AdaptiveBatchSizer`, or a fixed size in
@@ -20,45 +21,79 @@ policy. ``auto`` asks the device's cost model to price both paths
 (:meth:`~repro.gpu.cost.GpuCostModel.inference_time` vs
 :meth:`~repro.gpu.cost.GpuCostModel.lsh_inference_time` at the
 predictor's *observed* candidate fraction) and runs whichever is cheaper,
-charging the simulated clock with the chosen path's modeled time. The
-decision, the fraction it used, and the path taken are recorded on every
-``serve.batch`` span, so ``repro analyze`` can report the scoring split.
+charging the simulated clock with the chosen path's modeled time.
 
-Free devices pull work the moment they finish — the paper's dynamic
-dispatch-to-free-device rule, applied to inference. Telemetry mirrors
-training: a ``serve.batch`` span per dispatched batch (device compute,
-feeds the idle accountant) and a retroactive ``serve.request`` span per
-request spanning enqueue → response, so ``repro analyze`` attributes
-serving time with the same invariant as training runs.
+**Continuous learning.** Given a :class:`~repro.serve.store.SnapshotStore`,
+a driver-level **swap manager** process closes the train → serve loop
+under live traffic:
+
+1. *Poll* — between batches it polls the store for versions newer than the
+   one serving (``swap_check_every_s`` cadence, publish times on the sim
+   clock, so a concurrently-trained schedule replays mid-serve).
+2. *Pinning* — every request is admitted under the version active at its
+   arrival and carries that pin; :meth:`RequestQueue.pop_batch` stops at
+   version boundaries, so an in-flight batch never mixes weights, and a
+   swap never invalidates an admitted request.
+3. *Warming* — the new snapshot is loaded + validated (a corrupt checksum
+   or manifest skew raises :class:`~repro.exceptions.SnapshotError`, is
+   counted as a ``swap.failed`` instant, and the prior version keeps
+   serving), then staged off the dispatch path: model transfer plus
+   :meth:`Predictor.rebuild_lsh`'s re-index + ``W_out.T`` re-cache, priced
+   by :meth:`~repro.gpu.cost.GpuCostModel.lsh_rebuild_time` inside a
+   driver-level ``serve.swap`` span. Devices keep dispatching the old
+   version the whole time.
+4. *Commit* — an atomic pointer flip between batches: new arrivals now pin
+   to the new version (``swap.commit`` instant, ``swaps`` counter).
+5. *Canary + rollback* — post-commit, the new and previous predictors are
+   scored on a deterministic labeled probe block (host-side, zero
+   simulated time); a recall@k drop beyond ``canary_recall_drop`` — or a
+   windowed post-swap p99 beyond ``canary_latency_factor ×`` the pre-swap
+   p99 — rolls the active pointer back, quarantines the bad version
+   (``swap.rollback`` instant, ``rollbacks`` counter), and keeps serving
+   the prior weights. The
+   previous predictor is guarded from retirement until its canary
+   resolves; retired versions free their predictors once their last pinned
+   request completes.
+
+Telemetry mirrors training: a ``serve.batch`` span per dispatched batch
+(device compute, feeds the idle accountant), a retroactive
+``serve.request`` span per request spanning enqueue → response, and the
+driver-level ``serve.swap`` spans + swap/rollback counters that let
+``repro analyze`` attribute any latency blip to the swap that caused it.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import ConfigurationError, ServeError
+from repro.exceptions import ConfigurationError, ServeError, SnapshotError
 from repro.gpu.cluster import MultiGPUServer
-from repro.serve.loadgen import LatencyReport
+from repro.serve.config import SCORING_MODES, SERVE_MODES, ServingConfig
+from repro.serve.loadgen import LatencyReport, nearest_rank_percentile
 from repro.serve.predictor import Predictor
 from repro.serve.queue import AdaptiveBatchSizer, Request, RequestQueue
+from repro.serve.store import SnapshotStore
 from repro.sim.environment import Environment
 from repro.telemetry import NULL, Telemetry
 from repro.telemetry.events import (
+    COUNTER_ROLLBACKS,
+    COUNTER_SWAP_FAILURES,
+    COUNTER_SWAPS,
+    EVENT_SWAP_COMMIT,
+    EVENT_SWAP_FAILED,
+    EVENT_SWAP_ROLLBACK,
     GAUGE_BATCH_SIZE,
     SPAN_RUN,
     SPAN_SERVE_BATCH,
     SPAN_SERVE_REQUEST,
+    SPAN_SERVE_SWAP,
 )
 
 __all__ = ["ServingEngine", "ServeResult", "SERVE_MODES", "SCORING_MODES"]
-
-SERVE_MODES = ("sequential", "adaptive")
-SCORING_MODES = ("exact", "lsh", "auto")
 
 #: Queries probed (retrieval only) to seed the candidate-fraction estimate
 #: when ``auto`` serving starts with no prior LSH observations.
@@ -85,6 +120,23 @@ class ServeResult:
     scoring_batches: Dict[str, int] = field(default_factory=dict)
     #: Mean candidate fraction over the LSH-scored batches (None if none).
     mean_candidate_fraction: Optional[float] = None
+    #: Requests shed by admission control (never completed).
+    n_shed: int = 0
+    #: One record per swap attempt: committed swaps, rollbacks, failures.
+    swaps: List[dict] = field(default_factory=list)
+    #: Swaps that went live (including any later rolled back).
+    n_swaps: int = 0
+    #: Committed swaps rolled back by a canary.
+    n_rollbacks: int = 0
+    #: Published versions that failed validation and were skipped.
+    n_swap_failures: int = 0
+    #: Model version -> requests it scored.
+    versions_served: Dict[int, int] = field(default_factory=dict)
+    #: Requests scored by a version other than the one they were admitted
+    #: under (the pinning invariant; must be zero).
+    mis_versioned: int = 0
+    #: The version serving when the run ended.
+    active_version: Optional[int] = None
 
     def as_dict(self) -> dict:
         """JSON-safe summary."""
@@ -101,60 +153,69 @@ class ServeResult:
             out["recall_at_k"] = self.recall_at_k
         if self.mean_candidate_fraction is not None:
             out["mean_candidate_fraction"] = self.mean_candidate_fraction
+        if self.swaps or self.n_shed:
+            out.update({
+                "swaps": list(self.swaps),
+                "n_swaps": self.n_swaps,
+                "n_rollbacks": self.n_rollbacks,
+                "n_swap_failures": self.n_swap_failures,
+                "versions_served": {
+                    str(v): n for v, n in sorted(self.versions_served.items())
+                },
+                "mis_versioned": self.mis_versioned,
+                "active_version": self.active_version,
+            })
         return out
 
 
 class ServingEngine:
-    """Adaptive-batched sparse inference on the simulated server."""
+    """Adaptive-batched sparse inference on the simulated server.
+
+    Options arrive either as a prebuilt :class:`ServingConfig` (``config=``)
+    or as keyword options validated through
+    :meth:`ServingConfig.from_options` — the same deprecation/unknown-option
+    layer ``repro.api.make_engine`` and the CLI use. Pass ``store=`` (and
+    the ``base_version`` the constructor predictor corresponds to) to
+    enable hot-swapping of newly published versions mid-run.
+    """
 
     def __init__(
         self,
         predictor: Predictor,
         server: MultiGPUServer,
         *,
-        mode: str = "adaptive",
-        target_latency_s: float = 2e-3,
-        b_min: int = 1,
-        b_max: int = 256,
-        beta: float = 0.5,
-        fixed_batch_size: int = 1,
-        scoring: Optional[str] = None,
-        use_lsh: bool = False,
+        config: Optional[ServingConfig] = None,
+        store: Optional[SnapshotStore] = None,
+        base_version: int = 0,
         telemetry: Optional[Telemetry] = None,
+        **options,
     ) -> None:
-        if mode not in SERVE_MODES:
+        if config is None:
+            config = ServingConfig.from_options(**options)
+        elif options:
             raise ConfigurationError(
-                f"mode must be one of {SERVE_MODES}, got {mode!r}"
+                f"pass either config= or keyword options, not both "
+                f"(got {sorted(options)})"
             )
-        if fixed_batch_size < 1:
+        elif not isinstance(config, ServingConfig):
             raise ConfigurationError(
-                f"fixed_batch_size must be >= 1, got {fixed_batch_size}"
+                f"config must be a ServingConfig, got {type(config).__name__}"
             )
-        if use_lsh:
-            warnings.warn(
-                "use_lsh is deprecated; pass scoring='lsh' instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if scoring is None:
-                scoring = "lsh"
-        if scoring is None:
-            scoring = "exact"
-        if scoring not in SCORING_MODES:
-            raise ConfigurationError(
-                f"scoring must be one of {SCORING_MODES}, got {scoring!r}"
-            )
+        self.config = config
         self.predictor = predictor
         self.server = server
-        self.mode = mode
-        self.target_latency_s = float(target_latency_s)
-        self.b_min = int(b_min)
-        self.b_max = int(b_max)
-        self.beta = float(beta)
-        self.fixed_batch_size = int(fixed_batch_size)
-        self.scoring = scoring
+        self.store = store
+        self.base_version = int(base_version)
+        # Mirrored views of the config (the stable attribute surface).
+        self.mode = config.mode
+        self.target_latency_s = config.target_latency_s
+        self.b_min = config.b_min
+        self.b_max = config.b_max
+        self.beta = config.beta
+        self.fixed_batch_size = config.fixed_batch_size
+        self.scoring = config.scoring
         #: Back-compat view of the scoring policy (True only for fixed LSH).
-        self.use_lsh = scoring == "lsh"
+        self.use_lsh = config.scoring == "lsh"
         self.telemetry: Telemetry = telemetry if telemetry is not None else NULL
 
     # -- the run -------------------------------------------------------------
@@ -163,16 +224,27 @@ class ServingEngine:
         X_queries: sp.csr_matrix,
         arrival_times: np.ndarray,
         *,
-        k: int = 5,
+        k: Optional[int] = None,
         row_indices: Optional[np.ndarray] = None,
+        canary_labels: Optional[sp.csr_matrix] = None,
     ) -> ServeResult:
         """Replay ``arrival_times`` over ``X_queries``; return the result.
 
         ``row_indices`` (default: round-robin over the query matrix) maps
         request *i* to a row of ``X_queries``. Numerics run on the host;
         the simulated clock advances by the cost model's per-batch time
-        for whichever scoring path the policy picked.
+        for whichever scoring path the policy picked. ``k`` defaults to the
+        config's.
+
+        ``canary_labels`` (sparse, aligned row-for-row with ``X_queries``)
+        arms the hot-swap recall canary: after each swap commits, labeled
+        recall@k of the incoming version is compared against the outgoing
+        one on the probe block, and a drop beyond
+        ``config.canary_recall_drop`` triggers rollback. Without labels the
+        recall canary is skipped (the latency canary still applies).
         """
+        cfg = self.config
+        k = cfg.k if k is None else int(k)
         arrival_times = np.asarray(arrival_times, dtype=np.float64)
         n_requests = arrival_times.size
         if n_requests == 0:
@@ -191,22 +263,28 @@ class ServingEngine:
                 row_indices.min() < 0 or row_indices.max() >= X_queries.shape[0]
             ):
                 raise ConfigurationError("row index outside the query matrix")
-        predictor = self.predictor
-        if self.scoring in ("lsh", "auto") and not predictor._lsh_built:
-            predictor.rebuild_lsh()
+        if canary_labels is not None:
+            canary_labels = sp.csr_matrix(canary_labels)
+            if canary_labels.shape[0] != X_queries.shape[0]:
+                raise ConfigurationError(
+                    f"canary_labels rows ({canary_labels.shape[0]}) must "
+                    f"match X_queries rows ({X_queries.shape[0]})"
+                )
+        if self.scoring in ("lsh", "auto") and not self.predictor._lsh_built:
+            self.predictor.rebuild_lsh()
         if (
             self.scoring in ("lsh", "auto")
-            and predictor.observed_candidate_fraction() is None
+            and self.predictor.observed_candidate_fraction() is None
         ):
             # Seed the crossover signal deterministically from the head of
             # the query pool (retrieval only — no scoring work).
-            predictor.calibrate_candidate_fraction(
+            self.predictor.calibrate_candidate_fraction(
                 X_queries, max_rows=min(_CALIBRATION_ROWS, X_queries.shape[0])
             )
 
         env = Environment()
         tel = self.telemetry
-        queue = RequestQueue()
+        queue = RequestQueue(max_depth=cfg.max_queue_depth)
         requests = [
             Request(req_id=i, row=int(row_indices[i]), t_arrival=float(t))
             for i, t in enumerate(arrival_times)
@@ -224,33 +302,60 @@ class ServingEngine:
         batch_sizes: List[int] = []
         scoring_batches: Dict[str, int] = {}
         lsh_fractions: List[float] = []
-        n_labels = predictor.arch.n_labels
+        n_labels = self.predictor.arch.n_labels
         state = {"arrivals_done": False, "wakeup": env.event()}
+
+        # -- hot-swap state ---------------------------------------------------
+        # All versions with live pins or guard protection stay resident;
+        # ``active`` is the version new arrivals are admitted under.
+        predictors: Dict[int, Predictor] = {self.base_version: self.predictor}
+        active = {"version": self.base_version}
+        pins: Dict[int, int] = {self.base_version: 0}
+        #: Versions the swap manager is mid-protocol on (rollback targets).
+        protected: Set[int] = set()
+        quarantined: Set[int] = set()
+        versions_served: Dict[int, int] = {}
+        swap_records: List[dict] = []
+        counters = {"swaps": 0, "rollbacks": 0, "failures": 0}
+        #: (t_done, latency) per completion, for the latency canary.
+        completed: List[tuple] = []
 
         def _wake_all() -> None:
             """Fire-and-replace the shared wakeup event (re-arm pattern)."""
             event, state["wakeup"] = state["wakeup"], env.event()
             event.succeed()
 
+        def _retire(version: int) -> None:
+            """Free a predictor nothing can reference any more."""
+            if (
+                version != active["version"]
+                and version not in protected
+                and pins.get(version, 0) == 0
+                and version in predictors
+            ):
+                del predictors[version]
+
         def source(env: Environment):
             for request in requests:
                 delay = request.t_arrival - env.now
                 if delay > 0:
                     yield env.timeout(delay)
-                queue.push(request)
-                _wake_all()
+                request.version = active["version"]
+                if queue.push(request):
+                    pins[request.version] = pins.get(request.version, 0) + 1
+                    _wake_all()
             state["arrivals_done"] = True
             _wake_all()
             return None
 
-        def _price_lsh(gpu, work, speed: float) -> float:
-            frac = predictor.observed_candidate_fraction()
+        def _price_lsh(gpu, pred: Predictor, work, speed: float) -> float:
+            frac = pred.observed_candidate_fraction()
             return gpu.cost_model.lsh_inference_time(
                 work,
                 frac if frac is not None else 1.0,
-                n_tables=predictor.lsh_tables,
-                n_bits=predictor.lsh_bits,
-                n_probes=predictor.lsh_probes,
+                n_tables=pred.lsh_tables,
+                n_bits=pred.lsh_bits,
+                n_probes=pred.lsh_probes,
                 speed=speed,
                 n_active_gpus=self.server.n_gpus,
             )
@@ -269,10 +374,12 @@ class ServingEngine:
                     else self.fixed_batch_size
                 )
                 batch = queue.pop_batch(cap)
+                version = batch[0].version
+                pred = predictors[version]
                 t_dispatch = env.now
                 rows = np.array([r.row for r in batch])
                 X_batch = X_queries[rows]
-                work = predictor.workload(X_batch)
+                work = pred.workload(X_batch)
                 speed = gpu.speed_at(t_dispatch)
                 # Pick the scoring path and its modeled cost *before* the
                 # numerics run, from this device's cost model at this
@@ -282,32 +389,34 @@ class ServingEngine:
                     exact_service = gpu.cost_model.inference_time(
                         work, speed=speed, n_active_gpus=self.server.n_gpus
                     )
-                    lsh_service = _price_lsh(gpu, work, speed)
+                    lsh_service = _price_lsh(gpu, pred, work, speed)
                     if lsh_service < exact_service:
                         chosen, service = "lsh", lsh_service
                     else:
                         chosen, service = "exact", exact_service
                 elif self.scoring == "lsh":
                     chosen = "lsh"
-                    service = _price_lsh(gpu, work, speed)
+                    service = _price_lsh(gpu, pred, work, speed)
                 else:
                     chosen = "exact"
                     service = gpu.cost_model.inference_time(
                         work, speed=speed, n_active_gpus=self.server.n_gpus
                     )
-                # Real numerics on the host via the chosen path; simulated
-                # time from that path's modeled cost.
+                # Real numerics on the host via the chosen path and the
+                # *pinned* version's weights; simulated time from that
+                # path's modeled cost.
                 if chosen == "lsh":
-                    labels, counts = predictor.lsh_stats(X_batch, k)
+                    labels, counts = pred.lsh_stats(X_batch, k)
                     batch_fraction = (
                         float(counts.mean()) / n_labels if counts.size else 0.0
                     )
                     lsh_fractions.append(batch_fraction)
                 else:
-                    labels = predictor.topk(X_batch, k)
+                    labels = pred.topk(X_batch, k)
                     batch_fraction = None
                 span_args = dict(
-                    size=len(batch), nnz=int(X_batch.nnz), scoring=chosen
+                    size=len(batch), nnz=int(X_batch.nnz), scoring=chosen,
+                    version=version,
                 )
                 if batch_fraction is not None:
                     span_args["candidate_fraction"] = batch_fraction
@@ -320,6 +429,8 @@ class ServingEngine:
                     request.t_dispatch = t_dispatch
                     request.t_done = t_done
                     request.device = device
+                    request.served_version = version
+                    completed.append((t_done, t_done - request.t_arrival))
                     tel.record_span(
                         SPAN_SERVE_REQUEST,
                         request.t_arrival,
@@ -327,15 +438,167 @@ class ServingEngine:
                         queue_s=t_dispatch - request.t_arrival,
                         batch=len(batch),
                         device_id=device,
+                        version=version,
                     )
                 request_labels = np.asarray(labels)
                 for j, request in enumerate(batch):
                     request.labels = request_labels[j].tolist()
                 per_device[device] += len(batch)
+                versions_served[version] = (
+                    versions_served.get(version, 0) + len(batch)
+                )
+                pins[version] -= len(batch)
+                _retire(version)
                 batch_sizes.append(len(batch))
                 if self.mode == "adaptive":
                     new_cap = sizer.observe(len(batch), t_done - t_dispatch)
                     tel.gauge(GAUGE_BATCH_SIZE, new_cap, device=device)
+
+        def _drained() -> bool:
+            return state["arrivals_done"] and queue.depth == 0
+
+        def _canary_recall(pred: Predictor) -> float:
+            """Labeled recall@k of ``pred`` on the deterministic probe
+            block (host-side, zero simulated time)."""
+            n_probe = min(cfg.canary_queries, X_queries.shape[0])
+            top = pred.topk(X_queries[:n_probe], k)
+            Y = canary_labels
+            scores = []
+            for i in range(n_probe):
+                true = set(Y.indices[Y.indptr[i]:Y.indptr[i + 1]].tolist())
+                if not true:
+                    continue
+                hits = len(true & set(top[i].tolist()))
+                scores.append(hits / min(k, len(true)))
+            return float(np.mean(scores)) if scores else 0.0
+
+        def swap_manager(env: Environment, store: SnapshotStore):
+            gpu0 = self.server.gpus[0]
+            seen = self.base_version
+            while not _drained():
+                next_version = store.poll(after=seen, now=env.now)
+                if next_version is None:
+                    yield env.timeout(cfg.swap_check_every_s)
+                    continue
+                seen = next_version  # never retry a version, even on failure
+                prev_version = active["version"]
+                prev_pred = predictors[prev_version]
+                # -- load + validate (host-side; failures never interrupt
+                #    serving — the prior version stays active) --------------
+                try:
+                    snapshot = store.load(next_version)
+                    new_pred = prev_pred.spawn(snapshot)
+                except (SnapshotError, ServeError) as exc:
+                    counters["failures"] += 1
+                    tel.counter(COUNTER_SWAP_FAILURES, 1)
+                    tel.instant(
+                        EVENT_SWAP_FAILED,
+                        version=next_version, error=str(exc),
+                    )
+                    swap_records.append({
+                        "version_to": next_version,
+                        "t": env.now,
+                        "failed": True,
+                        "error": str(exc),
+                    })
+                    continue
+                # -- staged warming, off the dispatch path ------------------
+                protected.add(prev_version)
+                t_warm_start = env.now
+                warm_s = gpu0.cost_model.model_transfer_time(
+                    snapshot.state.nbytes
+                )
+                if self.scoring in ("lsh", "auto"):
+                    new_pred.rebuild_lsh()
+                    warm_s += gpu0.cost_model.lsh_rebuild_time(
+                        n_labels,
+                        self.predictor.arch.layer_dims[-2],
+                        n_tables=new_pred.lsh_tables,
+                        n_bits=new_pred.lsh_bits,
+                        n_active_gpus=self.server.n_gpus,
+                    )
+                with tel.span(
+                    SPAN_SERVE_SWAP,
+                    version_from=prev_version, version_to=next_version,
+                ):
+                    yield env.timeout(warm_s)
+                # -- atomic commit between batches --------------------------
+                predictors[next_version] = new_pred
+                pins.setdefault(next_version, 0)
+                active["version"] = next_version
+                counters["swaps"] += 1
+                tel.counter(COUNTER_SWAPS, 1)
+                tel.instant(
+                    EVENT_SWAP_COMMIT,
+                    version=next_version, previous=prev_version,
+                    warm_s=warm_s,
+                )
+                record = {
+                    "version_from": prev_version,
+                    "version_to": next_version,
+                    "t_warm_start": t_warm_start,
+                    "t_commit": env.now,
+                    "warm_s": warm_s,
+                    "rolled_back": False,
+                }
+                swap_records.append(record)
+                t_commit = env.now
+                # -- post-swap canaries -------------------------------------
+                rollback_reason = None
+                if (
+                    cfg.canary_recall_drop is not None
+                    and canary_labels is not None
+                ):
+                    prev_recall = _canary_recall(prev_pred)
+                    new_recall = _canary_recall(new_pred)
+                    record["canary_recall_prev"] = prev_recall
+                    record["canary_recall_new"] = new_recall
+                    if new_recall < prev_recall - cfg.canary_recall_drop:
+                        rollback_reason = (
+                            f"canary recall@{k} dropped {prev_recall:.3f} -> "
+                            f"{new_recall:.3f} (tolerance "
+                            f"{cfg.canary_recall_drop})"
+                        )
+                if (
+                    rollback_reason is None
+                    and cfg.canary_latency_factor is not None
+                ):
+                    pre = [lat for t, lat in completed if t <= t_commit]
+                    if len(pre) >= cfg.canary_min_samples:
+                        target = len(completed) + cfg.canary_min_samples
+                        while len(completed) < target and not _drained():
+                            yield env.timeout(cfg.swap_check_every_s)
+                        post = [lat for t, lat in completed if t > t_commit]
+                        if len(post) >= cfg.canary_min_samples:
+                            pre_p99 = nearest_rank_percentile(pre, 99)
+                            post_p99 = nearest_rank_percentile(post, 99)
+                            if post_p99 > cfg.canary_latency_factor * pre_p99:
+                                rollback_reason = (
+                                    f"post-swap p99 {post_p99:.6f}s beyond "
+                                    f"{cfg.canary_latency_factor}x pre-swap "
+                                    f"p99 {pre_p99:.6f}s"
+                                )
+                if rollback_reason is not None:
+                    # Roll the pointer back; already-admitted requests stay
+                    # pinned to the bad version (they drain against it —
+                    # pinning outranks quarantine), but nothing new admits.
+                    active["version"] = prev_version
+                    quarantined.add(next_version)
+                    record["rolled_back"] = True
+                    record["rollback_reason"] = rollback_reason
+                    counters["rollbacks"] += 1
+                    tel.counter(COUNTER_ROLLBACKS, 1)
+                    tel.instant(
+                        EVENT_SWAP_ROLLBACK,
+                        version=next_version, restored=prev_version,
+                        reason=rollback_reason,
+                    )
+                    protected.discard(prev_version)
+                    _retire(next_version)
+                else:
+                    protected.discard(prev_version)
+                    _retire(prev_version)
+            return None
 
         tel.attach(
             env,
@@ -346,35 +609,47 @@ class ServingEngine:
             scoring=self.scoring,
             use_lsh=self.use_lsh,
             n_requests=n_requests,
+            hot_swap=self.store is not None,
         )
         try:
             with tel.span(SPAN_RUN, mode=self.mode, n_requests=n_requests):
                 env.process(source(env), name="serve-source")
-                workers = [
+                for gpu in self.server.gpus:
                     env.process(worker(env, gpu), name=f"serve-{gpu.name}")
-                    for gpu in self.server.gpus
-                ]
+                if self.store is not None:
+                    env.process(
+                        swap_manager(env, self.store), name="serve-swap"
+                    )
                 env.run()
         finally:
             tel.detach()
 
-        unserved = [r.req_id for r in requests if r.t_done is None]
+        served = [r for r in requests if not r.shed]
+        unserved = [r.req_id for r in served if r.t_done is None]
         if unserved:
             raise ServeError(
                 f"{len(unserved)} requests never completed "
                 f"(first: {unserved[:5]}) — worker wakeup logic broke"
             )
-        latencies = np.array([r.latency_s for r in requests])
-        queue_delays = np.array([r.queue_s for r in requests])
-        makespan = max(r.t_done for r in requests) - min(
-            r.t_arrival for r in requests
+        if not served:
+            raise ServeError(
+                "admission control shed every request; raise max_queue_depth"
+            )
+        mis_versioned = sum(
+            1 for r in served if r.served_version != r.version
+        )
+        latencies = np.array([r.latency_s for r in served])
+        queue_delays = np.array([r.queue_s for r in served])
+        makespan = max(r.t_done for r in served) - min(
+            r.t_arrival for r in served
         )
         report = LatencyReport(
-            n_requests=n_requests,
+            n_requests=len(served),
             makespan_s=makespan,
             latencies_s=latencies,
             queue_delays_s=queue_delays,
             batch_sizes=batch_sizes,
+            n_shed=queue.n_shed,
             meta={
                 "mode": self.mode,
                 "scoring": self.scoring,
@@ -394,4 +669,12 @@ class ServingEngine:
             mean_candidate_fraction=(
                 float(np.mean(lsh_fractions)) if lsh_fractions else None
             ),
+            n_shed=queue.n_shed,
+            swaps=swap_records,
+            n_swaps=counters["swaps"],
+            n_rollbacks=counters["rollbacks"],
+            n_swap_failures=counters["failures"],
+            versions_served=versions_served,
+            mis_versioned=mis_versioned,
+            active_version=active["version"],
         )

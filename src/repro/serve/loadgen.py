@@ -144,6 +144,9 @@ class LatencyReport:
     latencies_s: np.ndarray
     queue_delays_s: np.ndarray
     batch_sizes: List[int] = field(default_factory=list)
+    #: Requests rejected by admission control (queue at max depth); these
+    #: never complete and are excluded from the latency distribution.
+    n_shed: int = 0
     #: Extra scenario identity carried into the JSON report.
     meta: Dict[str, object] = field(default_factory=dict)
 
@@ -182,5 +185,6 @@ class LatencyReport:
             ),
             "n_batches": len(self.batch_sizes),
             "mean_batch_size": self.mean_batch_size,
+            "n_shed": self.n_shed,
             **{str(k): v for k, v in self.meta.items()},
         }

@@ -80,6 +80,7 @@ class Predictor:
             n_bits=lsh_bits,
             seed=lsh_seed,
         )
+        self.lsh_seed = int(lsh_seed)
         if not (1 <= lsh_probes <= self._lsh.max_probes()):
             raise ConfigurationError(
                 f"lsh_probes must be in [1, {self._lsh.max_probes()}], "
@@ -110,6 +111,35 @@ class Predictor:
         self._lsh.rebuild(self.state[self._out_name])
         self._W_out_T = np.ascontiguousarray(self.state[self._out_name].T)
         self._lsh_built = True
+
+    def spawn(self, snapshot: ModelSnapshot) -> "Predictor":
+        """A predictor for ``snapshot`` inheriting this one's configuration.
+
+        The hot-swap constructor: same LSH geometry (tables/bits/probes/
+        seed), same chunk size, and the *same workspace arena* — swapped-in
+        models reuse the warm scratch buffers instead of growing a second
+        arena. The candidate-fraction EWMA carries over too, so ``auto``
+        scoring's crossover pricing stays continuous across a swap instead
+        of re-calibrating from scratch. The new predictor's LSH tables are
+        NOT built here — warming is the engine's job, off the dispatch path.
+        """
+        if snapshot.arch.layer_dims != self.arch.layer_dims:
+            raise ServeError(
+                f"cannot swap to a snapshot with layer dims "
+                f"{snapshot.arch.layer_dims} on an engine built for "
+                f"{self.arch.layer_dims}"
+            )
+        clone = Predictor(
+            snapshot,
+            workspace=self.workspace,
+            lsh_tables=self._lsh.n_tables,
+            lsh_bits=self._lsh.n_bits,
+            lsh_seed=self.lsh_seed,
+            lsh_probes=self.lsh_probes,
+            chunk=self.chunk,
+        )
+        clone._frac_ewma = self._frac_ewma
+        return clone
 
     def workload(self, X: sp.csr_matrix) -> StepWorkload:
         """The cost-model descriptor of scoring ``X`` (prices a batch)."""

@@ -49,6 +49,13 @@ class Request:
     device: Optional[int] = None
     #: Top-k label ids predicted for this request.
     labels: Optional[list] = None
+    #: Model version this request was admitted under (pinning: the engine
+    #: must score it against exactly this version, never a newer swap).
+    version: Optional[int] = None
+    #: Model version that actually scored it (must equal ``version``).
+    served_version: Optional[int] = None
+    #: True when admission control rejected the request (queue at capacity).
+    shed: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -66,26 +73,54 @@ class Request:
 
 
 class RequestQueue:
-    """FIFO of pending requests with simple high-water accounting."""
+    """FIFO of pending requests with high-water + shed accounting.
 
-    def __init__(self) -> None:
+    ``max_depth_limit`` bounds the backlog: a push against a full queue is
+    *shed* — rejected with an explicit counter — instead of growing the
+    deque without bound (the ROADMAP's max_queue_depth-hit-1797 failure
+    mode). ``None`` keeps the legacy unbounded behaviour.
+
+    Batches honour model pinning: :meth:`pop_batch` stops at a version
+    boundary, so one dispatched batch never mixes requests admitted under
+    different snapshot versions.
+    """
+
+    def __init__(self, *, max_depth: Optional[int] = None) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ConfigurationError(
+                f"max_depth must be >= 1 or None, got {max_depth}"
+            )
+        self._limit = max_depth
         self._pending: Deque[Request] = deque()
         self._max_depth = 0
         self._total = 0
+        self._shed = 0
 
-    def push(self, request: Request) -> None:
-        """Enqueue one arriving request."""
+    def push(self, request: Request) -> bool:
+        """Enqueue one arriving request; False when shed at capacity."""
+        if self._limit is not None and len(self._pending) >= self._limit:
+            self._shed += 1
+            request.shed = True
+            return False
         self._pending.append(request)
         self._total += 1
         if len(self._pending) > self._max_depth:
             self._max_depth = len(self._pending)
+        return True
 
     def pop_batch(self, max_size: int) -> List[Request]:
-        """Dequeue up to ``max_size`` requests in arrival order."""
+        """Dequeue up to ``max_size`` same-version requests in arrival order.
+
+        Stops early at the first request pinned to a different model version
+        than the batch head — the in-flight-batches-never-mix-weights
+        invariant of the hot-swap protocol.
+        """
         if max_size < 1:
             raise ConfigurationError(f"max_size must be >= 1, got {max_size}")
         batch: List[Request] = []
         while self._pending and len(batch) < max_size:
+            if batch and self._pending[0].version != batch[0].version:
+                break
             batch.append(self._pending.popleft())
         return batch
 
@@ -104,8 +139,18 @@ class RequestQueue:
 
     @property
     def total_enqueued(self) -> int:
-        """Total requests ever pushed."""
+        """Total requests ever accepted (shed pushes excluded)."""
         return self._total
+
+    @property
+    def n_shed(self) -> int:
+        """Requests rejected by admission control."""
+        return self._shed
+
+    @property
+    def max_depth_limit(self) -> Optional[int]:
+        """The configured depth cap (``None`` = unbounded)."""
+        return self._limit
 
 
 class AdaptiveBatchSizer:

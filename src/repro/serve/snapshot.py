@@ -129,7 +129,14 @@ class ModelSnapshot:
             npz_path = stem.with_name(stem.name + ".snapshot.npz")
         if not npz_path.exists():
             raise SnapshotError(f"snapshot arrays missing: {npz_path}")
-        state = ModelState.load(npz_path)
+        try:
+            state = ModelState.load(npz_path)
+        except SnapshotError:
+            raise
+        except Exception as exc:  # truncated/garbled npz → typed error
+            raise SnapshotError(
+                f"snapshot arrays at {npz_path} are unreadable: {exc}"
+            ) from exc
 
         header_spec = tuple(
             (name, tuple(int(d) for d in shape))

@@ -20,11 +20,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.telemetry.events import (
     COUNTER_UPDATES,
+    EVENT_SWAP_COMMIT,
+    EVENT_SWAP_FAILED,
+    EVENT_SWAP_ROLLBACK,
     SPAN_ALLREDUCE,
     SPAN_LSH_REBUILD,
     SPAN_MERGE,
     SPAN_RUN,
     SPAN_SERVE_BATCH,
+    SPAN_SERVE_REQUEST,
+    SPAN_SERVE_SWAP,
     SPAN_STEP,
     SPAN_TRANSFER,
 )
@@ -39,6 +44,7 @@ __all__ = [
     "critical_path",
     "utilization_lanes",
     "scoring_split",
+    "swap_events",
     "analyze_report",
 ]
 
@@ -451,7 +457,8 @@ def critical_path(
 
 # -- utilization lanes -------------------------------------------------------
 #: Timeline glyphs: compute / serve batch / transfer / LSH rebuild / other /
-#: merge / all-reduce. Idle renders as the timeline's background dot.
+#: merge / all-reduce / hot-swap warming. Idle renders as the timeline's
+#: background dot.
 LANE_GLYPHS = {
     SPAN_STEP: "#",
     SPAN_SERVE_BATCH: "S",
@@ -459,6 +466,7 @@ LANE_GLYPHS = {
     SPAN_LSH_REBUILD: "R",
     SPAN_MERGE: "M",
     SPAN_ALLREDUCE: "A",
+    SPAN_SERVE_SWAP: "W",
 }
 
 
@@ -480,6 +488,9 @@ def utilization_lanes(run: RunData) -> Dict[str, List[Tuple[float, float, str]]]
     ] + [
         (s.ts, s.ts + s.dur, LANE_GLYPHS[SPAN_ALLREDUCE])
         for s in run.spans_named(SPAN_ALLREDUCE, device=None)
+    ] + [
+        (s.ts, s.ts + s.dur, LANE_GLYPHS[SPAN_SERVE_SWAP])
+        for s in run.spans_named(SPAN_SERVE_SWAP, device=None)
     ]
     if driver or lanes:
         lanes["driver"] = driver
@@ -520,6 +531,63 @@ def scoring_split(run: "RunData") -> Optional[dict]:
     return out
 
 
+def swap_events(run: "RunData") -> Optional[dict]:
+    """Hot-swap attribution from the run's ``serve.swap`` telemetry.
+
+    Returns ``None`` for runs with no swap activity. Otherwise a summary —
+    commit / rollback / failure counts — plus one entry per warming window
+    with the p99 latency of requests whose lifetime overlapped it versus
+    the steady-state p99 of every other request: the record that lets
+    ``repro analyze`` attribute a latency blip to the swap that caused it.
+    """
+    from repro.serve.loadgen import nearest_rank_percentile
+
+    warmings = run.spans_named(SPAN_SERVE_SWAP)
+    commits = [i for i in run.instants if i.name == EVENT_SWAP_COMMIT]
+    rollbacks = [i for i in run.instants if i.name == EVENT_SWAP_ROLLBACK]
+    failures = [i for i in run.instants if i.name == EVENT_SWAP_FAILED]
+    if not (warmings or commits or rollbacks or failures):
+        return None
+    requests = run.spans_named(SPAN_SERVE_REQUEST)
+    rolled_back = {i.args.get("version") for i in rollbacks}
+    events = []
+    for span in warmings:
+        t0, t1 = span.ts, span.ts + span.dur
+        in_window = [
+            r.dur for r in requests if r.ts <= t1 and r.ts + r.dur >= t0
+        ]
+        steady = [
+            r.dur for r in requests if not (r.ts <= t1 and r.ts + r.dur >= t0)
+        ]
+        entry = {
+            "version_from": span.args.get("version_from"),
+            "version_to": span.args.get("version_to"),
+            "t_warm_start": span.ts,
+            "t_commit": t1,
+            "warm_s": span.dur,
+            "rolled_back": span.args.get("version_to") in rolled_back,
+            "requests_in_window": len(in_window),
+        }
+        if in_window:
+            entry["p99_in_window_s"] = nearest_rank_percentile(in_window, 99)
+        if steady:
+            entry["p99_steady_s"] = nearest_rank_percentile(steady, 99)
+        events.append(entry)
+    out = {
+        "commits": len(commits),
+        "rollbacks": len(rollbacks),
+        "failures": len(failures),
+        "events": events,
+    }
+    reasons = [str(i.args.get("reason", "")) for i in rollbacks]
+    if reasons:
+        out["rollback_reasons"] = reasons
+    errors = [str(i.args.get("error", "")) for i in failures]
+    if errors:
+        out["failure_errors"] = errors
+    return out
+
+
 def analyze_report(source, *, run: Optional[int] = None) -> dict:
     """The full analysis of a trace as one JSON-safe dict.
 
@@ -553,6 +621,9 @@ def analyze_report(source, *, run: Optional[int] = None) -> dict:
         scoring = scoring_split(run_data)
         if scoring is not None:
             entry["serving_scoring"] = scoring
+        swaps = swap_events(run_data)
+        if swaps is not None:
+            entry["serving_swaps"] = swaps
         report_runs.append(entry)
     return jsonable({
         "label": data.label,

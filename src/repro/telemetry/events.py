@@ -17,19 +17,29 @@ Spans (simulated-clock duration events):
 - ``serve.request`` — one inference query, enqueue → response (queueing +
   compute; the latency the serving SLO is written against);
 - ``serve.batch`` — one coalesced micro-batch executing on a device (the
-  serving analogue of ``step.compute``; feeds the idle accountant).
+  serving analogue of ``step.compute``; feeds the idle accountant);
+- ``serve.swap`` — one hot-swap warming a newly published snapshot into a
+  running engine (driver-level: loading + LSH re-index + ``W_out.T``
+  re-cache happen off the dispatch path while devices keep serving).
 
 Instant events:
 
 - ``batch.dispatch`` — the scheduler handing a batch to a device;
-- ``checkpoint`` — a §V-A accuracy probe (host-side; zero simulated time).
+- ``checkpoint`` — a §V-A accuracy probe (host-side; zero simulated time);
+- ``swap.commit`` — a hot-swap went live (requests now admit against the
+  new version);
+- ``swap.rollback`` — a post-swap canary regressed; the engine restored
+  the previous version and quarantined the new one;
+- ``swap.failed`` — a published version failed validation (corrupt
+  checksum, version skew) and was skipped; the prior version kept serving.
 
 Counters / gauges (per-device monitors stamped with the simulated clock):
 
 - ``updates`` — cumulative replica updates per device;
 - ``batch_size`` / ``lr`` — the Algorithm-1 controls per device;
 - ``staleness`` — per-boundary update-count spread;
-- ``accuracy`` / ``loss`` — the checkpoint curve.
+- ``accuracy`` / ``loss`` — the checkpoint curve;
+- ``swaps`` / ``rollbacks`` / ``swap_failures`` — hot-swap outcomes.
 
 Span/instant ``device`` is the GPU index (``None`` for driver-level events:
 merges, checkpoints, the run span itself).
@@ -51,9 +61,16 @@ __all__ = [
     "SPAN_LSH_REBUILD",
     "SPAN_SERVE_REQUEST",
     "SPAN_SERVE_BATCH",
+    "SPAN_SERVE_SWAP",
     "EVENT_DISPATCH",
     "EVENT_CHECKPOINT",
+    "EVENT_SWAP_COMMIT",
+    "EVENT_SWAP_ROLLBACK",
+    "EVENT_SWAP_FAILED",
     "COUNTER_UPDATES",
+    "COUNTER_SWAPS",
+    "COUNTER_ROLLBACKS",
+    "COUNTER_SWAP_FAILURES",
     "GAUGE_BATCH_SIZE",
     "GAUGE_LR",
     "GAUGE_STALENESS",
@@ -72,11 +89,18 @@ SPAN_ALLREDUCE = "merge.allreduce"
 SPAN_LSH_REBUILD = "slide.rebuild"
 SPAN_SERVE_REQUEST = "serve.request"
 SPAN_SERVE_BATCH = "serve.batch"
+SPAN_SERVE_SWAP = "serve.swap"
 
 EVENT_DISPATCH = "batch.dispatch"
 EVENT_CHECKPOINT = "checkpoint"
+EVENT_SWAP_COMMIT = "swap.commit"
+EVENT_SWAP_ROLLBACK = "swap.rollback"
+EVENT_SWAP_FAILED = "swap.failed"
 
 COUNTER_UPDATES = "updates"
+COUNTER_SWAPS = "swaps"
+COUNTER_ROLLBACKS = "rollbacks"
+COUNTER_SWAP_FAILURES = "swap_failures"
 GAUGE_BATCH_SIZE = "batch_size"
 GAUGE_LR = "lr"
 GAUGE_STALENESS = "staleness"

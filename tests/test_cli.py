@@ -353,6 +353,85 @@ class TestServingCommands:
         assert main(["serve", str(tmp_path / "ghost")]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_train_publishes_into_store(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert main([
+            "train", "--dataset", "micro", "--time-budget-s", "0.03",
+            "--gpus", "2", "--store", str(store_dir),
+            "--publish-every-s", "0.008",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "store:" in out and "v1" in out and "v2" in out
+        from repro.serve import SnapshotStore
+
+        store = SnapshotStore(store_dir, create=False)
+        assert len(store.versions()) >= 2
+        assert store.entries[0].published_s == 0.0
+        assert store.entries[-1].published_s > 0.0
+
+    def test_train_store_without_schedule_publishes_once(self, capsys,
+                                                         tmp_path):
+        store_dir = tmp_path / "store"
+        assert main([
+            "train", "--dataset", "micro", "--time-budget-s", "0.02",
+            "--gpus", "2", "--store", str(store_dir),
+        ]) == 0
+        assert "store:" in capsys.readouterr().out
+        from repro.serve import SnapshotStore
+
+        assert SnapshotStore(store_dir, create=False).versions() == [1]
+
+    def test_publish_schedule_requires_store(self, capsys):
+        assert main([
+            "train", "--dataset", "micro", "--time-budget-s", "0.02",
+            "--publish-every-s", "0.01",
+        ]) == 1
+        assert "--store" in capsys.readouterr().err
+
+    def test_serve_from_store_hot_swaps(self, capsys, tmp_path):
+        """The continuous-learning loop: train publishes a version
+        schedule, serve replays it and reports the swap accounting."""
+        store_dir = tmp_path / "store"
+        assert main([
+            "train", "--dataset", "micro", "--time-budget-s", "0.03",
+            "--gpus", "2", "--store", str(store_dir),
+            "--publish-every-s", "0.008",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", str(store_dir), "--requests", "200",
+            "--mode", "adaptive",
+        ]) == 0
+        out = capsys.readouterr().out
+        import re
+
+        m = re.search(r"hot swaps\s*:\s*(\d+) committed, (\d+) rolled back, "
+                      r"(\d+) failed", out)
+        assert m, out
+        assert int(m.group(1)) >= 1  # at least one version landed mid-serve
+        assert "versions served" in out
+        assert re.search(r"mis-versioned\s*:\s*0", out), out
+
+    def test_serve_empty_store_fails(self, capsys, tmp_path):
+        from repro.serve import SnapshotStore
+
+        SnapshotStore(tmp_path / "empty")
+        assert main(["serve", str(tmp_path / "empty")]) == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_serve_max_queue_depth_reports_shed(self, capsys, tmp_path):
+        stem = tmp_path / "model"
+        assert main([
+            "snapshot", str(stem), "--dataset", "micro",
+            "--time-budget-s", "0.02", "--gpus", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", str(stem), "--requests", "150", "--mode", "sequential",
+            "--max-queue-depth", "4",
+        ]) == 0
+        assert "shed requests" in capsys.readouterr().out
+
     def test_serve_dataset_feature_mismatch_fails(self, capsys, tmp_path):
         stem = tmp_path / "model"
         assert main([

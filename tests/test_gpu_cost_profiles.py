@@ -145,6 +145,47 @@ class TestLshInferenceTime:
             model.lsh_inference_time(self.XML, 0.01, n_probes=0)
 
 
+class TestLshRebuildTime:
+    """Pricing of the hot-swap warming step (rebuild the serving index)."""
+
+    def test_positive_and_off_path(self):
+        model = GpuCostModel()
+        t = model.lsh_rebuild_time(1000, 64)
+        assert t > 0
+
+    def test_monotone_in_label_count_and_geometry(self):
+        model = GpuCostModel()
+        small = model.lsh_rebuild_time(1_000, 64, n_tables=8, n_bits=8)
+        more_labels = model.lsh_rebuild_time(100_000, 64, n_tables=8, n_bits=8)
+        more_tables = model.lsh_rebuild_time(1_000, 64, n_tables=64, n_bits=16)
+        assert more_labels > small
+        assert more_tables > small
+
+    def test_speed_scales_warm_time(self):
+        model = GpuCostModel()
+        slow = model.lsh_rebuild_time(10_000, 64, speed=0.5)
+        fast = model.lsh_rebuild_time(10_000, 64, speed=1.0)
+        assert slow > fast
+
+    def test_invalid_inputs_rejected(self):
+        model = GpuCostModel()
+        with pytest.raises(ConfigurationError):
+            model.lsh_rebuild_time(0, 64)
+        with pytest.raises(ConfigurationError):
+            model.lsh_rebuild_time(100, 0)
+        with pytest.raises(ConfigurationError):
+            model.lsh_rebuild_time(100, 64, n_tables=0)
+        with pytest.raises(ConfigurationError):
+            model.lsh_rebuild_time(100, 64, speed=0.0)
+
+    def test_model_transfer_time(self):
+        model = GpuCostModel()
+        assert model.model_transfer_time(0) == 0.0
+        assert model.model_transfer_time(1 << 20) > 0
+        with pytest.raises(ConfigurationError):
+            model.model_transfer_time(-1)
+
+
 class TestStepWorkload:
     def test_batch_bytes(self):
         work = StepWorkload(10, 100, (5, 3, 2))

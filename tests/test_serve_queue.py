@@ -54,6 +54,63 @@ class TestRequestQueue:
             RequestQueue().pop_batch(0)
 
 
+class TestAdmissionControl:
+    def test_push_beyond_limit_sheds(self):
+        q = RequestQueue(max_depth=2)
+        assert q.push(req(0)) and q.push(req(1))
+        rejected = req(2)
+        assert q.push(rejected) is False
+        assert rejected.shed is True
+        assert q.n_shed == 1
+        assert q.depth == 2
+        assert q.total_enqueued == 2  # shed pushes never count as accepted
+
+    def test_draining_reopens_admission(self):
+        q = RequestQueue(max_depth=1)
+        q.push(req(0))
+        assert q.push(req(1)) is False
+        q.pop_batch(1)
+        assert q.push(req(2)) is True
+        assert q.n_shed == 1
+
+    def test_unbounded_by_default(self):
+        q = RequestQueue()
+        assert q.max_depth_limit is None
+        for i in range(500):
+            assert q.push(req(i))
+        assert q.n_shed == 0
+
+    def test_limit_validated(self):
+        with pytest.raises(ConfigurationError, match="max_depth"):
+            RequestQueue(max_depth=0)
+
+
+class TestVersionPinning:
+    def vreq(self, i, version):
+        r = req(i)
+        r.version = version
+        return r
+
+    def test_pop_batch_stops_at_version_boundary(self):
+        q = RequestQueue()
+        for i, v in enumerate([1, 1, 1, 2, 2]):
+            q.push(self.vreq(i, v))
+        first = q.pop_batch(8)
+        assert [r.req_id for r in first] == [0, 1, 2]
+        assert {r.version for r in first} == {1}
+        second = q.pop_batch(8)
+        assert [r.req_id for r in second] == [3, 4]
+        assert {r.version for r in second} == {2}
+
+    def test_boundary_respects_arrival_order(self):
+        """Interleaved versions split into arrival-ordered uniform runs."""
+        q = RequestQueue()
+        for i, v in enumerate([1, 2, 1]):
+            q.push(self.vreq(i, v))
+        batches = [q.pop_batch(8) for _ in range(3)]
+        assert [[r.req_id for r in b] for b in batches] == [[0], [1], [2]]
+
+
 class TestAdaptiveBatchSizer:
     def test_defaults_start_at_b_min(self):
         sizer = AdaptiveBatchSizer(b_min=2, b_max=64)

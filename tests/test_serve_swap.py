@@ -1,0 +1,285 @@
+"""Tests for hot-swapping: the store-subscribed serving loop.
+
+Covers the tentpole protocol end to end on the simulated clock: commits
+under load with per-request pinning, the labeled recall canary and its
+rollback path, swap failures that must never interrupt serving, admission
+control shedding, and the swap telemetry the analytics engine consumes.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.api import make_engine
+from repro.serve import (
+    LoadSpec,
+    ModelSnapshot,
+    Predictor,
+    ServingConfig,
+    SnapshotStore,
+    generate_arrivals,
+)
+from repro.sparse.mlp import MLPArchitecture, SparseMLP
+
+N_GPUS = 2
+
+
+@pytest.fixture(scope="module")
+def arch(micro_task):
+    return MLPArchitecture(
+        micro_task.n_features, micro_task.n_labels, hidden=(32,)
+    )
+
+
+def state_for(arch, seed):
+    return SparseMLP(arch).init_state(seed=seed)
+
+
+def snap(arch, seed):
+    return ModelSnapshot(
+        arch=arch, state=state_for(arch, seed), meta={"dataset": "micro"}
+    )
+
+
+def fill_store(root, arch, seeds, times):
+    store = SnapshotStore(root)
+    for seed, t in zip(seeds, times):
+        store.publish(snap(arch, seed), published_s=t)
+    return store
+
+
+def spanning_arrivals(store, n_requests, *, seed=0):
+    """Open-loop Poisson arrivals whose window covers every publish."""
+    span = store.entries[-1].published_s * 1.2
+    spec = LoadSpec(n_requests=n_requests, rate_rps=n_requests / span,
+                    seed=seed)
+    return generate_arrivals(spec)
+
+
+def self_labels(predictor, X, k=5):
+    """CSR ground truth equal to ``predictor``'s own top-k — the serving
+    version scores recall 1.0 against it, so any later version's recall
+    measures agreement with the incumbent."""
+    top = predictor.topk(X, k)
+    n = X.shape[0]
+    rows = np.repeat(np.arange(n), k)
+    return sp.csr_matrix(
+        (np.ones(n * k), (rows, top.ravel())),
+        shape=(n, predictor.arch.n_labels),
+    )
+
+
+class TestHotSwapUnderLoad:
+    def test_commits_with_zero_dropped_or_mixed(self, arch, micro_task,
+                                                tmp_path):
+        # Identical weights per version: swaps exercise the full protocol
+        # while the recall canary sees no regression to veto.
+        store = fill_store(tmp_path / "s", arch, [7, 7, 7],
+                           [0.0, 0.01, 0.02])
+        engine = make_engine(store, mode="adaptive", n_gpus=N_GPUS)
+        X = micro_task.test.X
+        arrivals = spanning_arrivals(store, 300)
+        result = engine.serve(X, arrivals, k=5,
+                              canary_labels=micro_task.test.Y)
+        assert result.n_swaps == 2
+        assert result.n_rollbacks == 0
+        assert result.n_swap_failures == 0
+        assert result.active_version == 3
+        # Zero dropped: every admitted request completed.
+        assert all(r.t_done is not None for r in result.requests)
+        assert sum(result.versions_served.values()) == 300
+        # Zero mis-versioned: batches never mix weights across a swap.
+        assert result.mis_versioned == 0
+        assert all(r.served_version == r.version for r in result.requests)
+
+    def test_later_versions_actually_serve(self, arch, micro_task, tmp_path):
+        store = fill_store(tmp_path / "s", arch, [7, 7], [0.0, 0.01])
+        engine = make_engine(store, mode="adaptive", n_gpus=N_GPUS)
+        arrivals = spanning_arrivals(store, 300)
+        result = engine.serve(micro_task.test.X, arrivals, k=5)
+        assert result.versions_served.get(2, 0) > 0
+
+    def test_swap_records_carry_timing(self, arch, micro_task, tmp_path):
+        store = fill_store(tmp_path / "s", arch, [7, 7], [0.0, 0.01])
+        engine = make_engine(store, mode="adaptive", n_gpus=N_GPUS)
+        arrivals = spanning_arrivals(store, 200)
+        result = engine.serve(micro_task.test.X, arrivals, k=5)
+        (record,) = result.swaps
+        assert record["version_from"] == 1 and record["version_to"] == 2
+        assert record["warm_s"] > 0
+        # Warming happens off the dispatch path, before the commit.
+        assert record["t_commit"] == pytest.approx(
+            record["t_warm_start"] + record["warm_s"]
+        )
+
+    def test_without_store_no_swap_fields(self, arch, micro_task):
+        engine = make_engine(snap(arch, 7), mode="adaptive", n_gpus=N_GPUS)
+        arrivals = generate_arrivals(
+            LoadSpec(n_requests=50, rate_rps=5000.0, seed=0)
+        )
+        result = engine.serve(micro_task.test.X, arrivals, k=5)
+        assert result.n_swaps == 0
+        assert result.swaps == []
+        assert "swaps" not in result.as_dict()
+
+
+class TestCanaryRollback:
+    def test_recall_regression_rolls_back(self, arch, micro_task, tmp_path):
+        store = fill_store(tmp_path / "s", arch, [7, 8], [0.0, 0.01])
+        engine = make_engine(store, mode="adaptive", n_gpus=N_GPUS)
+        X = micro_task.test.X
+        labels = self_labels(engine.predictor, X, k=5)
+        result = engine.serve(X, spanning_arrivals(store, 300), k=5,
+                              canary_labels=labels)
+        assert result.n_rollbacks == 1
+        assert result.active_version == 1
+        (record,) = result.swaps
+        assert record["rolled_back"] is True
+        assert "recall" in record["rollback_reason"]
+        assert record["canary_recall_prev"] == pytest.approx(1.0)
+        assert record["canary_recall_new"] < 0.5
+        # Serving never stopped: every request drained.
+        assert all(r.t_done is not None for r in result.requests)
+
+    def test_rollback_disabled_without_labels(self, arch, micro_task,
+                                              tmp_path):
+        """No canary labels -> the recall canary is skipped, not guessed."""
+        store = fill_store(tmp_path / "s", arch, [7, 8], [0.0, 0.01])
+        engine = make_engine(store, mode="adaptive", n_gpus=N_GPUS)
+        result = engine.serve(
+            micro_task.test.X, spanning_arrivals(store, 300), k=5
+        )
+        assert result.n_rollbacks == 0
+        assert result.active_version == 2
+
+    def test_rollback_disabled_by_config(self, arch, micro_task, tmp_path):
+        store = fill_store(tmp_path / "s", arch, [7, 8], [0.0, 0.01])
+        engine = make_engine(store, mode="adaptive", n_gpus=N_GPUS,
+                             canary_recall_drop=None)
+        X = micro_task.test.X
+        labels = self_labels(engine.predictor, X, k=5)
+        result = engine.serve(X, spanning_arrivals(store, 300), k=5,
+                              canary_labels=labels)
+        assert result.n_rollbacks == 0
+        assert result.active_version == 2
+
+
+class TestSwapFailure:
+    def test_corrupt_version_skipped_serving_continues(self, arch,
+                                                       micro_task, tmp_path):
+        store = fill_store(tmp_path / "s", arch, [7, 7], [0.0, 0.01])
+        npz = store.root / "v000002.snapshot.npz"
+        npz.write_bytes(npz.read_bytes()[:64])
+        engine = make_engine(store, mode="adaptive", n_gpus=N_GPUS)
+        result = engine.serve(
+            micro_task.test.X, spanning_arrivals(store, 300), k=5
+        )
+        assert result.n_swap_failures == 1
+        assert result.n_swaps == 0
+        assert result.active_version == 1
+        assert all(r.t_done is not None for r in result.requests)
+        (record,) = result.swaps
+        assert record["failed"] is True and "error" in record
+
+    def test_failed_version_not_retried(self, arch, micro_task, tmp_path):
+        """A bad version is quarantined; the next good one still lands."""
+        store = fill_store(tmp_path / "s", arch, [7, 7, 7],
+                           [0.0, 0.008, 0.016])
+        npz = store.root / "v000002.snapshot.npz"
+        npz.write_bytes(b"not an npz")
+        engine = make_engine(store, mode="adaptive", n_gpus=N_GPUS)
+        result = engine.serve(
+            micro_task.test.X, spanning_arrivals(store, 300), k=5
+        )
+        assert result.n_swap_failures == 1
+        assert result.n_swaps == 1
+        assert result.active_version == 3
+
+
+class TestAdmissionControl:
+    def test_max_queue_depth_sheds(self, arch, micro_task):
+        engine = make_engine(snap(arch, 7), mode="sequential",
+                             max_queue_depth=2, n_gpus=N_GPUS)
+        # Everything arrives at once against a depth-2 queue.
+        arrivals = np.zeros(80)
+        result = engine.serve(micro_task.test.X, arrivals, k=5)
+        assert result.n_shed > 0
+        served = [r for r in result.requests if not r.shed]
+        assert len(served) + result.n_shed == 80
+        assert all(r.t_done is not None for r in served)
+        assert len(result.report.latencies_s) == len(served)
+
+    def test_default_queue_is_unbounded(self, arch, micro_task):
+        engine = make_engine(snap(arch, 7), mode="adaptive", n_gpus=N_GPUS)
+        arrivals = np.zeros(80)
+        result = engine.serve(micro_task.test.X, arrivals, k=5)
+        assert result.n_shed == 0
+
+
+class TestSwapTelemetry:
+    def test_spans_instants_and_attribution(self, arch, micro_task, tmp_path):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.analyze import analyze_report, swap_events
+        from repro.telemetry.events import EVENT_SWAP_COMMIT, SPAN_SERVE_SWAP
+        from repro.telemetry.trace_data import TraceData
+
+        store = fill_store(tmp_path / "s", arch, [7, 7], [0.0, 0.01])
+        tel = Telemetry(label="swap-test")
+        engine = make_engine(store, mode="adaptive", n_gpus=N_GPUS,
+                             telemetry=tel)
+        result = engine.serve(
+            micro_task.test.X, spanning_arrivals(store, 300), k=5,
+            canary_labels=micro_task.test.Y,
+        )
+        swap_spans = [s for s in tel.spans if s.name == SPAN_SERVE_SWAP]
+        assert len(swap_spans) == result.n_swaps == 1
+        assert swap_spans[0].device is None  # driver lane, not a GPU
+        commits = [i for i in tel.instants if i.name == EVENT_SWAP_COMMIT]
+        assert len(commits) == 1
+        assert commits[0].args["version"] == 2
+
+        run = TraceData.from_telemetry(tel).run(0)
+        swaps = swap_events(run)
+        assert swaps is not None
+        assert swaps["commits"] == 1
+        assert swaps["rollbacks"] == 0 and swaps["failures"] == 0
+        (event,) = swaps["events"]
+        assert event["version_from"] == 1 and event["version_to"] == 2
+        assert not event["rolled_back"]
+        assert event["requests_in_window"] >= 0
+
+        # The analytics report folds the swap section in, with the
+        # attribution invariant intact on a swap-bearing trace.
+        report = analyze_report(tel)
+        (entry,) = report["runs"]
+        assert entry["serving_swaps"]["commits"] == 1
+        assert entry["attribution"]["max_residual"] <= 1e-6
+
+    def test_no_swaps_means_no_section(self, arch, micro_task):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.analyze import swap_events
+        from repro.telemetry.trace_data import TraceData
+
+        tel = Telemetry(label="no-swap")
+        engine = make_engine(snap(arch, 7), mode="adaptive", n_gpus=N_GPUS,
+                             telemetry=tel)
+        arrivals = generate_arrivals(
+            LoadSpec(n_requests=40, rate_rps=5000.0, seed=0)
+        )
+        engine.serve(micro_task.test.X, arrivals, k=5)
+        assert swap_events(TraceData.from_telemetry(tel).run(0)) is None
+
+
+class TestServeValidation:
+    def test_canary_labels_row_mismatch(self, arch, micro_task):
+        engine = make_engine(snap(arch, 7), n_gpus=N_GPUS)
+        from repro.exceptions import ConfigurationError
+        bad = sp.csr_matrix((3, micro_task.n_labels))
+        with pytest.raises(ConfigurationError, match="canary_labels"):
+            engine.serve(micro_task.test.X, np.array([0.0]), k=5,
+                         canary_labels=bad)
+
+    def test_config_rejects_bad_drop(self):
+        from repro.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError, match="canary_recall_drop"):
+            ServingConfig(canary_recall_drop=1.5).validate()
