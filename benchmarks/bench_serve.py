@@ -2,7 +2,7 @@
 
 Trains a tiny model on the ``micro`` dataset, snapshots it, and replays
 open-loop request streams against the snapshot on the simulated
-heterogeneous server. Six sections:
+heterogeneous server. Eight sections:
 
 1. **snapshot** — save/load round-trip: wall time, file sizes, and a
    bit-identity check of the restored parameter vector;
@@ -35,7 +35,15 @@ heterogeneous server. Six sections:
    per-request pinning, labeled recall canary). Reports swap counts,
    versions served, and p99 of requests overlapping a swap window vs the
    steady state; a second sub-run publishes a garbage model mid-window
-   and must roll back to the prior version.
+   and must roll back to the prior version;
+8. **tenants** — multi-tenant isolation under the priority-tier + WFQ
+   scheduler. A class-0 victim at 30% of sequential capacity is served
+   solo, then contended by a class-1 noisy neighbor at 10x its fair
+   share; the victim's contended p99 must stay within 1.3x its solo p99.
+   A 40x surge sub-run with a shallow queue shows graded shedding (every
+   shed lands on the aggressor), and a uniform-load sub-run splits one
+   saturating stream across two same-class tenants to confirm the
+   scheduler costs <10% aggregate throughput vs the single-tenant path.
 
 Run as a script: ``python benchmarks/bench_serve.py [--smoke] [--out F]
 [--check]``. ``--check`` gates on absolute floors: adaptive throughput
@@ -43,10 +51,13 @@ must be >= 1x sequential in smoke mode (>= 3x full), LSH recall@5 must be
 >= 0.8 in both LSH sections, the lsh_scale speedup must be >= 1x in smoke
 mode (>= 3x full, the paper-style claim: batching makes the approximate
 path actually win), ``auto`` must land within 10% of the better fixed
-scoring mode in both crossover regimes, and the swap section must commit
+scoring mode in both crossover regimes, the swap section must commit
 at least one hot-swap with zero shed/mis-versioned requests, a
 swap-window p99 within 1.25x steady state, and a rollback on the
-injected recall regression — the CI gate.
+injected recall regression, and the tenants section must keep the
+noisy-neighbor victim's p99 within 1.3x solo, shed only aggressor work
+in the surge, and hold >= 0.9x single-tenant aggregate throughput on the
+uniform split — the CI gate.
 """
 
 from __future__ import annotations
@@ -74,7 +85,9 @@ from repro.serve import (  # noqa: E402
     Predictor,
     ServingEngine,
     SnapshotStore,
+    TenantLoad,
     generate_arrivals,
+    generate_multi_tenant_arrivals,
     nearest_rank_percentile,
     sample_query_rows,
 )
@@ -91,6 +104,12 @@ CROSSOVER_FLOOR = 0.9
 #: p99 of requests overlapping a swap window vs steady state (the
 #: zero-downtime claim: warming happens off the dispatch path).
 SWAP_P99_FACTOR = 1.25
+#: Noisy-neighbor isolation: the class-0 victim's contended p99 over its
+#: solo p99 under a 10x-fair-share class-1 aggressor.
+ISOLATION_FACTOR = 1.3
+#: Aggregate throughput of the WFQ scheduler on a uniform two-tenant
+#: split vs the single-tenant engine on the same arrivals.
+MT_THROUGHPUT_FLOOR = 0.9
 #: Planted-similarity LSH geometry (tuned: ~0.8% candidate fraction with
 #: recall@5 ~0.95 at both bench scales).
 SCALE_TABLES, SCALE_BITS, SCALE_PROBES = 12, 13, 4
@@ -357,6 +376,112 @@ def bench_burst(predictor: Predictor, task, smoke: bool) -> dict:
     return out
 
 
+def bench_tenants(predictor: Predictor, task, smoke: bool) -> dict:
+    """Noisy-neighbor isolation, graded shedding, and WFQ overhead."""
+    n_victim = 800 if smoke else 2000
+    X = task.test.X
+    capacity = _saturating_rate(predictor, X) / 10.0  # sequential capacity
+    victim_rate = 0.3 * capacity
+    fair_share = capacity / 2.0  # two tenants sharing the cluster
+    duration = n_victim / victim_rate
+
+    def _mt_engine(max_depth=256):
+        return ServingEngine(
+            predictor, _fresh_server(), mode="adaptive",
+            class_slo_ms={0: 2.0, 1: 2.0}, max_queue_depth=max_depth,
+        )
+
+    def _contended(aggressor_x_fair, max_depth):
+        aggressor_rate = aggressor_x_fair * fair_share
+        n_aggressor = max(1, int(aggressor_rate * duration))
+        loads = [
+            TenantLoad("victim",
+                       LoadSpec(n_requests=n_victim, rate_rps=victim_rate,
+                                seed=0), priority_class=0),
+            TenantLoad("noisy",
+                       LoadSpec(n_requests=n_aggressor,
+                                rate_rps=aggressor_rate, seed=1),
+                       priority_class=1),
+        ]
+        times, tenants, classes = generate_multi_tenant_arrivals(loads)
+        engine = _mt_engine(max_depth)
+        return engine.serve(X, times, k=K, tenants=tenants,
+                            priority_classes=classes)
+
+    # Victim alone: its open-loop arrival schedule is identical in the
+    # contended runs (independent per-tenant streams), so the p99 ratio
+    # is pure interference.
+    solo = _mt_engine().serve(
+        X, generate_arrivals(
+            LoadSpec(n_requests=n_victim, rate_rps=victim_rate, seed=0)
+        ), k=K,
+        tenants=np.full(n_victim, "victim", dtype=object),
+        priority_classes=np.zeros(n_victim, dtype=np.int64),
+    )
+    solo_p99 = solo.tenants["victim"]["latency_p99_ms"]
+
+    contended = _contended(aggressor_x_fair=10.0, max_depth=256)
+    victim = contended.tenants["victim"]
+    noisy = contended.tenants["noisy"]
+    neighbor = {
+        "aggressor_x_fair": 10.0,
+        "victim_p99_solo_ms": solo_p99,
+        "victim_p99_contended_ms": victim["latency_p99_ms"],
+        "isolation_ratio": victim["latency_p99_ms"] / solo_p99,
+        "victim_n_shed": victim["n_shed"],
+        "aggressor_completed": noisy["completed"],
+        "aggressor_p99_ms": noisy["latency_p99_ms"],
+        "max_queue_depth": contended.max_queue_depth,
+    }
+
+    # 40x fair share against a shallow queue: the scheduler must shed,
+    # and every shed must land on the aggressor (priority ordering).
+    surge = _contended(aggressor_x_fair=40.0, max_depth=64)
+    sv, sn = surge.tenants["victim"], surge.tenants["noisy"]
+    surge_out = {
+        "aggressor_x_fair": 40.0,
+        "max_queue_depth_limit": 64,
+        "victim_p99_ratio": sv["latency_p99_ms"] / solo_p99,
+        "victim_n_shed": sv["n_shed"],
+        "aggressor_n_shed": sn["n_shed"],
+        "aggressor_completed": sn["completed"],
+        "shed_by_tenant": dict(surge.shed_by_tenant),
+    }
+
+    # Same saturating stream served once untagged and once split across
+    # two equal-weight tenants: the WFQ machinery must be ~free.
+    n_uniform = 1000 if smoke else 4000
+    arrivals = generate_arrivals(
+        LoadSpec(n_requests=n_uniform, rate_rps=5.0 * capacity, seed=7)
+    )
+    single = ServingEngine(
+        predictor, _fresh_server(), mode="adaptive", target_latency_s=2e-3,
+    ).serve(X, arrivals, k=K)
+    split_tenants = np.where(
+        np.arange(n_uniform) % 2 == 0, "a", "b"
+    ).astype(object)
+    multi = ServingEngine(
+        predictor, _fresh_server(), mode="adaptive", target_latency_s=2e-3,
+    ).serve(X, arrivals, k=K, tenants=split_tenants,
+            priority_classes=np.zeros(n_uniform, dtype=np.int64))
+    uniform = {
+        "single_rps": single.report.throughput_rps,
+        "multi_rps": multi.report.throughput_rps,
+        "throughput_ratio": (
+            multi.report.throughput_rps / single.report.throughput_rps
+        ),
+        "fairness": multi.fairness,
+    }
+    return {
+        "what": f"victim {n_victim} reqs @30% capacity vs class-1 "
+                f"aggressor at 10x/40x fair share; {n_uniform}-req "
+                f"uniform split, adaptive mode",
+        "noisy_neighbor": neighbor,
+        "surge": surge_out,
+        "uniform": uniform,
+    }
+
+
 def bench_swap(task, workdir: Path, smoke: bool) -> dict:
     """Hot-swap under load (good path) + injected-regression rollback."""
     budget = 0.05 if smoke else 0.2
@@ -471,6 +596,7 @@ def run(smoke: bool) -> dict:
         sections["crossover"] = bench_crossover(snapshot, task, smoke)
         sections["burst"] = bench_burst(predictor, task, smoke)
         sections["swap"] = bench_swap(task, workdir, smoke)
+        sections["tenants"] = bench_tenants(predictor, task, smoke)
     s = sections["snapshot"]
     print(f" snapshot: save {s['save_us']:8.1f} us, load {s['load_us']:8.1f} us, "
           f"bit-identical={s['bit_identical']}  [{s['what']}]")
@@ -504,6 +630,14 @@ def run(smoke: bool) -> dict:
           f"shed={g['n_shed']}{ratio}; injected regression -> "
           f"{rb['rollbacks']} rollback(s), active v{rb['active_version']}  "
           f"[{s['what']}]")
+    s = sections["tenants"]
+    nn, sg, un = s["noisy_neighbor"], s["surge"], s["uniform"]
+    print(f"  tenants: victim p99 {nn['victim_p99_solo_ms']:.4f} -> "
+          f"{nn['victim_p99_contended_ms']:.4f} ms under 10x neighbor "
+          f"(ratio {nn['isolation_ratio']:.2f}); 40x surge shed "
+          f"{sg['aggressor_n_shed']} aggressor / {sg['victim_n_shed']} "
+          f"victim; uniform split {un['throughput_ratio']:.3f}x single, "
+          f"fairness {un['fairness']:.3f}  [{s['what']}]")
     return {
         "benchmark": "serve",
         "mode": "smoke" if smoke else "full",
@@ -584,6 +718,26 @@ def check(results: dict) -> int:
           f"{rb['n_unserved']} unserved -> {status}")
     if not rolled:
         failures.append("swap_rollback")
+    t = results["sections"]["tenants"]
+    ratio = t["noisy_neighbor"]["isolation_ratio"]
+    status = "ok" if ratio <= ISOLATION_FACTOR else "INTERFERED"
+    print(f"check tenants: noisy-neighbor victim p99 ratio {ratio:.3f} "
+          f"(ceiling {ISOLATION_FACTOR:.2f}) -> {status}")
+    if ratio > ISOLATION_FACTOR:
+        failures.append("tenants_isolation")
+    sg = t["surge"]
+    graded = sg["victim_n_shed"] == 0 and sg["aggressor_n_shed"] > 0
+    status = "ok" if graded else "MIS-SHED"
+    print(f"check tenants: 40x surge shed {sg['aggressor_n_shed']} "
+          f"aggressor / {sg['victim_n_shed']} victim -> {status}")
+    if not graded:
+        failures.append("tenants_shed")
+    tput = t["uniform"]["throughput_ratio"]
+    status = "ok" if tput >= MT_THROUGHPUT_FLOOR else "REGRESSED"
+    print(f"check tenants: uniform-split aggregate throughput {tput:.3f}x "
+          f"single-tenant (floor {MT_THROUGHPUT_FLOOR:.2f}x) -> {status}")
+    if tput < MT_THROUGHPUT_FLOOR:
+        failures.append("tenants_throughput")
     if failures:
         print(f"FAIL: serving regression in {failures}")
         return 1

@@ -222,6 +222,14 @@ def make_engine(
     spelling onto ``scoring='lsh'`` with one uniform ``DeprecationWarning``.
     ``server`` overrides the default heterogeneous ``n_gpus``-device server
     (tiny-model cost profile, seeded like the benchmarks).
+
+    Multi-tenant serving rides the same option surface: pass
+    ``priority_classes`` / ``class_slo_ms`` / ``tenant_weights`` /
+    ``wfq_quantum`` / ``admission_utilization`` here (validated by
+    ``ServingConfig``) and tag the request stream at serve time —
+    ``engine.serve(..., tenants=..., priority_classes=...)`` — to get
+    priority-tier + weighted-fair scheduling with per-class adaptive
+    batch sizing and per-tenant isolation accounting on the result.
     """
     from pathlib import Path
 

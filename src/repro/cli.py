@@ -245,7 +245,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-queue-depth", type=int, default=None,
                    metavar="N",
                    help="admission-control cap: arrivals beyond N queued "
-                        "requests are shed (default: unbounded)")
+                        "requests are shed (default: unbounded; 256 with "
+                        "--tenants)")
+    p.add_argument("--tenants", action="store_true",
+                   help="run the multi-tenant noisy-neighbor scenario: a "
+                        "class-0 victim tenant at 30%% of cluster capacity "
+                        "vs a class-1 aggressor at --aggressor-factor x its "
+                        "fair share, solo vs contended, with the per-tenant "
+                        "p99 isolation ratio and fairness printed")
+    p.add_argument("--aggressor-factor", type=float, default=10.0,
+                   metavar="X",
+                   help="aggressor offered load as a multiple of its fair "
+                        "share (default: 10)")
     p.add_argument("--gpus", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", metavar="STEM", default=None,
@@ -567,6 +578,127 @@ def main(argv: Optional[List[str]] = None) -> int:
             scoring = "exact"
 
         tel = Telemetry(label=f"serve-{dataset}") if args.out else None
+
+        if args.tenants:
+            import numpy as np
+
+            from repro.serve import TenantLoad, generate_multi_tenant_arrivals
+
+            depth = (
+                args.max_queue_depth
+                if args.max_queue_depth is not None else 256
+            )
+
+            def tenant_engine():
+                config = ServingConfig.from_options(
+                    mode="adaptive",
+                    target_latency_s=args.slo_ms * 1e-3,
+                    class_slo_ms={0: args.slo_ms, 1: args.slo_ms},
+                    scoring=scoring,
+                    k=args.k,
+                    lsh_seed=args.seed,
+                    max_queue_depth=depth,
+                )
+                return make_engine(
+                    store if store is not None else snapshot,
+                    config=config, server=fresh_server(), telemetry=tel,
+                )
+
+            try:
+                solo_engine = tenant_engine()
+                noisy_engine = tenant_engine()
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            probe = solo_engine.predictor.workload(task.test.X[:1])
+            per_request = solo_engine.server.gpus[0].cost_model.inference_time(
+                probe, n_active_gpus=args.gpus,
+            )
+            capacity = args.gpus / per_request
+            victim_rate = 0.3 * capacity
+            fair_share = capacity / 2.0
+            aggressor_rate = args.aggressor_factor * fair_share
+            n_victim = args.requests
+            duration = n_victim / victim_rate
+            n_aggressor = max(1, int(aggressor_rate * duration))
+            victim_load = TenantLoad(
+                "victim",
+                LoadSpec(
+                    n_requests=n_victim, rate_rps=victim_rate,
+                    pattern=args.pattern, seed=args.seed,
+                ),
+                priority_class=0,
+            )
+            aggressor_load = TenantLoad(
+                "aggressor",
+                LoadSpec(
+                    n_requests=n_aggressor, rate_rps=aggressor_rate,
+                    pattern=args.pattern, seed=args.seed + 1,
+                ),
+                priority_class=1,
+            )
+            solo_arrivals = generate_arrivals(victim_load.spec)
+            solo = solo_engine.serve(
+                task.test.X, solo_arrivals, k=args.k,
+                row_indices=sample_query_rows(
+                    task.test.X.shape[0], n_victim, seed=args.seed
+                ),
+                tenants=np.full(n_victim, "victim", dtype=object),
+                priority_classes=np.zeros(n_victim, dtype=int),
+            )
+            times, names, classes = generate_multi_tenant_arrivals(
+                [victim_load, aggressor_load]
+            )
+            noisy = noisy_engine.serve(
+                task.test.X, times, k=args.k,
+                row_indices=sample_query_rows(
+                    task.test.X.shape[0], times.size, seed=args.seed
+                ),
+                tenants=names, priority_classes=classes,
+            )
+            solo_p99 = solo.tenants["victim"]["latency_p99_ms"]
+            noisy_p99 = noisy.tenants["victim"]["latency_p99_ms"]
+            print("-- multi-tenant noisy neighbor --")
+            print(format_kv({
+                "victim rate (rps)": round(victim_rate, 1),
+                "aggressor rate (rps)": round(aggressor_rate, 1),
+                "aggressor factor (x fair share)": args.aggressor_factor,
+                "victim p99 solo (ms)": round(solo_p99, 4),
+                "victim p99 contended (ms)": round(noisy_p99, 4),
+                "isolation ratio": round(noisy_p99 / solo_p99, 3),
+                "fairness (max/min throughput)": (
+                    round(noisy.fairness, 3)
+                    if noisy.fairness is not None else "n/a"
+                ),
+                "max queue depth": noisy.max_queue_depth,
+            }))
+            for name, stats in sorted(noisy.tenants.items()):
+                print(format_kv({
+                    f"{name} completed": stats["completed"],
+                    f"{name} throughput (rps)": round(
+                        stats["throughput_rps"], 1
+                    ),
+                    f"{name} p50 (ms)": round(stats["latency_p50_ms"], 4),
+                    f"{name} p99 (ms)": round(stats["latency_p99_ms"], 4),
+                    f"{name} shed": stats["n_shed"],
+                }))
+            if args.out and tel is not None:
+                from repro.telemetry.export import (
+                    write_chrome_trace,
+                    write_jsonl,
+                )
+
+                stem = Path(args.out)
+                chrome = write_chrome_trace(
+                    tel, stem.parent / f"{stem.name}.trace.json"
+                )
+                jsonl = write_jsonl(
+                    tel, stem.parent / f"{stem.name}.telemetry.jsonl"
+                )
+                print(f"chrome trace: {chrome}")
+                print(f"event stream: {jsonl}")
+            return 0
+
         engines = {}
         try:
             for mode in modes:

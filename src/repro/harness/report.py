@@ -27,6 +27,7 @@ __all__ = [
     "render_straggler",
     "render_findings",
     "render_swaps",
+    "render_tenants",
     "render_comparison",
     "render_analysis",
 ]
@@ -206,6 +207,52 @@ def render_swaps(swaps: Mapping) -> str:
     return "\n".join(lines)
 
 
+def render_tenants(tenants: Mapping) -> str:
+    """Multi-tenant section for one serving run.
+
+    ``tenants`` is the dict :func:`repro.telemetry.analyze.tenant_breakdown`
+    returns (per-tenant/per-class completions, p99, shed counts, fairness).
+    """
+    header = f"Tenants — {len(tenants.get('tenants', {}))}"
+    if "fairness" in tenants:
+        header += f", throughput fairness (max/min) {tenants['fairness']:.3g}"
+    if tenants.get("n_shed"):
+        reasons = tenants.get("shed_reasons", {})
+        detail = ", ".join(f"{r}: {n}" for r, n in sorted(reasons.items()))
+        header += f", {tenants['n_shed']} shed" + (
+            f" ({detail})" if detail else ""
+        )
+    rows = []
+    for name, row in sorted(tenants.get("tenants", {}).items()):
+        classes = row.get("priority_classes")
+        rows.append([
+            name,
+            "/".join(str(c) for c in classes) if classes else "-",
+            row.get("completed", 0),
+            f"{row['latency_p50_ms']:.4g}" if "latency_p50_ms" in row else "-",
+            f"{row['latency_p99_ms']:.4g}" if "latency_p99_ms" in row else "-",
+            row.get("n_shed", 0),
+        ])
+    body = format_table(
+        ["tenant", "class", "completed", "p50 (ms)", "p99 (ms)", "shed"],
+        rows,
+        title=header,
+    )
+    class_rows = tenants.get("classes", {})
+    if class_rows:
+        lines = [body, "  per class:"]
+        for cls, row in sorted(class_rows.items(), key=lambda kv: int(kv[0])):
+            piece = (
+                f"    class {cls}: {row.get('completed', 0)} completed, "
+                f"{row.get('n_shed', 0)} shed"
+            )
+            if "latency_p99_ms" in row:
+                piece += f", p99 {row['latency_p99_ms']:.4g} ms"
+            lines.append(piece)
+        return "\n".join(lines)
+    return body
+
+
 def render_comparison(cmp) -> str:
     """Phase-by-phase comparison of two runs
     (``repro.telemetry.compare.RunComparison``)."""
@@ -281,6 +328,7 @@ def render_analysis(source, *, run=None, width: int = 64) -> str:
         attribute_time,
         critical_path,
         swap_events,
+        tenant_breakdown,
     )
     from repro.telemetry.diagnose import diagnose
     from repro.telemetry.trace_data import load_trace_data
@@ -300,6 +348,9 @@ def render_analysis(source, *, run=None, width: int = 64) -> str:
         swaps = swap_events(run_data)
         if swaps is not None:
             parts.append(render_swaps(swaps))
+        tenants = tenant_breakdown(run_data)
+        if tenants is not None:
+            parts.append(render_tenants(tenants))
         parts.append(
             render_findings(diagnose(run_data, straggler_report=straggler))
         )

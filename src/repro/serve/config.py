@@ -12,22 +12,27 @@ place where
   backs the CLI's ``--lsh`` flag) emit one uniform ``DeprecationWarning``
   and remap.
 
-The dataclass owns three option families:
+The dataclass owns four option families:
 
 - **batching** — dispatch mode, the per-batch latency SLO and the adaptive
   sizer's bounds/gain (:class:`~repro.serve.queue.AdaptiveBatchSizer`);
 - **scoring** — exact / LSH / auto plus the LSH index geometry the
   predictor is built with;
-- **continuous learning** — admission control (``max_queue_depth``) and the
-  hot-swap protocol: poll cadence, canary probe size, the tolerated
-  recall@k drop and latency factor that trigger automatic rollback.
+- **multi-tenancy** — priority classes with per-class SLOs
+  (``class_slo_ms`` drives one sizer per class per device), tenant WFQ
+  weights, and admission control (``max_queue_depth`` capacity cap +
+  ``admission_utilization`` graded shedding gate), all executed by
+  :class:`~repro.serve.queue.TenantScheduler`;
+- **continuous learning** — the hot-swap protocol: poll cadence, canary
+  probe size, the tolerated recall@k drop and latency factor that trigger
+  automatic rollback.
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, fields
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.exceptions import ConfigurationError
 
@@ -64,8 +69,29 @@ class ServingConfig:
 
     # -- admission control ---------------------------------------------------
     #: Queue-depth cap; arrivals beyond it are shed (counted, not silently
-    #: queued). ``None`` keeps the unbounded legacy behaviour.
+    #: queued). ``None`` keeps the unbounded legacy behaviour. Under
+    #: pressure the scheduler sheds lowest-priority work first — see
+    #: :class:`~repro.serve.queue.TenantScheduler`.
     max_queue_depth: Optional[int] = None
+    #: Utilization threshold for graded load shedding: once estimated
+    #: utilization reaches ``u + (1-u)(P-p)/P`` class ``p`` is shed at the
+    #: door (class 0 never is). ``None`` disables the gate.
+    admission_utilization: Optional[float] = None
+
+    # -- multi-tenancy -------------------------------------------------------
+    #: Number of priority classes (0 = most important). Auto-grown to cover
+    #: the keys of ``class_slo_ms``.
+    priority_classes: int = 1
+    #: Per-class batch service-time SLO in **milliseconds**; classes without
+    #: an entry fall back to ``target_latency_s``. Each class drives its own
+    #: AdaptiveBatchSizer per device.
+    class_slo_ms: Optional[Dict[int, float]] = None
+    #: Tenant → WFQ weight (deficit-round-robin share within a class).
+    #: Unlisted tenants weigh 1.0.
+    tenant_weights: Optional[Dict[str, float]] = None
+    #: DRR quantum: credits granted per rotation visit are
+    #: ``wfq_quantum × weight``.
+    wfq_quantum: float = 1.0
 
     # -- continuous learning (hot-swap) --------------------------------------
     #: Sim seconds between store polls by the swap manager.
@@ -118,6 +144,50 @@ class ServingConfig:
             raise ConfigurationError(
                 f"max_queue_depth must be >= 1 or None, "
                 f"got {self.max_queue_depth}"
+            )
+        if self.admission_utilization is not None and not (
+            0.0 < self.admission_utilization <= 1.0
+        ):
+            raise ConfigurationError(
+                f"admission_utilization must be in (0, 1] or None, "
+                f"got {self.admission_utilization}"
+            )
+        if self.priority_classes < 1:
+            raise ConfigurationError(
+                f"priority_classes must be >= 1, got {self.priority_classes}"
+            )
+        if self.class_slo_ms is not None:
+            normalized = {}
+            for key, slo in self.class_slo_ms.items():
+                try:
+                    cls_id = int(key)
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        f"class_slo_ms keys must be class ints, got {key!r}"
+                    )
+                if cls_id < 0:
+                    raise ConfigurationError(
+                        f"class_slo_ms keys must be >= 0, got {cls_id}"
+                    )
+                if not (float(slo) > 0):
+                    raise ConfigurationError(
+                        f"class_slo_ms[{cls_id}] must be > 0, got {slo}"
+                    )
+                normalized[cls_id] = float(slo)
+            self.class_slo_ms = normalized
+            if normalized:
+                self.priority_classes = max(
+                    self.priority_classes, max(normalized) + 1
+                )
+        if self.tenant_weights is not None:
+            for tenant, w in self.tenant_weights.items():
+                if not (float(w) > 0):
+                    raise ConfigurationError(
+                        f"tenant_weights must be > 0, got {tenant!r}: {w}"
+                    )
+        if not (self.wfq_quantum > 0):
+            raise ConfigurationError(
+                f"wfq_quantum must be > 0, got {self.wfq_quantum}"
             )
         if not (self.swap_check_every_s > 0):
             raise ConfigurationError(
@@ -181,6 +251,18 @@ class ServingConfig:
             )
         return cls(**options)
 
+    def class_target_latency_s(self, priority_class: int) -> float:
+        """The batch service-time SLO (seconds) one class's sizer targets."""
+        if self.class_slo_ms and priority_class in self.class_slo_ms:
+            return self.class_slo_ms[priority_class] / 1e3
+        return self.target_latency_s
+
     def as_dict(self) -> dict:
         """JSON-safe view (what telemetry and reports attach)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        if out["class_slo_ms"] is not None:
+            # JSON objects key on strings; keep the view round-trippable.
+            out["class_slo_ms"] = {
+                str(k): v for k, v in out["class_slo_ms"].items()
+            }
+        return out

@@ -3,16 +3,23 @@
 One :class:`ServingEngine` run replays an open-loop arrival schedule
 against a snapshot on the simulated heterogeneous server:
 
-- a **source process** enqueues each request at its arrival time (or sheds
-  it when admission control caps the queue) and wakes any idle device
-  worker;
-- one **worker process per GPU** pops up to ``min(cap, queue depth)``
-  requests (``cap`` from that device's
-  :class:`~repro.serve.queue.AdaptiveBatchSizer`, or a fixed size in
-  ``sequential`` mode), runs the real top-k numerics on the host, charges
-  the simulated clock with the cost model's batch time for *this* device
-  at *this* moment (speed profiles keep heterogeneity live during
-  serving), and stamps completion on every request in the batch.
+- a **source process** enqueues each request — tagged with its tenant and
+  priority class — at its arrival time, or sheds it when the
+  :class:`~repro.serve.queue.TenantScheduler`'s admission control rejects
+  or displaces it (lowest-priority work first, per-tenant shed
+  accounting), and wakes any idle device worker;
+- one **worker process per GPU** asks the scheduler for the next batch:
+  strict priority across classes, weighted-fair deficit-round-robin
+  across tenants within a class, up to ``min(cap, class depth)`` requests
+  where ``cap`` comes from that *(device, class)* pair's
+  :class:`~repro.serve.queue.AdaptiveBatchSizer` — each priority class
+  drives its own sizer against its own SLO (``class_slo_ms``) — or a
+  fixed size in ``sequential`` mode. The worker runs the real top-k
+  numerics on the host, charges the simulated clock with the cost model's
+  batch time for *this* device at *this* moment (speed profiles keep
+  heterogeneity live during serving), stamps completion on every request
+  in the batch, and feeds busy time back to the scheduler's utilization
+  estimate (the graded ``admission_utilization`` shed gate).
 
 Orthogonal to the batching mode, ``scoring`` selects the ranking path per
 batch: ``"exact"`` (dense top-k over all ``L`` labels), ``"lsh"`` (the
@@ -31,7 +38,7 @@ under live traffic:
    one serving (``swap_check_every_s`` cadence, publish times on the sim
    clock, so a concurrently-trained schedule replays mid-serve).
 2. *Pinning* — every request is admitted under the version active at its
-   arrival and carries that pin; :meth:`RequestQueue.pop_batch` stops at
+   arrival and carries that pin; :meth:`TenantScheduler.pop_batch` stops at
    version boundaries, so an in-flight batch never mixes weights, and a
    swap never invalidates an admitted request.
 3. *Warming* — the new snapshot is loaded + validated (a corrupt checksum
@@ -73,16 +80,29 @@ import scipy.sparse as sp
 from repro.exceptions import ConfigurationError, ServeError, SnapshotError
 from repro.gpu.cluster import MultiGPUServer
 from repro.serve.config import SCORING_MODES, SERVE_MODES, ServingConfig
-from repro.serve.loadgen import LatencyReport, nearest_rank_percentile
+from repro.serve.loadgen import (
+    LatencyReport,
+    fairness_ratio,
+    grouped_nearest_rank_percentiles,
+    nearest_rank_percentile,
+    per_tenant_stats,
+)
 from repro.serve.predictor import Predictor
-from repro.serve.queue import AdaptiveBatchSizer, Request, RequestQueue
+from repro.serve.queue import (
+    DEFAULT_TENANT,
+    AdaptiveBatchSizer,
+    Request,
+    TenantScheduler,
+)
 from repro.serve.store import SnapshotStore
 from repro.sim.environment import Environment
 from repro.telemetry import NULL, Telemetry
 from repro.telemetry.events import (
     COUNTER_ROLLBACKS,
+    COUNTER_SHED,
     COUNTER_SWAP_FAILURES,
     COUNTER_SWAPS,
+    EVENT_SHED,
     EVENT_SWAP_COMMIT,
     EVENT_SWAP_FAILED,
     EVENT_SWAP_ROLLBACK,
@@ -122,6 +142,14 @@ class ServeResult:
     mean_candidate_fraction: Optional[float] = None
     #: Requests shed by admission control (never completed).
     n_shed: int = 0
+    #: Tenant -> {completed, throughput_rps, p50/p95/p99 ms, n_shed}.
+    tenants: Dict[str, dict] = field(default_factory=dict)
+    #: Priority class -> {completed, p99 ms, n_shed, slo_ms}.
+    per_class: Dict[int, dict] = field(default_factory=dict)
+    #: Max/min weight-normalized tenant throughput (None for one tenant).
+    fairness: Optional[float] = None
+    #: Tenant -> requests shed (sums to ``n_shed``).
+    shed_by_tenant: Dict[str, int] = field(default_factory=dict)
     #: One record per swap attempt: committed swaps, rollbacks, failures.
     swaps: List[dict] = field(default_factory=list)
     #: Swaps that went live (including any later rolled back).
@@ -153,6 +181,20 @@ class ServeResult:
             out["recall_at_k"] = self.recall_at_k
         if self.mean_candidate_fraction is not None:
             out["mean_candidate_fraction"] = self.mean_candidate_fraction
+        if self.tenants:
+            out["tenants"] = {
+                str(t): dict(stats) for t, stats in sorted(self.tenants.items())
+            }
+            out["per_class"] = {
+                str(c): dict(stats)
+                for c, stats in sorted(self.per_class.items())
+            }
+            if self.fairness is not None:
+                out["fairness"] = self.fairness
+            if self.shed_by_tenant:
+                out["shed_by_tenant"] = {
+                    str(t): n for t, n in sorted(self.shed_by_tenant.items())
+                }
         if self.swaps or self.n_shed:
             out.update({
                 "swaps": list(self.swaps),
@@ -227,6 +269,8 @@ class ServingEngine:
         k: Optional[int] = None,
         row_indices: Optional[np.ndarray] = None,
         canary_labels: Optional[sp.csr_matrix] = None,
+        tenants: Optional[np.ndarray] = None,
+        priority_classes: Optional[np.ndarray] = None,
     ) -> ServeResult:
         """Replay ``arrival_times`` over ``X_queries``; return the result.
 
@@ -235,6 +279,11 @@ class ServingEngine:
         the simulated clock advances by the cost model's per-batch time
         for whichever scoring path the policy picked. ``k`` defaults to the
         config's.
+
+        ``tenants`` / ``priority_classes`` (aligned with arrivals) tag each
+        request for the scheduler; defaults are one tenant, class 0 — the
+        single-tenant degenerate case, which dispatches in plain FIFO
+        order. Classes must be in ``[0, config.priority_classes)``.
 
         ``canary_labels`` (sparse, aligned row-for-row with ``X_queries``)
         arms the hot-swap recall canary: after each swap commits, labeled
@@ -270,6 +319,32 @@ class ServingEngine:
                     f"canary_labels rows ({canary_labels.shape[0]}) must "
                     f"match X_queries rows ({X_queries.shape[0]})"
                 )
+        if tenants is None:
+            tenant_tags = np.full(n_requests, DEFAULT_TENANT, dtype=object)
+        else:
+            tenant_tags = np.asarray(tenants, dtype=object)
+            if tenant_tags.size != n_requests:
+                raise ConfigurationError(
+                    f"{tenant_tags.size} tenants for {n_requests} arrivals"
+                )
+        if priority_classes is None:
+            class_tags = np.zeros(n_requests, dtype=np.int64)
+        else:
+            class_tags = np.asarray(priority_classes, dtype=np.int64)
+            if class_tags.size != n_requests:
+                raise ConfigurationError(
+                    f"{class_tags.size} priority classes for "
+                    f"{n_requests} arrivals"
+                )
+            if class_tags.size and (
+                class_tags.min() < 0
+                or class_tags.max() >= cfg.priority_classes
+            ):
+                raise ConfigurationError(
+                    f"priority classes must be in "
+                    f"[0, {cfg.priority_classes}); "
+                    f"got range [{class_tags.min()}, {class_tags.max()}]"
+                )
         if self.scoring in ("lsh", "auto") and not self.predictor._lsh_built:
             self.predictor.rebuild_lsh()
         if (
@@ -284,20 +359,42 @@ class ServingEngine:
 
         env = Environment()
         tel = self.telemetry
-        queue = RequestQueue(max_depth=cfg.max_queue_depth)
+        scheduler = TenantScheduler(
+            n_priority_classes=cfg.priority_classes,
+            weights=cfg.tenant_weights,
+            max_depth=cfg.max_queue_depth,
+            admission_utilization=cfg.admission_utilization,
+            n_devices=self.server.n_gpus,
+            quantum=cfg.wfq_quantum,
+        )
         requests = [
-            Request(req_id=i, row=int(row_indices[i]), t_arrival=float(t))
+            Request(
+                req_id=i,
+                row=int(row_indices[i]),
+                t_arrival=float(t),
+                tenant=str(tenant_tags[i]),
+                priority_class=int(class_tags[i]),
+            )
             for i, t in enumerate(arrival_times)
         ]
-        sizers = {
-            gpu.device_id: AdaptiveBatchSizer(
-                b_min=self.b_min,
-                b_max=self.b_max,
-                beta=self.beta,
-                target_latency_s=self.target_latency_s,
-            )
-            for gpu in self.server.gpus
-        }
+        # One sizer per (device, priority class): each class batches
+        # against its own SLO on each device's own service-time feedback.
+        sizers: Dict[tuple, AdaptiveBatchSizer] = {}
+
+        def _sizer(device: int, priority_class: int) -> AdaptiveBatchSizer:
+            key = (device, priority_class)
+            sizer = sizers.get(key)
+            if sizer is None:
+                sizer = sizers[key] = AdaptiveBatchSizer(
+                    b_min=self.b_min,
+                    b_max=self.b_max,
+                    beta=self.beta,
+                    target_latency_s=cfg.class_target_latency_s(
+                        priority_class
+                    ),
+                )
+            return sizer
+
         per_device: Dict[int, int] = {g.device_id: 0 for g in self.server.gpus}
         batch_sizes: List[int] = []
         scoring_batches: Dict[str, int] = {}
@@ -341,9 +438,22 @@ class ServingEngine:
                 if delay > 0:
                     yield env.timeout(delay)
                 request.version = active["version"]
-                if queue.push(request):
+                shed = scheduler.push(request, now=env.now)
+                if not request.shed:
                     pins[request.version] = pins.get(request.version, 0) + 1
                     _wake_all()
+                if shed is not None:
+                    tel.counter(COUNTER_SHED, 1)
+                    tel.instant(
+                        EVENT_SHED,
+                        tenant=shed.tenant,
+                        priority_class=shed.priority_class,
+                        reason=shed.shed_reason,
+                    )
+                    if shed is not request:
+                        # A queued request was displaced: release its pin.
+                        pins[shed.version] -= 1
+                        _retire(shed.version)
             state["arrivals_done"] = True
             _wake_all()
             return None
@@ -362,18 +472,19 @@ class ServingEngine:
 
         def worker(env: Environment, gpu):
             device = gpu.device_id
-            sizer = sizers[device]
             while True:
-                if queue.depth == 0:
+                if scheduler.depth == 0:
                     if state["arrivals_done"]:
                         return None
                     yield state["wakeup"]
                     continue
+                batch_class = scheduler.next_class()
+                sizer = _sizer(device, batch_class)
                 cap = (
                     sizer.cap if self.mode == "adaptive"
                     else self.fixed_batch_size
                 )
-                batch = queue.pop_batch(cap)
+                batch = scheduler.pop_batch(cap)
                 version = batch[0].version
                 pred = predictors[version]
                 t_dispatch = env.now
@@ -416,7 +527,7 @@ class ServingEngine:
                     batch_fraction = None
                 span_args = dict(
                     size=len(batch), nnz=int(X_batch.nnz), scoring=chosen,
-                    version=version,
+                    version=version, priority_class=batch_class,
                 )
                 if batch_fraction is not None:
                     span_args["candidate_fraction"] = batch_fraction
@@ -424,6 +535,7 @@ class ServingEngine:
                     yield env.timeout(service)
                 t_done = env.now
                 gpu.record_busy(service, start=t_dispatch, tag="serve")
+                scheduler.observe_busy(service)
                 scoring_batches[chosen] = scoring_batches.get(chosen, 0) + 1
                 for request in batch:
                     request.t_dispatch = t_dispatch
@@ -439,6 +551,8 @@ class ServingEngine:
                         batch=len(batch),
                         device_id=device,
                         version=version,
+                        tenant=request.tenant,
+                        priority_class=request.priority_class,
                     )
                 request_labels = np.asarray(labels)
                 for j, request in enumerate(batch):
@@ -455,7 +569,7 @@ class ServingEngine:
                     tel.gauge(GAUGE_BATCH_SIZE, new_cap, device=device)
 
         def _drained() -> bool:
-            return state["arrivals_done"] and queue.depth == 0
+            return state["arrivals_done"] and scheduler.depth == 0
 
         def _canary_recall(pred: Predictor) -> float:
             """Labeled recall@k of ``pred`` on the deterministic probe
@@ -638,18 +752,62 @@ class ServingEngine:
         mis_versioned = sum(
             1 for r in served if r.served_version != r.version
         )
-        latencies = np.array([r.latency_s for r in served])
-        queue_delays = np.array([r.queue_s for r in served])
-        makespan = max(r.t_done for r in served) - min(
-            r.t_arrival for r in served
+        # Vectorized accounting: one pass to lift the timestamps out of the
+        # request objects, then pure array math (bulk single-sort
+        # percentiles) — no per-request Python in the report path.
+        n_served = len(served)
+        t_arr = np.fromiter((r.t_arrival for r in served), np.float64, n_served)
+        t_done = np.fromiter((r.t_done for r in served), np.float64, n_served)
+        t_disp = np.fromiter(
+            (r.t_dispatch for r in served), np.float64, n_served
         )
+        latencies = t_done - t_arr
+        queue_delays = t_disp - t_arr
+        makespan = float(t_done.max() - t_arr.min())
+        multi_tenant = tenants is not None or priority_classes is not None
+        tenant_stats: Dict[str, dict] = {}
+        class_stats: Dict[int, dict] = {}
+        fairness = None
+        if multi_tenant:
+            served_tenants = np.array(
+                [r.tenant for r in served], dtype=object
+            )
+            served_classes = np.fromiter(
+                (r.priority_class for r in served), np.int64, n_served
+            )
+            tenant_stats = per_tenant_stats(
+                served_tenants,
+                latencies,
+                makespan_s=makespan,
+                shed_by_tenant=scheduler.shed_by_tenant,
+                classes=served_classes,
+            )
+            fairness = fairness_ratio(tenant_stats, cfg.tenant_weights)
+            class_p99 = grouped_nearest_rank_percentiles(
+                served_classes, latencies, (99.0,), cfg.priority_classes
+            )
+            class_counts = np.bincount(
+                served_classes, minlength=cfg.priority_classes
+            )
+            for c in range(cfg.priority_classes):
+                n_class = int(class_counts[c])
+                n_class_shed = int(scheduler.shed_by_class.get(c, 0))
+                if n_class == 0 and n_class_shed == 0:
+                    continue
+                class_stats[c] = {
+                    "completed": n_class,
+                    "latency_p99_ms": float(class_p99[c, 0]) * 1e3,
+                    "n_shed": n_class_shed,
+                    "slo_ms": cfg.class_target_latency_s(c) * 1e3,
+                }
         report = LatencyReport(
-            n_requests=len(served),
+            n_requests=n_served,
             makespan_s=makespan,
             latencies_s=latencies,
             queue_delays_s=queue_delays,
             batch_sizes=batch_sizes,
-            n_shed=queue.n_shed,
+            n_shed=scheduler.n_shed,
+            shed_by_tenant=dict(scheduler.shed_by_tenant),
             meta={
                 "mode": self.mode,
                 "scoring": self.scoring,
@@ -661,7 +819,7 @@ class ServingEngine:
             requests=requests,
             report=report,
             per_device=per_device,
-            max_queue_depth=queue.max_depth,
+            max_queue_depth=scheduler.max_depth,
             recall_at_k=None,
             k=k,
             scoring=self.scoring,
@@ -669,7 +827,11 @@ class ServingEngine:
             mean_candidate_fraction=(
                 float(np.mean(lsh_fractions)) if lsh_fractions else None
             ),
-            n_shed=queue.n_shed,
+            n_shed=scheduler.n_shed,
+            tenants=tenant_stats,
+            per_class=class_stats,
+            fairness=fairness,
+            shed_by_tenant=dict(scheduler.shed_by_tenant),
             swaps=swap_records,
             n_swaps=counters["swaps"],
             n_rollbacks=counters["rollbacks"],

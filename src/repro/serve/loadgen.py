@@ -15,13 +15,23 @@ Two arrival patterns:
   diurnal-peak shape the adaptive batch sizer must absorb.
 
 Percentiles use the nearest-rank definition (the p-th percentile is an
-actually-observed latency, never an interpolation).
+actually-observed latency, never an interpolation). The accounting path
+is vectorized for million-request runs: one sort serves every percentile
+of a distribution (:func:`nearest_rank_percentiles`), and one lexsort
+serves every per-tenant percentile at once
+(:func:`grouped_nearest_rank_percentiles`) — the bench never loops over
+requests in Python.
+
+Multi-tenant scenarios are described by a list of :class:`TenantLoad`
+(one open-loop :class:`LoadSpec` per tenant plus its priority class);
+:func:`generate_multi_tenant_arrivals` merges the per-tenant schedules
+into one globally-sorted arrival array with aligned tenant/class arrays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,9 +40,15 @@ from repro.utils.rng import RngFactory
 
 __all__ = [
     "LoadSpec",
+    "TenantLoad",
     "generate_arrivals",
+    "generate_multi_tenant_arrivals",
     "sample_query_rows",
     "nearest_rank_percentile",
+    "nearest_rank_percentiles",
+    "grouped_nearest_rank_percentiles",
+    "per_tenant_stats",
+    "fairness_ratio",
     "LatencyReport",
 ]
 
@@ -109,6 +125,55 @@ def generate_arrivals(spec: LoadSpec) -> np.ndarray:
     return np.cumsum(np.concatenate(gaps))
 
 
+@dataclass(frozen=True)
+class TenantLoad:
+    """One tenant's slice of a multi-tenant scenario."""
+
+    tenant: str
+    spec: LoadSpec
+    #: Priority class the tenant's requests are tagged with (0 = highest).
+    priority_class: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.priority_class < 0:
+            raise ConfigurationError(
+                f"priority_class must be >= 0, got {self.priority_class}"
+            )
+
+
+def generate_multi_tenant_arrivals(
+    loads: Sequence[TenantLoad],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge per-tenant open-loop schedules into one global arrival stream.
+
+    Returns ``(times, tenants, classes)`` — aligned arrays sorted by
+    arrival time (stable, so simultaneous arrivals keep the declared
+    tenant order). Each tenant's arrivals come from its own
+    :func:`generate_arrivals` draw, so a tenant's schedule is identical
+    whether it runs solo or alongside neighbors — exactly what a
+    noisy-neighbor comparison needs.
+    """
+    if not loads:
+        raise ConfigurationError("need at least one TenantLoad")
+    names = [ld.tenant for ld in loads]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate tenant names in {names}")
+    per_tenant = [generate_arrivals(ld.spec) for ld in loads]
+    times = np.concatenate(per_tenant)
+    tenants = np.concatenate([
+        np.full(arr.size, ld.tenant, dtype=object)
+        for arr, ld in zip(per_tenant, loads)
+    ])
+    classes = np.concatenate([
+        np.full(arr.size, ld.priority_class, dtype=np.int64)
+        for arr, ld in zip(per_tenant, loads)
+    ])
+    order = np.argsort(times, kind="stable")
+    return times[order], tenants[order], classes[order]
+
+
 def sample_query_rows(
     n_rows: int, n_requests: int, *, seed: int = 0
 ) -> np.ndarray:
@@ -134,9 +199,165 @@ def nearest_rank_percentile(
     return float(arr[max(rank, 1) - 1])
 
 
+def nearest_rank_percentiles(
+    values: Sequence[float], percentiles: Sequence[float]
+) -> np.ndarray:
+    """All requested nearest-rank percentiles from **one** sort.
+
+    Identical semantics to calling :func:`nearest_rank_percentile` per
+    ``p``, but O(n log n + len(ps)) instead of a sort per percentile —
+    the bulk path million-request reports go through.
+    """
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        raise ConfigurationError("percentile of an empty sample")
+    ps = np.asarray(percentiles, dtype=np.float64)
+    if ps.size and (ps.min() <= 0.0 or ps.max() > 100.0):
+        raise ConfigurationError(
+            f"percentiles must be in (0, 100], got {percentiles}"
+        )
+    ranks = np.ceil(ps / 100.0 * arr.size).astype(np.int64)
+    return arr[np.maximum(ranks, 1) - 1]
+
+
+def grouped_nearest_rank_percentiles(
+    group_codes: np.ndarray,
+    values: np.ndarray,
+    percentiles: Sequence[float],
+    n_groups: int,
+) -> np.ndarray:
+    """Nearest-rank percentiles per group from **one** lexsort.
+
+    ``group_codes`` holds ints in ``[0, n_groups)`` aligned with
+    ``values``; returns an ``(n_groups, len(percentiles))`` array whose
+    row ``g`` matches ``nearest_rank_percentiles(values[codes == g], ps)``.
+    Empty groups yield NaN rows. This is the vectorized per-tenant
+    accounting path: no Python loop over requests, one sort total.
+    """
+    codes = np.asarray(group_codes, dtype=np.int64)
+    vals = np.asarray(values, dtype=np.float64)
+    if codes.shape != vals.shape:
+        raise ConfigurationError(
+            f"group_codes {codes.shape} and values {vals.shape} must align"
+        )
+    if n_groups < 1:
+        raise ConfigurationError(f"n_groups must be >= 1, got {n_groups}")
+    if codes.size and (codes.min() < 0 or codes.max() >= n_groups):
+        raise ConfigurationError("group code outside [0, n_groups)")
+    ps = np.asarray(percentiles, dtype=np.float64)
+    if ps.size and (ps.min() <= 0.0 or ps.max() > 100.0):
+        raise ConfigurationError(
+            f"percentiles must be in (0, 100], got {percentiles}"
+        )
+    order = np.lexsort((vals, codes))
+    sorted_codes = codes[order]
+    sorted_vals = vals[order]
+    group_ids = np.arange(n_groups, dtype=np.int64)
+    starts = np.searchsorted(sorted_codes, group_ids, side="left")
+    ends = np.searchsorted(sorted_codes, group_ids, side="right")
+    sizes = ends - starts  # (n_groups,)
+    ranks = np.ceil(ps[None, :] / 100.0 * sizes[:, None]).astype(np.int64)
+    idx = starts[:, None] + np.maximum(ranks, 1) - 1
+    out = np.full((n_groups, ps.size), np.nan)
+    nonempty = sizes > 0
+    out[nonempty] = sorted_vals[
+        np.minimum(idx[nonempty], (ends[:, None] - 1)[nonempty])
+    ]
+    return out
+
+
+def per_tenant_stats(
+    tenants: Sequence[str],
+    latencies_s: np.ndarray,
+    *,
+    makespan_s: float,
+    shed_by_tenant: Optional[Dict[str, int]] = None,
+    classes: Optional[np.ndarray] = None,
+) -> Dict[str, dict]:
+    """Per-tenant completion/latency/shed summary, fully vectorized.
+
+    ``tenants`` aligns with ``latencies_s`` (completed requests only —
+    shed requests never have latencies and arrive via ``shed_by_tenant``).
+    """
+    shed_by_tenant = dict(shed_by_tenant or {})
+    tenant_arr = np.asarray(tenants, dtype=object)
+    lats = np.asarray(latencies_s, dtype=np.float64)
+    if tenant_arr.shape != lats.shape:
+        raise ConfigurationError(
+            f"tenants {tenant_arr.shape} and latencies {lats.shape} must align"
+        )
+    names, codes = np.unique(tenant_arr, return_inverse=True)
+    pcts = grouped_nearest_rank_percentiles(
+        codes, lats, (50.0, 95.0, 99.0), len(names)
+    )
+    counts = np.bincount(codes, minlength=len(names))
+    stats: Dict[str, dict] = {}
+    for g, name in enumerate(names):
+        entry = {
+            "completed": int(counts[g]),
+            "throughput_rps": (
+                float(counts[g] / makespan_s) if makespan_s > 0 else 0.0
+            ),
+            "latency_p50_ms": float(pcts[g, 0]) * 1e3,
+            "latency_p95_ms": float(pcts[g, 1]) * 1e3,
+            "latency_p99_ms": float(pcts[g, 2]) * 1e3,
+            "n_shed": int(shed_by_tenant.pop(str(name), 0)),
+        }
+        if classes is not None:
+            cls = np.asarray(classes)[tenant_arr == name]
+            entry["priority_classes"] = sorted(
+                int(c) for c in np.unique(cls)
+            )
+        stats[str(name)] = entry
+    # Tenants that were shed out of existence still get a row — shed
+    # requests must not vanish from accounting.
+    for name, n in sorted(shed_by_tenant.items()):
+        stats[str(name)] = {
+            "completed": 0,
+            "throughput_rps": 0.0,
+            "latency_p50_ms": float("nan"),
+            "latency_p95_ms": float("nan"),
+            "latency_p99_ms": float("nan"),
+            "n_shed": int(n),
+        }
+    return stats
+
+
+def fairness_ratio(
+    stats: Dict[str, dict],
+    weights: Optional[Dict[str, float]] = None,
+) -> Optional[float]:
+    """Max/min weight-normalized tenant throughput (1.0 = perfectly fair).
+
+    ``None`` for fewer than two tenants, ``inf`` when a tenant was starved
+    to zero throughput while another completed work.
+    """
+    if len(stats) < 2:
+        return None
+    weights = weights or {}
+    shares = [
+        entry["throughput_rps"] / float(weights.get(name, 1.0))
+        for name, entry in stats.items()
+    ]
+    lo, hi = min(shares), max(shares)
+    if hi == 0.0:
+        return None
+    if lo == 0.0:
+        return float("inf")
+    return float(hi / lo)
+
+
 @dataclass
 class LatencyReport:
-    """p50/p95/p99 + throughput summary of one serving run."""
+    """p50/p95/p99 + throughput summary of one serving run.
+
+    **Shed semantics, pinned:** ``latencies_s`` holds *completed* requests
+    only. A shed request never completes, never contributes a latency, and
+    therefore never appears in any percentile or mean — it is accounted
+    *only* through ``n_shed`` and the per-tenant ``shed_by_tenant`` map.
+    ``n_requests`` counts completions; the offered load of a run is
+    ``n_requests + n_shed``.
+    """
 
     n_requests: int
     #: Wall-clock from first arrival to last response (simulated seconds).
@@ -144,9 +365,12 @@ class LatencyReport:
     latencies_s: np.ndarray
     queue_delays_s: np.ndarray
     batch_sizes: List[int] = field(default_factory=list)
-    #: Requests rejected by admission control (queue at max depth); these
-    #: never complete and are excluded from the latency distribution.
+    #: Requests rejected by admission control (capacity, utilization gate,
+    #: or displacement); these never complete and are excluded from the
+    #: latency distribution by construction.
     n_shed: int = 0
+    #: Tenant -> requests shed; sums to ``n_shed`` on multi-tenant runs.
+    shed_by_tenant: Dict[str, int] = field(default_factory=dict)
     #: Extra scenario identity carried into the JSON report.
     meta: Dict[str, object] = field(default_factory=dict)
 
@@ -158,7 +382,7 @@ class LatencyReport:
         return self.n_requests / self.makespan_s
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank latency percentile in seconds."""
+        """Nearest-rank latency percentile in seconds (completed only)."""
         return nearest_rank_percentile(self.latencies_s, p)
 
     @property
@@ -170,13 +394,14 @@ class LatencyReport:
 
     def as_dict(self) -> dict:
         """JSON-safe summary (what ``BENCH_serve.json`` stores)."""
-        return {
+        p50, p95, p99 = nearest_rank_percentiles(self.latencies_s, (50, 95, 99))
+        out = {
             "n_requests": self.n_requests,
             "makespan_s": float(self.makespan_s),
             "throughput_rps": self.throughput_rps,
-            "latency_p50_ms": self.percentile(50) * 1e3,
-            "latency_p95_ms": self.percentile(95) * 1e3,
-            "latency_p99_ms": self.percentile(99) * 1e3,
+            "latency_p50_ms": float(p50) * 1e3,
+            "latency_p95_ms": float(p95) * 1e3,
+            "latency_p99_ms": float(p99) * 1e3,
             "latency_mean_ms": float(np.mean(self.latencies_s)) * 1e3,
             "queue_p95_ms": (
                 nearest_rank_percentile(self.queue_delays_s, 95) * 1e3
@@ -188,3 +413,8 @@ class LatencyReport:
             "n_shed": self.n_shed,
             **{str(k): v for k, v in self.meta.items()},
         }
+        if self.shed_by_tenant:
+            out["shed_by_tenant"] = {
+                str(t): int(n) for t, n in sorted(self.shed_by_tenant.items())
+            }
+        return out

@@ -1,9 +1,31 @@
-"""Request coalescing: the serving queue and the adaptive batch sizer.
+"""Request coalescing: tenant-aware scheduling and the adaptive batch sizer.
+
+Two generations of queue live here. :class:`RequestQueue` is the original
+single-tenant FIFO (kept as the reference semantics and for direct use);
+:class:`TenantScheduler` is the multi-tenant scheduler the engine now
+dispatches from:
+
+- **strict priority tiers** — a batch is always drawn from the highest
+  non-empty priority class (class 0 outranks class 1, and so on);
+- **weighted-fair queueing within a tier** — tenants in the same class
+  share it by deficit-round-robin (DRR): each visit grants a tenant
+  ``quantum x weight`` credits and one request costs one credit, so over
+  any backlogged interval tenants are served in proportion to their
+  weights, with an O(1) per-pop cost and a bounded per-round deviation;
+- **admission control** — a total queue-depth cap plus an optional
+  utilization threshold. Capacity pressure sheds *lowest-priority work
+  first*: an arrival displaces the newest request of the lowest-priority
+  class (drawn from that class's deepest tenant queue) whenever it
+  outranks it, and is shed at the door only when it is itself the worst
+  work present. The utilization gate sheds graded by class — with
+  threshold ``u`` and ``P+1`` classes, class ``p`` is rejected once
+  estimated utilization reaches ``u + (1-u)(P-p)/P`` — so lower classes
+  always shed earlier and class 0 is never utilization-shed.
 
 The engine's dispatch rule is Clipper-style adaptive micro-batching driven
-by the paper's Algorithm-1 update shape. Each device owns an
-:class:`AdaptiveBatchSizer` holding a real-valued batch-size cap ``b``;
-after every batch it executes the linear rule
+by the paper's Algorithm-1 update shape. Each priority class on each
+device owns an :class:`AdaptiveBatchSizer` holding a real-valued
+batch-size cap ``b``; after every batch it executes the linear rule
 
     ``b ← b + β · b · (target − observed) / target``
 
@@ -26,12 +48,15 @@ the ceiling, the queue sets the demand.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set
 
 from repro.exceptions import ConfigurationError, ServeError
 
-__all__ = ["Request", "RequestQueue", "AdaptiveBatchSizer"]
+__all__ = ["Request", "RequestQueue", "TenantScheduler", "AdaptiveBatchSizer"]
+
+#: Tenant name used when a workload does not specify one.
+DEFAULT_TENANT = "default"
 
 
 @dataclass
@@ -54,8 +79,17 @@ class Request:
     version: Optional[int] = None
     #: Model version that actually scored it (must equal ``version``).
     served_version: Optional[int] = None
-    #: True when admission control rejected the request (queue at capacity).
+    #: True when admission control rejected the request (queue at capacity,
+    #: utilization gate, or displaced by higher-priority work).
     shed: bool = False
+    #: Tenant the request bills to (scheduling + accounting key).
+    tenant: str = DEFAULT_TENANT
+    #: Priority class; 0 is the most important, larger is shed/served later.
+    priority_class: int = 0
+    #: Why the request was shed: ``"capacity"`` (full queue, nothing worse
+    #: to displace), ``"utilization"`` (graded load gate), or
+    #: ``"displaced"`` (evicted by a more important arrival).
+    shed_reason: Optional[str] = None
 
     @property
     def latency_s(self) -> float:
@@ -145,6 +179,299 @@ class RequestQueue:
     @property
     def n_shed(self) -> int:
         """Requests rejected by admission control."""
+        return self._shed
+
+    @property
+    def max_depth_limit(self) -> Optional[int]:
+        """The configured depth cap (``None`` = unbounded)."""
+        return self._limit
+
+
+@dataclass
+class _Tier:
+    """Per-priority-class scheduling state: tenant queues + DRR rotation."""
+
+    queues: Dict[str, Deque[Request]] = field(default_factory=dict)
+    #: Round-robin rotation of tenants with (possibly lazily-empty) queues.
+    active: Deque[str] = field(default_factory=deque)
+    in_active: Set[str] = field(default_factory=set)
+    deficit: Dict[str, float] = field(default_factory=dict)
+    depth: int = 0
+
+
+class TenantScheduler:
+    """Multi-tenant request scheduler: priority tiers over weighted DRR.
+
+    Dispatch order (:meth:`pop_batch`):
+
+    1. pick the highest-priority (lowest-numbered) class with queued work —
+       strict priority, re-evaluated at every dispatch;
+    2. within that class, serve tenants by deficit-round-robin: a visit
+       replenishes the head tenant's deficit by ``quantum × weight`` and
+       pops one request per whole credit, rotating when credit runs out.
+       Backlogged tenants therefore share a class in proportion to their
+       weights regardless of how fast each one pushes;
+    3. a batch never crosses a model-version boundary (hot-swap pinning)
+       and never mixes priority classes (each class has its own SLO and
+       sizer), but freely mixes tenants of the same class.
+
+    Admission (:meth:`push`) sheds lowest-priority work first:
+
+    - with ``admission_utilization`` = ``u`` set, class ``p > 0`` is shed at
+      the door once estimated utilization (busy device-time / elapsed
+      capacity, via :meth:`observe_busy`) reaches
+      ``u + (1 - u) * (P - p) / P`` where ``P`` is the worst class — a
+      graded gate, strictly laxer for more important classes, and never
+      applied to class 0;
+    - with ``max_depth`` reached, the arrival is weighed against the worst
+      (numerically largest) class currently queued: a strictly more
+      important arrival *displaces* the newest request of that class's
+      deepest tenant; a same-class arrival displaces only when some other
+      tenant in the class holds strictly more queued work than its own
+      (so a lone tenant degenerates to :class:`RequestQueue` shed-at-door
+      semantics, and a flooding tenant can never displace a light one);
+      otherwise the arrival itself is shed.
+
+    ``push`` returns the shed request (the arrival or the displaced
+    victim) with ``request.shed`` set, or ``None`` on a clean admit — the
+    caller owns any per-version pin bookkeeping for displaced requests.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_priority_classes: int = 1,
+        weights: Optional[Dict[str, float]] = None,
+        max_depth: Optional[int] = None,
+        admission_utilization: Optional[float] = None,
+        n_devices: int = 1,
+        quantum: float = 1.0,
+    ) -> None:
+        if n_priority_classes < 1:
+            raise ConfigurationError(
+                f"n_priority_classes must be >= 1, got {n_priority_classes}"
+            )
+        if max_depth is not None and max_depth < 1:
+            raise ConfigurationError(
+                f"max_depth must be >= 1 or None, got {max_depth}"
+            )
+        if admission_utilization is not None and not (
+            0.0 < admission_utilization <= 1.0
+        ):
+            raise ConfigurationError(
+                f"admission_utilization must be in (0, 1] or None, "
+                f"got {admission_utilization}"
+            )
+        if n_devices < 1:
+            raise ConfigurationError(f"n_devices must be >= 1, got {n_devices}")
+        if quantum <= 0:
+            raise ConfigurationError(f"quantum must be > 0, got {quantum}")
+        for tenant, w in (weights or {}).items():
+            if not (w > 0):
+                raise ConfigurationError(
+                    f"tenant weight must be > 0, got {tenant!r}: {w}"
+                )
+        self.n_classes = int(n_priority_classes)
+        self._weights = dict(weights or {})
+        self._limit = max_depth
+        self._util_threshold = admission_utilization
+        self._n_devices = int(n_devices)
+        self._quantum = float(quantum)
+        self._tiers = [_Tier() for _ in range(self.n_classes)]
+        self._depth = 0
+        self._max_depth = 0
+        self._total = 0
+        self._shed = 0
+        self._busy_s = 0.0
+        self.shed_by_tenant: Dict[str, int] = {}
+        self.shed_by_class: Dict[int, int] = {}
+
+    # -- load estimate -------------------------------------------------------
+
+    def observe_busy(self, service_s: float) -> None:
+        """Account completed busy device-time (feeds the utilization gate)."""
+        if service_s < 0:
+            raise ConfigurationError(
+                f"service_s must be >= 0, got {service_s}"
+            )
+        self._busy_s += float(service_s)
+
+    def utilization(self, now: float) -> float:
+        """Fraction of elapsed cluster capacity spent busy, in [0, 1]."""
+        if now <= 0.0:
+            return 0.0
+        return min(1.0, self._busy_s / (self._n_devices * now))
+
+    def shed_gate(self, priority_class: int) -> Optional[float]:
+        """Utilization at which ``priority_class`` is shed (None = never)."""
+        if self._util_threshold is None or priority_class <= 0:
+            return None
+        worst = self.n_classes - 1
+        u = self._util_threshold
+        return u + (1.0 - u) * (worst - priority_class) / worst
+
+    # -- admission -----------------------------------------------------------
+
+    def push(self, request: Request, *, now: float = 0.0) -> Optional[Request]:
+        """Admit one arrival; returns the shed request, if any, else None."""
+        p = request.priority_class
+        if not (0 <= p < self.n_classes):
+            raise ConfigurationError(
+                f"priority_class must be in [0, {self.n_classes}), got {p}"
+            )
+        gate = self.shed_gate(p)
+        if gate is not None and self.utilization(now) >= gate:
+            return self._shed_request(request, "utilization")
+        if self._limit is not None and self._depth >= self._limit:
+            victim = self._capacity_victim(request)
+            if victim is request:
+                return self._shed_request(request, "capacity")
+            self._evict(victim)
+            self._admit(request)
+            return self._shed_request(victim, "displaced")
+        self._admit(request)
+        return None
+
+    def _shed_request(self, request: Request, reason: str) -> Request:
+        request.shed = True
+        request.shed_reason = reason
+        self._shed += 1
+        self.shed_by_tenant[request.tenant] = (
+            self.shed_by_tenant.get(request.tenant, 0) + 1
+        )
+        self.shed_by_class[request.priority_class] = (
+            self.shed_by_class.get(request.priority_class, 0) + 1
+        )
+        return request
+
+    def _capacity_victim(self, request: Request) -> Request:
+        """Pick what a full queue sheds: the arrival or a queued request."""
+        worst_p = max(p for p, t in enumerate(self._tiers) if t.depth > 0)
+        p = request.priority_class
+        if p > worst_p:
+            return request
+        tier = self._tiers[worst_p]
+        # Deepest tenant queue in the worst class; name breaks ties so the
+        # choice is deterministic regardless of dict insertion order.
+        victim_tenant = max(
+            (t for t, q in tier.queues.items() if q),
+            key=lambda t: (len(tier.queues[t]), t),
+        )
+        if p == worst_p:
+            own = len(tier.queues.get(request.tenant, ()))
+            if len(tier.queues[victim_tenant]) <= own:
+                return request
+        return tier.queues[victim_tenant][-1]
+
+    def _evict(self, victim: Request) -> None:
+        tier = self._tiers[victim.priority_class]
+        q = tier.queues[victim.tenant]
+        assert q[-1] is victim
+        q.pop()
+        tier.depth -= 1
+        self._depth -= 1
+        # An emptied queue stays in the rotation; pop_batch skips and
+        # retires it lazily.
+
+    def _admit(self, request: Request) -> None:
+        tier = self._tiers[request.priority_class]
+        tenant = request.tenant
+        q = tier.queues.get(tenant)
+        if q is None:
+            q = tier.queues[tenant] = deque()
+        if tenant not in tier.in_active:
+            tier.active.append(tenant)
+            tier.in_active.add(tenant)
+            tier.deficit.setdefault(tenant, 0.0)
+        q.append(request)
+        tier.depth += 1
+        self._depth += 1
+        self._total += 1
+        if self._depth > self._max_depth:
+            self._max_depth = self._depth
+
+    # -- dispatch ------------------------------------------------------------
+
+    def next_class(self) -> Optional[int]:
+        """Highest-priority class with queued work (what pop_batch serves)."""
+        for p, tier in enumerate(self._tiers):
+            if tier.depth > 0:
+                return p
+        return None
+
+    def pop_batch(self, max_size: int) -> List[Request]:
+        """Dequeue up to ``max_size`` requests via priority + weighted DRR.
+
+        The batch is single-class, single-version (stops at a hot-swap
+        boundary), and non-empty whenever work is queued — the scheduler
+        is work-conserving.
+        """
+        if max_size < 1:
+            raise ConfigurationError(f"max_size must be >= 1, got {max_size}")
+        p = self.next_class()
+        if p is None:
+            return []
+        tier = self._tiers[p]
+        batch: List[Request] = []
+        while len(batch) < max_size and tier.depth > 0:
+            tenant = tier.active[0]
+            q = tier.queues.get(tenant)
+            if not q:
+                self._retire_head(tier)
+                continue
+            if tier.deficit[tenant] < 1.0:
+                tier.deficit[tenant] += self._quantum * self._weights.get(
+                    tenant, 1.0
+                )
+                if tier.deficit[tenant] < 1.0:
+                    tier.active.rotate(-1)
+                    continue
+            head = q[0]
+            if batch and head.version != batch[0].version:
+                break
+            batch.append(q.popleft())
+            tier.depth -= 1
+            self._depth -= 1
+            tier.deficit[tenant] -= 1.0
+            if not q:
+                self._retire_head(tier)
+            elif tier.deficit[tenant] < 1.0:
+                tier.active.rotate(-1)
+        return batch
+
+    @staticmethod
+    def _retire_head(tier: _Tier) -> None:
+        tenant = tier.active.popleft()
+        tier.in_active.discard(tenant)
+        tier.deficit[tenant] = 0.0
+
+    # -- accounting ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._depth
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued across all classes and tenants."""
+        return self._depth
+
+    def class_depth(self, priority_class: int) -> int:
+        """Requests currently queued in one priority class."""
+        return self._tiers[priority_class].depth
+
+    @property
+    def max_depth(self) -> int:
+        """High-water mark of the total queue depth."""
+        return self._max_depth
+
+    @property
+    def total_enqueued(self) -> int:
+        """Total requests ever admitted (displaced admits still count)."""
+        return self._total
+
+    @property
+    def n_shed(self) -> int:
+        """Requests rejected or displaced by admission control."""
         return self._shed
 
     @property

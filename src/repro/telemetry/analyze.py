@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.telemetry.events import (
     COUNTER_UPDATES,
+    EVENT_SHED,
     EVENT_SWAP_COMMIT,
     EVENT_SWAP_FAILED,
     EVENT_SWAP_ROLLBACK,
@@ -45,6 +46,7 @@ __all__ = [
     "utilization_lanes",
     "scoring_split",
     "swap_events",
+    "tenant_breakdown",
     "analyze_report",
 ]
 
@@ -588,6 +590,108 @@ def swap_events(run: "RunData") -> Optional[dict]:
     return out
 
 
+def tenant_breakdown(run: "RunData") -> Optional[dict]:
+    """Per-tenant/per-class serving summary from a multi-tenant trace.
+
+    Reads the ``tenant`` / ``priority_class`` args the engine stamps on
+    ``serve.request`` spans plus the ``admission.shed`` instants. Returns
+    ``None`` for single-tenant runs with no shed activity (legacy traces
+    stay unchanged). Tenant throughput here is completions over the run's
+    request window; ``fairness`` is the raw max/min tenant throughput
+    ratio (weights are an engine-side config, not in the trace).
+    """
+    from repro.serve.loadgen import nearest_rank_percentiles
+
+    requests = run.spans_named(SPAN_SERVE_REQUEST)
+    tagged = [s for s in requests if "tenant" in s.args]
+    sheds = [i for i in run.instants if i.name == EVENT_SHED]
+    if not tagged and not sheds:
+        return None
+    tenant_names = {str(s.args["tenant"]) for s in tagged}
+    if len(tenant_names) <= 1 and not sheds:
+        return None
+    window = 0.0
+    if tagged:
+        t0 = min(s.ts for s in tagged)
+        t1 = max(s.ts + s.dur for s in tagged)
+        window = t1 - t0
+    tenants: Dict[str, dict] = {}
+    for span in tagged:
+        entry = tenants.setdefault(
+            str(span.args["tenant"]), {"latencies": [], "classes": set()}
+        )
+        entry["latencies"].append(span.dur)
+        if "priority_class" in span.args:
+            entry["classes"].add(int(span.args["priority_class"]))
+    classes: Dict[int, dict] = {}
+    for span in tagged:
+        if "priority_class" not in span.args:
+            continue
+        entry = classes.setdefault(
+            int(span.args["priority_class"]), {"latencies": []}
+        )
+        entry["latencies"].append(span.dur)
+    shed_by_tenant: Dict[str, int] = {}
+    shed_by_class: Dict[int, int] = {}
+    shed_reasons: Dict[str, int] = {}
+    for instant in sheds:
+        tenant = str(instant.args.get("tenant", "?"))
+        shed_by_tenant[tenant] = shed_by_tenant.get(tenant, 0) + 1
+        cls = instant.args.get("priority_class")
+        if cls is not None:
+            shed_by_class[int(cls)] = shed_by_class.get(int(cls), 0) + 1
+        reason = str(instant.args.get("reason", "?"))
+        shed_reasons[reason] = shed_reasons.get(reason, 0) + 1
+    tenant_rows: Dict[str, dict] = {}
+    for name in sorted(set(tenants) | set(shed_by_tenant)):
+        entry = tenants.get(name)
+        row = {
+            "completed": len(entry["latencies"]) if entry else 0,
+            "n_shed": shed_by_tenant.get(name, 0),
+        }
+        if entry:
+            p50, p99 = nearest_rank_percentiles(entry["latencies"], (50, 99))
+            row["latency_p50_ms"] = float(p50) * 1e3
+            row["latency_p99_ms"] = float(p99) * 1e3
+            row["throughput_rps"] = (
+                len(entry["latencies"]) / window if window > 0 else 0.0
+            )
+            if entry["classes"]:
+                row["priority_classes"] = sorted(entry["classes"])
+        tenant_rows[name] = row
+    class_rows: Dict[str, dict] = {}
+    for cls in sorted(set(classes) | set(shed_by_class)):
+        entry = classes.get(cls)
+        row = {
+            "completed": len(entry["latencies"]) if entry else 0,
+            "n_shed": shed_by_class.get(cls, 0),
+        }
+        if entry:
+            row["latency_p99_ms"] = (
+                float(nearest_rank_percentiles(entry["latencies"], (99,))[0])
+                * 1e3
+            )
+        class_rows[str(cls)] = row
+    out = {
+        "tenants": tenant_rows,
+        "classes": class_rows,
+        "n_shed": len(sheds),
+    }
+    if shed_reasons:
+        out["shed_reasons"] = dict(sorted(shed_reasons.items()))
+    throughputs = [
+        row.get("throughput_rps", 0.0) for row in tenant_rows.values()
+    ]
+    positive = [t for t in throughputs if t > 0]
+    if len(tenant_rows) >= 2 and positive:
+        out["fairness"] = (
+            max(positive) / min(positive)
+            if len(positive) == len(throughputs)
+            else float("inf")
+        )
+    return out
+
+
 def analyze_report(source, *, run: Optional[int] = None) -> dict:
     """The full analysis of a trace as one JSON-safe dict.
 
@@ -624,6 +728,9 @@ def analyze_report(source, *, run: Optional[int] = None) -> dict:
         swaps = swap_events(run_data)
         if swaps is not None:
             entry["serving_swaps"] = swaps
+        tenants = tenant_breakdown(run_data)
+        if tenants is not None:
+            entry["serving_tenants"] = tenants
         report_runs.append(entry)
     return jsonable({
         "label": data.label,

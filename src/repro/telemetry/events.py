@@ -31,7 +31,10 @@ Instant events:
 - ``swap.rollback`` — a post-swap canary regressed; the engine restored
   the previous version and quarantined the new one;
 - ``swap.failed`` — a published version failed validation (corrupt
-  checksum, version skew) and was skipped; the prior version kept serving.
+  checksum, version skew) and was skipped; the prior version kept serving;
+- ``admission.shed`` — admission control rejected or displaced one request
+  (args carry ``tenant``, ``priority_class``, and the ``reason``:
+  ``utilization``, ``capacity``, or ``displaced``).
 
 Counters / gauges (per-device monitors stamped with the simulated clock):
 
@@ -39,7 +42,8 @@ Counters / gauges (per-device monitors stamped with the simulated clock):
 - ``batch_size`` / ``lr`` — the Algorithm-1 controls per device;
 - ``staleness`` — per-boundary update-count spread;
 - ``accuracy`` / ``loss`` — the checkpoint curve;
-- ``swaps`` / ``rollbacks`` / ``swap_failures`` — hot-swap outcomes.
+- ``swaps`` / ``rollbacks`` / ``swap_failures`` — hot-swap outcomes;
+- ``shed`` — requests rejected by admission control.
 
 Span/instant ``device`` is the GPU index (``None`` for driver-level events:
 merges, checkpoints, the run span itself).
@@ -67,10 +71,12 @@ __all__ = [
     "EVENT_SWAP_COMMIT",
     "EVENT_SWAP_ROLLBACK",
     "EVENT_SWAP_FAILED",
+    "EVENT_SHED",
     "COUNTER_UPDATES",
     "COUNTER_SWAPS",
     "COUNTER_ROLLBACKS",
     "COUNTER_SWAP_FAILURES",
+    "COUNTER_SHED",
     "GAUGE_BATCH_SIZE",
     "GAUGE_LR",
     "GAUGE_STALENESS",
@@ -96,11 +102,13 @@ EVENT_CHECKPOINT = "checkpoint"
 EVENT_SWAP_COMMIT = "swap.commit"
 EVENT_SWAP_ROLLBACK = "swap.rollback"
 EVENT_SWAP_FAILED = "swap.failed"
+EVENT_SHED = "admission.shed"
 
 COUNTER_UPDATES = "updates"
 COUNTER_SWAPS = "swaps"
 COUNTER_ROLLBACKS = "rollbacks"
 COUNTER_SWAP_FAILURES = "swap_failures"
+COUNTER_SHED = "shed"
 GAUGE_BATCH_SIZE = "batch_size"
 GAUGE_LR = "lr"
 GAUGE_STALENESS = "staleness"

@@ -1,0 +1,324 @@
+"""Property-based tests (hypothesis) for the multi-tenant scheduler.
+
+Invariants under test, over randomized arrival/priority/weight/op
+sequences (derandomized: the suite runs the same example budget with the
+same seed on every machine, so CI and local runs agree):
+
+- **Work conservation** — ``pop_batch`` never returns empty while work
+  is queued, and a full drain terminates in at most one pop per admitted
+  request.
+- **Request conservation** — every push is accounted for exactly once:
+  admitted = popped + still-queued + displaced; ``n_shed`` equals
+  door-sheds + displacements and matches the per-tenant and per-class
+  shed maps.
+- **Batch homogeneity** — a popped batch never mixes priority classes or
+  model versions and never exceeds the requested cap; its class is the
+  most important class queued at pop time (strict priority).
+- **Shed ordering** — a capacity shed or displacement never removes work
+  more important than what stays queued: victims come from the worst
+  populated tier, and the utilization gate is monotone (a less important
+  class always sheds at a lower utilization), with class 0 exempt.
+- **Per-class batch caps** — ``AdaptiveBatchSizer`` stays inside
+  ``[b_min, b_max]`` under arbitrary observation streams.
+- **Version pinning** — ``mis_versioned == 0`` across hot-swaps under
+  multi-tenant load (seeded end-to-end run).
+
+``tests/test_serve_tenants.py`` holds the scenario-level acceptance
+tests (noisy neighbor, shed accounting, deterministic replay); this file
+pins the scheduler's algebra.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import AdaptiveBatchSizer, Request, TenantScheduler
+
+N_CLASSES = 3
+TENANTS = ("a", "b", "c", "d")
+
+# One op: ("push", tenant_idx, priority_class, version) or ("pop", cap).
+ops_seqs = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("push"),
+            st.integers(min_value=0, max_value=len(TENANTS) - 1),
+            st.integers(min_value=0, max_value=N_CLASSES - 1),
+            st.integers(min_value=1, max_value=2),
+        ),
+        st.tuples(
+            st.just("pop"),
+            st.integers(min_value=1, max_value=8),
+        ),
+    ),
+    min_size=1, max_size=120,
+)
+
+weight_maps = st.fixed_dictionaries(
+    {},
+    optional={
+        t: st.floats(min_value=0.25, max_value=4.0, allow_nan=False)
+        for t in TENANTS
+    },
+)
+
+depths = st.integers(min_value=2, max_value=24)
+
+
+def fresh(weights=None, max_depth=None, admission_utilization=None):
+    return TenantScheduler(
+        n_priority_classes=N_CLASSES, weights=weights, max_depth=max_depth,
+        admission_utilization=admission_utilization, n_devices=2,
+    )
+
+
+def queued_classes(scheduler):
+    return [
+        p for p in range(N_CLASSES) if scheduler.class_depth(p) > 0
+    ]
+
+
+def drive(scheduler, ops):
+    """Replay an op sequence; returns (admitted, popped, displaced,
+    door_shed) request lists and per-batch metadata."""
+    admitted, popped, displaced, door_shed, batches = [], [], [], [], []
+    for i, op in enumerate(ops):
+        if op[0] == "push":
+            _, tenant_idx, cls, version = op
+            request = Request(
+                req_id=i, row=i, t_arrival=float(i), version=version,
+                tenant=TENANTS[tenant_idx], priority_class=cls,
+            )
+            worst_before = max(queued_classes(scheduler), default=None)
+            shed = scheduler.push(request, now=float(i))
+            if shed is None:
+                admitted.append(request)
+            elif shed is request:
+                door_shed.append((request, worst_before))
+            else:
+                admitted.append(request)
+                displaced.append((shed, request))
+        else:
+            classes_before = queued_classes(scheduler)
+            batch = scheduler.pop_batch(op[1])
+            popped.extend(batch)
+            batches.append((batch, op[1], classes_before))
+    return admitted, popped, displaced, door_shed, batches
+
+
+class TestSchedulerAlgebra:
+    @given(ops_seqs, weight_maps, depths)
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    def test_request_conservation(self, ops, weights, depth):
+        scheduler = fresh(weights=weights or None, max_depth=depth)
+        admitted, popped, displaced, door_shed, _ = drive(scheduler, ops)
+        evicted = [victim for victim, _ in displaced]
+        assert len(admitted) == len(popped) + scheduler.depth + len(evicted)
+        assert scheduler.n_shed == len(door_shed) + len(evicted)
+        assert sum(scheduler.shed_by_tenant.values()) == scheduler.n_shed
+        assert sum(scheduler.shed_by_class.values()) == scheduler.n_shed
+        # No request is both popped and evicted, and none is popped twice.
+        popped_ids = [r.req_id for r in popped]
+        assert len(set(popped_ids)) == len(popped_ids)
+        assert not (
+            set(popped_ids) & {r.req_id for r in evicted}
+        )
+
+    @given(ops_seqs, weight_maps, depths)
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    def test_work_conservation_and_finite_drain(self, ops, weights, depth):
+        scheduler = fresh(weights=weights or None, max_depth=depth)
+        admitted, popped, displaced, _, batches = drive(scheduler, ops)
+        for batch, _, classes_before in batches:
+            if classes_before:
+                assert batch, "pop_batch returned empty with work queued"
+        # Drain: one pop per remaining request is always enough.
+        remaining = scheduler.depth
+        drained = []
+        for _ in range(remaining):
+            if scheduler.depth == 0:
+                break
+            batch = scheduler.pop_batch(4)
+            assert batch
+            drained.extend(batch)
+        assert scheduler.depth == 0
+        # Every admitted-and-never-evicted request came out exactly once.
+        evicted_ids = {victim.req_id for victim, _ in displaced}
+        out_ids = sorted(r.req_id for r in popped + drained)
+        expected = sorted(
+            r.req_id for r in admitted if r.req_id not in evicted_ids
+        )
+        assert out_ids == expected
+
+    @given(ops_seqs, weight_maps, depths)
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    def test_batches_homogeneous_and_strict_priority(
+        self, ops, weights, depth
+    ):
+        scheduler = fresh(weights=weights or None, max_depth=depth)
+        _, _, _, _, batches = drive(scheduler, ops)
+        for batch, cap, classes_before in batches:
+            assert len(batch) <= cap
+            if not batch:
+                continue
+            assert len({r.priority_class for r in batch}) == 1
+            assert len({r.version for r in batch}) == 1
+            # Strict priority: the batch drains the most important
+            # populated tier.
+            assert batch[0].priority_class == min(classes_before)
+
+    @given(ops_seqs, depths)
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    def test_shed_ordering_by_priority(self, ops, depth):
+        scheduler = fresh(max_depth=depth)
+        _, _, displaced, door_shed, _ = drive(scheduler, ops)
+        for request, worst_before in door_shed:
+            # Shed at the door only when nothing queued is less important.
+            assert worst_before is not None
+            assert request.priority_class >= worst_before
+            assert request.shed
+            assert request.shed_reason == "capacity"
+        for victim, incoming in displaced:
+            assert victim.shed
+            assert victim.shed_reason == "displaced"
+            assert victim.priority_class >= incoming.priority_class
+
+    @given(
+        st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    def test_utilization_gate_monotone(self, threshold, busy_frac):
+        scheduler = fresh(admission_utilization=threshold)
+        # Two devices, clock at 1.0 -> utilization == busy_frac.
+        scheduler.observe_busy(2.0 * busy_frac)
+        gates = [scheduler.shed_gate(p) for p in range(N_CLASSES)]
+        assert gates[0] is None  # class 0 is never utilization-shed
+        # Less important classes shed at lower utilization.
+        for higher, lower in zip(gates[1:], gates[2:]):
+            assert higher >= lower
+        for p, gate in enumerate(gates[1:], start=1):
+            assert gate >= threshold
+            request = Request(
+                req_id=p, row=0, t_arrival=1.0, version=1,
+                tenant="a", priority_class=p,
+            )
+            shed = scheduler.push(request, now=1.0)
+            if scheduler.utilization(1.0) >= gate:
+                assert shed is request
+                assert request.shed_reason == "utilization"
+            else:
+                assert shed is None
+
+
+class TestSizerClampProperties:
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=16, max_value=256),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=256),
+                st.floats(
+                    min_value=1e-7, max_value=1.0, allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    def test_cap_always_within_bounds(self, b_min, b_max, observations):
+        sizer = AdaptiveBatchSizer(
+            b_min=b_min, b_max=b_max, target_latency_s=1e-3,
+        )
+        assert b_min <= sizer.cap <= b_max
+        for batch_size, service_s in observations:
+            cap = sizer.observe(batch_size, service_s)
+            assert b_min <= cap <= b_max
+            assert cap == sizer.cap
+
+
+class TestWeightedFairness:
+    def test_drr_honors_weights_on_backlogged_tenants(self):
+        """Two same-class backlogged tenants at weights 2:1 drain 2:1."""
+        scheduler = fresh(weights={"a": 2.0, "b": 1.0})
+        for i in range(400):
+            tenant = "a" if i % 2 == 0 else "b"
+            scheduler.push(
+                Request(
+                    req_id=i, row=i, t_arrival=0.0, version=1,
+                    tenant=tenant, priority_class=0,
+                )
+            )
+        counts = {"a": 0, "b": 0}
+        for _ in range(60):
+            for request in scheduler.pop_batch(3):
+                counts[request.tenant] += 1
+        assert counts["a"] + counts["b"] == 180
+        ratio = counts["a"] / counts["b"]
+        assert ratio == pytest.approx(2.0, rel=0.15)
+
+    def test_equal_weights_drain_evenly(self):
+        scheduler = fresh()
+        for i in range(300):
+            scheduler.push(
+                Request(
+                    req_id=i, row=i, t_arrival=0.0, version=1,
+                    tenant=TENANTS[i % 3], priority_class=0,
+                )
+            )
+        counts = dict.fromkeys(TENANTS[:3], 0)
+        for _ in range(30):
+            for request in scheduler.pop_batch(4):
+                counts[request.tenant] += 1
+        low, high = min(counts.values()), max(counts.values())
+        assert high - low <= 4  # one visit's worth of slack
+
+
+class TestVersionPinningUnderTenantLoad:
+    def test_mis_versioned_zero_across_swaps(self, micro_task, tmp_path):
+        """Seeded end-to-end run: hot-swaps + multi-tenant scheduling
+        must never score a request against the wrong version."""
+        from repro.api import make_engine
+        from repro.serve import (
+            LoadSpec,
+            ModelSnapshot,
+            SnapshotStore,
+            generate_arrivals,
+        )
+        from repro.sparse.mlp import MLPArchitecture, SparseMLP
+
+        arch = MLPArchitecture(
+            micro_task.n_features, micro_task.n_labels, hidden=(32,)
+        )
+        store = SnapshotStore(tmp_path / "store")
+        for seed, t_pub in ((31, 0.0), (32, 0.0015), (33, 0.003)):
+            store.publish(
+                ModelSnapshot(
+                    arch=arch, state=SparseMLP(arch).init_state(seed=seed),
+                    meta={"dataset": "micro"},
+                ),
+                published_s=t_pub,
+            )
+        engine = make_engine(
+            store, mode="adaptive", n_gpus=2,
+            class_slo_ms={0: 2.0, 1: 2.0, 2: 2.0}, max_queue_depth=128,
+        )
+        n = 400
+        arrivals = generate_arrivals(
+            LoadSpec(n_requests=n, rate_rps=n / 0.006, seed=11)
+        )
+        tenants = np.array(
+            [TENANTS[i % 3] for i in range(n)], dtype=object
+        )
+        classes = (np.arange(n) % 3).astype(np.int64)
+        result = engine.serve(
+            micro_task.test.X, arrivals, k=5,
+            tenants=tenants, priority_classes=classes,
+        )
+        assert result.n_swaps >= 1
+        assert result.mis_versioned == 0
+        for request in result.requests:
+            if request.t_done is not None:
+                assert request.served_version == request.version

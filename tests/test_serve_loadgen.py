@@ -1,4 +1,5 @@
-"""Tests for repro.serve.loadgen — arrival processes and latency reports."""
+"""Tests for repro.serve.loadgen — arrival processes, multi-tenant load
+merging, vectorized percentile accounting, and latency reports."""
 
 import numpy as np
 import pytest
@@ -7,8 +8,14 @@ from repro.exceptions import ConfigurationError
 from repro.serve.loadgen import (
     LatencyReport,
     LoadSpec,
+    TenantLoad,
+    fairness_ratio,
     generate_arrivals,
+    generate_multi_tenant_arrivals,
+    grouped_nearest_rank_percentiles,
     nearest_rank_percentile,
+    nearest_rank_percentiles,
+    per_tenant_stats,
     sample_query_rows,
 )
 
@@ -105,6 +112,127 @@ class TestNearestRankPercentile:
             nearest_rank_percentile([1.0], 101)
         with pytest.raises(ConfigurationError):
             nearest_rank_percentile([], 50)
+
+
+class TestMultiTenantArrivals:
+    def _loads(self):
+        return [
+            TenantLoad(
+                "a", LoadSpec(n_requests=300, rate_rps=900.0, seed=1), 0
+            ),
+            TenantLoad(
+                "b", LoadSpec(n_requests=200, rate_rps=600.0, seed=2), 1
+            ),
+        ]
+
+    def test_merge_is_sorted_and_tagged(self):
+        times, tenants, classes = generate_multi_tenant_arrivals(
+            self._loads()
+        )
+        assert times.shape == tenants.shape == classes.shape == (500,)
+        assert np.all(np.diff(times) >= 0)
+        assert np.sum(tenants == "a") == 300
+        assert np.sum(tenants == "b") == 200
+        assert np.all(classes[tenants == "a"] == 0)
+        assert np.all(classes[tenants == "b"] == 1)
+
+    def test_tenant_schedule_independent_of_contention(self):
+        """A tenant's arrival times are identical solo vs merged — the
+        property the noisy-neighbor comparison rests on."""
+        loads = self._loads()
+        solo = generate_arrivals(loads[0].spec)
+        times, tenants, _ = generate_multi_tenant_arrivals(loads)
+        assert np.array_equal(times[tenants == "a"], solo)
+
+    def test_duplicate_tenant_rejected(self):
+        loads = self._loads()
+        loads[1] = TenantLoad("a", loads[1].spec, 1)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            generate_multi_tenant_arrivals(loads)
+
+    def test_tenant_load_validated(self):
+        spec = LoadSpec(n_requests=10, rate_rps=10.0)
+        with pytest.raises(ConfigurationError):
+            TenantLoad("", spec)
+        with pytest.raises(ConfigurationError):
+            TenantLoad("a", spec, priority_class=-1)
+
+
+class TestBulkPercentiles:
+    def test_matches_scalar_implementation(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(size=257)
+        ps = (1.0, 50.0, 95.0, 99.0, 100.0)
+        bulk = nearest_rank_percentiles(values, ps)
+        for p, got in zip(ps, bulk):
+            assert got == nearest_rank_percentile(values, p)
+
+    def test_grouped_matches_per_group_calls(self):
+        rng = np.random.default_rng(1)
+        codes = rng.integers(0, 4, size=500)
+        values = rng.exponential(size=500)
+        ps = (50.0, 99.0)
+        table = grouped_nearest_rank_percentiles(codes, values, ps, 5)
+        assert table.shape == (5, 2)
+        for g in range(4):
+            group = values[codes == g]
+            for j, p in enumerate(ps):
+                assert table[g, j] == nearest_rank_percentile(group, p)
+        assert np.all(np.isnan(table[4]))  # empty group -> NaN row
+
+    def test_single_element_groups(self):
+        table = grouped_nearest_rank_percentiles(
+            np.array([0, 1]), np.array([3.0, 7.0]), (50.0, 99.0), 2
+        )
+        assert np.array_equal(table, [[3.0, 3.0], [7.0, 7.0]])
+
+
+class TestPerTenantStats:
+    def test_stats_and_shed_rows(self):
+        tenants = np.array(["a", "a", "b"], dtype=object)
+        latencies = np.array([0.1, 0.3, 0.2])
+        stats = per_tenant_stats(
+            tenants, latencies, makespan_s=2.0,
+            shed_by_tenant={"a": 1, "ghost": 4},
+            classes=np.array([0, 0, 1]),
+        )
+        assert stats["a"]["completed"] == 2
+        assert stats["a"]["n_shed"] == 1
+        assert stats["a"]["throughput_rps"] == pytest.approx(1.0)
+        assert stats["a"]["latency_p99_ms"] == pytest.approx(300.0)
+        assert stats["a"]["priority_classes"] == [0]
+        assert stats["b"]["priority_classes"] == [1]
+        # A tenant whose every request was shed still gets a row.
+        assert stats["ghost"]["completed"] == 0
+        assert stats["ghost"]["n_shed"] == 4
+        assert np.isnan(stats["ghost"]["latency_p99_ms"])
+
+
+class TestFairnessRatio:
+    def test_equal_throughput_is_one(self):
+        stats = {
+            "a": {"throughput_rps": 5.0},
+            "b": {"throughput_rps": 5.0},
+        }
+        assert fairness_ratio(stats) == pytest.approx(1.0)
+
+    def test_weight_normalized(self):
+        stats = {
+            "a": {"throughput_rps": 10.0},
+            "b": {"throughput_rps": 5.0},
+        }
+        assert fairness_ratio(stats) == pytest.approx(2.0)
+        assert fairness_ratio(
+            stats, weights={"a": 2.0, "b": 1.0}
+        ) == pytest.approx(1.0)
+
+    def test_degenerate_cases(self):
+        assert fairness_ratio({"a": {"throughput_rps": 1.0}}) is None
+        starved = {
+            "a": {"throughput_rps": 1.0},
+            "b": {"throughput_rps": 0.0},
+        }
+        assert fairness_ratio(starved) == np.inf
 
 
 class TestLatencyReport:

@@ -1,13 +1,26 @@
-"""Tests for repro.serve.queue — request FIFO and the adaptive batch sizer."""
+"""Tests for repro.serve.queue — request FIFO, the multi-tenant priority
++ WFQ scheduler, and the adaptive batch sizer."""
 
 import pytest
 
 from repro.exceptions import ConfigurationError, ServeError
-from repro.serve.queue import AdaptiveBatchSizer, Request, RequestQueue
+from repro.serve.queue import (
+    AdaptiveBatchSizer,
+    Request,
+    RequestQueue,
+    TenantScheduler,
+)
 
 
 def req(i, t=0.0):
     return Request(req_id=i, row=i, t_arrival=t)
+
+
+def treq(i, tenant="a", cls=0, version=1, t=0.0):
+    return Request(
+        req_id=i, row=i, t_arrival=t, version=version,
+        tenant=tenant, priority_class=cls,
+    )
 
 
 class TestRequest:
@@ -109,6 +122,141 @@ class TestVersionPinning:
             q.push(self.vreq(i, v))
         batches = [q.pop_batch(8) for _ in range(3)]
         assert [[r.req_id for r in b] for b in batches] == [[0], [1], [2]]
+
+
+class TestTenantScheduler:
+    def test_single_tenant_fifo_matches_request_queue(self):
+        """One tenant, one class: the scheduler degenerates to a FIFO."""
+        scheduler = TenantScheduler()
+        for i in range(5):
+            assert scheduler.push(treq(i)) is None
+        assert [r.req_id for r in scheduler.pop_batch(3)] == [0, 1, 2]
+        assert [r.req_id for r in scheduler.pop_batch(10)] == [3, 4]
+
+    def test_config_validated(self):
+        with pytest.raises(ConfigurationError):
+            TenantScheduler(n_priority_classes=0)
+        with pytest.raises(ConfigurationError):
+            TenantScheduler(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            TenantScheduler(admission_utilization=1.5)
+        with pytest.raises(ConfigurationError):
+            TenantScheduler(weights={"a": 0.0})
+        with pytest.raises(ConfigurationError):
+            TenantScheduler(quantum=0.0)
+
+    def test_rejects_out_of_range_class(self):
+        scheduler = TenantScheduler(n_priority_classes=2)
+        with pytest.raises(ConfigurationError, match="priority_class"):
+            scheduler.push(treq(0, cls=2))
+
+    def test_strict_priority_across_tiers(self):
+        scheduler = TenantScheduler(n_priority_classes=2)
+        scheduler.push(treq(0, cls=1))
+        scheduler.push(treq(1, cls=0))
+        scheduler.push(treq(2, cls=1))
+        assert scheduler.next_class() == 0
+        assert [r.req_id for r in scheduler.pop_batch(8)] == [1]
+        assert scheduler.next_class() == 1
+        assert [r.req_id for r in scheduler.pop_batch(8)] == [0, 2]
+
+    def test_batch_never_mixes_classes_or_versions(self):
+        scheduler = TenantScheduler(n_priority_classes=2)
+        scheduler.push(treq(0, cls=0, version=1))
+        scheduler.push(treq(1, cls=0, version=2))
+        scheduler.push(treq(2, cls=1, version=1))
+        assert [r.req_id for r in scheduler.pop_batch(8)] == [0]
+        assert [r.req_id for r in scheduler.pop_batch(8)] == [1]
+        assert [r.req_id for r in scheduler.pop_batch(8)] == [2]
+
+    def test_batch_mixes_tenants_within_class(self):
+        scheduler = TenantScheduler()
+        scheduler.push(treq(0, tenant="a"))
+        scheduler.push(treq(1, tenant="b"))
+        batch = scheduler.pop_batch(8)
+        assert {r.tenant for r in batch} == {"a", "b"}
+
+    def test_capacity_shed_at_door_for_lone_tenant(self):
+        """A single tenant at capacity keeps RequestQueue semantics:
+        the newest arrival is the one shed."""
+        scheduler = TenantScheduler(max_depth=2)
+        assert scheduler.push(treq(0)) is None
+        assert scheduler.push(treq(1)) is None
+        rejected = treq(2)
+        assert scheduler.push(rejected) is rejected
+        assert rejected.shed and rejected.shed_reason == "capacity"
+        assert scheduler.n_shed == 1
+        assert scheduler.shed_by_tenant == {"a": 1}
+        assert scheduler.depth == 2
+        assert scheduler.total_enqueued == 2
+
+    def test_higher_priority_displaces_lower(self):
+        scheduler = TenantScheduler(n_priority_classes=2, max_depth=2)
+        low0, low1 = treq(0, cls=1), treq(1, cls=1)
+        scheduler.push(low0)
+        scheduler.push(low1)
+        high = treq(2, cls=0)
+        victim = scheduler.push(high)
+        assert victim is low1  # newest request of the worst tier
+        assert victim.shed and victim.shed_reason == "displaced"
+        assert scheduler.depth == 2
+        assert [r.req_id for r in scheduler.pop_batch(8)] == [2]
+        assert [r.req_id for r in scheduler.pop_batch(8)] == [0]
+
+    def test_same_class_displaces_only_deeper_tenant(self):
+        scheduler = TenantScheduler(max_depth=3)
+        scheduler.push(treq(0, tenant="hog"))
+        scheduler.push(treq(1, tenant="hog"))
+        scheduler.push(treq(2, tenant="light"))
+        arrival = treq(3, tenant="light")
+        victim = scheduler.push(arrival)
+        assert victim is not None and victim.tenant == "hog"
+        assert victim.req_id == 1  # the hog's newest request
+        # "light" is now the deepest tenant (2 vs 1): its next arrival
+        # has nobody strictly deeper to displace and sheds at the door.
+        rejected = treq(4, tenant="light")
+        assert scheduler.push(rejected) is rejected
+        assert rejected.shed_reason == "capacity"
+
+    def test_utilization_gate_spares_class_zero(self):
+        scheduler = TenantScheduler(
+            n_priority_classes=2, admission_utilization=0.5, n_devices=1,
+        )
+        scheduler.observe_busy(0.9)  # utilization 0.9 at now=1.0
+        shed = treq(0, cls=1, t=1.0)
+        assert scheduler.push(shed, now=1.0) is shed
+        assert shed.shed_reason == "utilization"
+        kept = treq(1, cls=0, t=1.0)
+        assert scheduler.push(kept, now=1.0) is None
+        assert scheduler.shed_by_class == {1: 1}
+
+    def test_drr_weights_bias_the_drain(self):
+        scheduler = TenantScheduler(weights={"a": 3.0, "b": 1.0})
+        for i in range(80):
+            scheduler.push(treq(i, tenant="a" if i % 2 else "b"))
+        batch = scheduler.pop_batch(4)
+        # First visit: "b" arrived first but "a" holds 3 credits to its 1.
+        assert sorted(r.tenant for r in batch).count("a") == 3
+
+    def test_depth_accounting_and_high_water(self):
+        scheduler = TenantScheduler(n_priority_classes=2)
+        for i in range(4):
+            scheduler.push(treq(i, cls=i % 2))
+        assert scheduler.depth == 4
+        assert scheduler.class_depth(0) == 2
+        assert scheduler.class_depth(1) == 2
+        scheduler.pop_batch(2)
+        assert scheduler.depth == 2
+        assert scheduler.max_depth == 4
+        assert len(scheduler) == 2
+
+    def test_pop_from_empty_is_empty(self):
+        assert TenantScheduler().pop_batch(8) == []
+        assert TenantScheduler().next_class() is None
+
+    def test_pop_batch_validates_size(self):
+        with pytest.raises(ConfigurationError):
+            TenantScheduler().pop_batch(0)
 
 
 class TestAdaptiveBatchSizer:

@@ -1,0 +1,431 @@
+"""Multi-tenant serving acceptance tests: noisy-neighbor isolation, shed
+accounting, deterministic replay, and hot-swap safety under tenant load.
+
+The noisy-neighbor bound (victim p99 within ``ISOLATION_BOUND`` of its
+solo run) is the acceptance criterion the ``tenants`` section of
+``benchmarks/bench_serve.py`` gates on; this file pins the same scenario
+at test scale so a scheduler regression fails in the unit suite before
+the bench ever runs.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.gpu.cluster import make_server
+from repro.gpu.cost import GpuCostParams
+from repro.serve import (
+    LoadSpec,
+    ModelSnapshot,
+    Predictor,
+    Request,
+    ServingEngine,
+    SnapshotStore,
+    TenantLoad,
+    TenantScheduler,
+    generate_arrivals,
+    generate_multi_tenant_arrivals,
+)
+from repro.sparse.mlp import MLPArchitecture, SparseMLP
+
+ISOLATION_BOUND = 1.3
+TRACE_PATH = Path(__file__).parent / "data" / "tenant_trace.json"
+
+
+@pytest.fixture(scope="module")
+def predictor(micro_task):
+    arch = MLPArchitecture(
+        micro_task.n_features, micro_task.n_labels, hidden=(32,)
+    )
+    state = SparseMLP(arch).init_state(seed=21)
+    snapshot = ModelSnapshot(arch=arch, state=state, meta={"dataset": "micro"})
+    return Predictor(snapshot)
+
+
+def serve_server(n_gpus=2, seed=0):
+    return make_server(
+        n_gpus, cost_params=GpuCostParams.tiny_model_profile(), seed=seed
+    )
+
+
+def capacity_rps(predictor, X):
+    """The cluster's sequential (batch=1) capacity in requests/s."""
+    work = predictor.workload(X[:1])
+    per_request = serve_server().gpus[0].cost_model.inference_time(
+        work, n_active_gpus=2
+    )
+    return 2.0 / per_request
+
+
+def mt_engine(predictor, *, max_depth=256, **extra):
+    return ServingEngine(
+        predictor, serve_server(), mode="adaptive",
+        class_slo_ms={0: 2.0, 1: 2.0}, max_queue_depth=max_depth, **extra,
+    )
+
+
+class TestNoisyNeighbor:
+    """A 10x-fair-share class-1 aggressor must not move the class-0
+    victim's p99 beyond the isolation bound."""
+
+    def test_victim_p99_isolated(self, predictor, micro_task):
+        X = micro_task.test.X
+        cap = capacity_rps(predictor, X)
+        n_victim = 800
+        victim_rate = 0.3 * cap
+        victim = TenantLoad(
+            "victim",
+            LoadSpec(n_requests=n_victim, rate_rps=victim_rate, seed=0),
+            priority_class=0,
+        )
+        duration = n_victim / victim_rate
+        aggressor_rate = 10.0 * cap / 2.0
+        aggressor = TenantLoad(
+            "noisy",
+            LoadSpec(
+                n_requests=int(aggressor_rate * duration),
+                rate_rps=aggressor_rate, seed=1,
+            ),
+            priority_class=1,
+        )
+
+        solo = mt_engine(predictor).serve(
+            X, generate_arrivals(victim.spec), k=5,
+            tenants=np.full(n_victim, "victim", dtype=object),
+            priority_classes=np.zeros(n_victim, dtype=np.int64),
+        )
+        times, tenants, classes = generate_multi_tenant_arrivals(
+            [victim, aggressor]
+        )
+        contended = mt_engine(predictor).serve(
+            X, times, k=5, tenants=tenants, priority_classes=classes,
+        )
+
+        solo_p99 = solo.tenants["victim"]["latency_p99_ms"]
+        contended_p99 = contended.tenants["victim"]["latency_p99_ms"]
+        assert contended.tenants["victim"]["completed"] == n_victim
+        assert contended.tenants["victim"]["n_shed"] == 0
+        assert contended_p99 <= ISOLATION_BOUND * solo_p99
+        # The aggressor is still served (no starvation of admitted work).
+        assert contended.tenants["noisy"]["completed"] > 0
+
+    def test_surge_sheds_only_aggressor(self, predictor, micro_task):
+        """40x fair share against a shallow queue: graded shedding must
+        land every shed on the aggressor class."""
+        X = micro_task.test.X
+        cap = capacity_rps(predictor, X)
+        n_victim = 400
+        victim_rate = 0.3 * cap
+        duration = n_victim / victim_rate
+        aggressor_rate = 40.0 * cap / 2.0
+        loads = [
+            TenantLoad(
+                "victim",
+                LoadSpec(n_requests=n_victim, rate_rps=victim_rate, seed=0),
+                priority_class=0,
+            ),
+            TenantLoad(
+                "noisy",
+                LoadSpec(
+                    n_requests=int(aggressor_rate * duration),
+                    rate_rps=aggressor_rate, seed=1,
+                ),
+                priority_class=1,
+            ),
+        ]
+        times, tenants, classes = generate_multi_tenant_arrivals(loads)
+        result = mt_engine(predictor, max_depth=64).serve(
+            X, times, k=5, tenants=tenants, priority_classes=classes,
+        )
+        assert result.tenants["victim"]["n_shed"] == 0
+        assert result.tenants["noisy"]["n_shed"] > 0
+        assert result.shed_by_tenant == {
+            "noisy": result.tenants["noisy"]["n_shed"]
+        }
+
+
+class TestShedAccounting:
+    """Pins the LatencyReport shed semantics: shed requests are excluded
+    from the latency sample, counted per tenant, and offered load is
+    completed + shed."""
+
+    def _overloaded(self, predictor, X, n=600, depth=8):
+        cap = capacity_rps(predictor, X)
+        tenants = np.where(np.arange(n) % 3 == 0, "small", "big").astype(
+            object
+        )
+        classes = np.where(tenants == "small", 0, 1).astype(np.int64)
+        arrivals = generate_arrivals(
+            LoadSpec(n_requests=n, rate_rps=20.0 * cap, seed=5)
+        )
+        result = mt_engine(predictor, max_depth=depth).serve(
+            X, arrivals, k=5, tenants=tenants, priority_classes=classes,
+        )
+        return result, tenants
+
+    def test_shed_excluded_from_percentiles(self, predictor, micro_task):
+        result, tenants = self._overloaded(predictor, micro_task.test.X)
+        report = result.report
+        assert report.n_shed > 0
+        # The latency sample holds completed requests only.
+        completed = [r for r in result.requests if r.t_done is not None]
+        shed = [r for r in result.requests if r.shed]
+        assert len(report.latencies_s) == len(completed)
+        assert len(completed) + len(shed) == len(tenants)
+        assert all(r.t_done is None for r in shed)
+        expected = np.sort(
+            [r.latency_s for r in completed]
+        )
+        assert np.allclose(np.sort(report.latencies_s), expected)
+
+    def test_shed_by_tenant_sums_to_total(self, predictor, micro_task):
+        result, tenants = self._overloaded(predictor, micro_task.test.X)
+        report = result.report
+        assert sum(report.shed_by_tenant.values()) == report.n_shed
+        assert report.shed_by_tenant == result.shed_by_tenant
+        # Offered = completed + shed, per tenant and overall.
+        for name in ("small", "big"):
+            offered = int(np.sum(tenants == name))
+            stats = result.tenants[name]
+            assert stats["completed"] + stats["n_shed"] == offered
+        as_dict = report.as_dict()
+        assert as_dict["n_shed"] == report.n_shed
+        assert as_dict["shed_by_tenant"] == report.shed_by_tenant
+
+    def test_shed_reasons_recorded(self, predictor, micro_task):
+        result, _ = self._overloaded(predictor, micro_task.test.X)
+        reasons = {r.shed_reason for r in result.requests if r.shed}
+        assert reasons <= {"capacity", "displaced", "utilization"}
+        assert reasons  # at least one shed with a recorded reason
+
+
+def replay_trace(ops):
+    """Replay a recorded op stream through a fresh TenantScheduler and
+    return the serialized decision log (the byte string under test)."""
+    scheduler = TenantScheduler(
+        n_priority_classes=3,
+        weights={"a": 2.0, "b": 1.0, "c": 1.0},
+        max_depth=16,
+        admission_utilization=0.9,
+        n_devices=2,
+    )
+    lines = []
+    for op in ops:
+        if op["op"] == "push":
+            request = Request(
+                req_id=op["id"], row=op["id"], t_arrival=op["t"],
+                version=op["version"], tenant=op["tenant"],
+                priority_class=op["cls"],
+            )
+            shed = scheduler.push(request, now=op["t"])
+            if shed is None:
+                outcome = "admit"
+            elif shed is request:
+                outcome = f"shed:{request.shed_reason}"
+            else:
+                outcome = (
+                    f"displace {shed.tenant}/{shed.priority_class}"
+                    f"#{shed.req_id}"
+                )
+            lines.append(
+                f"push {op['tenant']}/{op['cls']}#{op['id']} -> {outcome}"
+            )
+        elif op["op"] == "pop":
+            batch = scheduler.pop_batch(op["max_size"])
+            popped = ",".join(
+                f"{r.tenant}/{r.priority_class}v{r.version}#{r.req_id}"
+                for r in batch
+            )
+            lines.append(f"pop{op['max_size']} -> [{popped}]")
+        elif op["op"] == "busy":
+            scheduler.observe_busy(op["s"])
+    return "\n".join(lines).encode()
+
+
+class TestDeterministicReplay:
+    """The checked-in seeded trace must produce byte-identical scheduler
+    decisions on every run (no set/dict iteration order, no hidden RNG)."""
+
+    def test_replay_is_byte_identical(self):
+        fixture = json.loads(TRACE_PATH.read_text())
+        first = replay_trace(fixture["ops"])
+        second = replay_trace(fixture["ops"])
+        assert first == second
+        assert hashlib.sha256(first).hexdigest() == fixture["decisions_sha256"]
+
+    def test_trace_exercises_all_decisions(self):
+        """Fixture self-check: the trace covers admit, shed, displace,
+        and non-trivial batches — otherwise the hash proves nothing."""
+        fixture = json.loads(TRACE_PATH.read_text())
+        log = replay_trace(fixture["ops"]).decode()
+        assert "-> admit" in log
+        assert "shed:" in log
+        assert "displace " in log
+        assert "," in log  # at least one multi-request batch
+
+
+class TestTenantTelemetry:
+    def test_spans_sheds_and_analyze_breakdown(self, predictor, micro_task):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.analyze import analyze_report, tenant_breakdown
+        from repro.telemetry.events import EVENT_SHED, SPAN_SERVE_REQUEST
+        from repro.telemetry.trace_data import TraceData
+
+        X = micro_task.test.X
+        cap = capacity_rps(predictor, X)
+        n = 400
+        tenants = np.where(np.arange(n) % 2 == 0, "a", "b").astype(object)
+        classes = (np.arange(n) % 2).astype(np.int64)
+        tel = Telemetry(label="tenant-test")
+        result = ServingEngine(
+            predictor, serve_server(), mode="adaptive",
+            class_slo_ms={0: 2.0, 1: 2.0}, max_queue_depth=8,
+            telemetry=tel,
+        ).serve(
+            X, generate_arrivals(
+                LoadSpec(n_requests=n, rate_rps=20.0 * cap, seed=5)
+            ), k=5, tenants=tenants, priority_classes=classes,
+        )
+        assert result.n_shed > 0
+
+        request_spans = [
+            s for s in tel.spans if s.name == SPAN_SERVE_REQUEST
+        ]
+        assert {s.args["tenant"] for s in request_spans} == {"a", "b"}
+        assert {s.args["priority_class"] for s in request_spans} == {0, 1}
+        sheds = [i for i in tel.instants if i.name == EVENT_SHED]
+        assert len(sheds) == result.n_shed
+        for instant in sheds:
+            assert instant.args["reason"] in (
+                "capacity", "utilization", "displaced"
+            )
+
+        run = TraceData.from_telemetry(tel).run(0)
+        breakdown = tenant_breakdown(run)
+        assert breakdown is not None
+        assert set(breakdown["tenants"]) == {"a", "b"}
+        for name in ("a", "b"):
+            row = breakdown["tenants"][name]
+            assert row["completed"] == result.tenants[name]["completed"]
+            assert row["n_shed"] == result.tenants[name]["n_shed"]
+        assert breakdown["n_shed"] == result.n_shed
+        report = analyze_report(tel)
+        (entry,) = report["runs"]
+        assert entry["serving_tenants"]["n_shed"] == result.n_shed
+
+    def test_untagged_run_has_no_breakdown(self, predictor, micro_task):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.analyze import tenant_breakdown
+        from repro.telemetry.trace_data import TraceData
+
+        tel = Telemetry(label="untagged")
+        ServingEngine(
+            predictor, serve_server(), mode="adaptive", telemetry=tel,
+        ).serve(
+            micro_task.test.X,
+            generate_arrivals(LoadSpec(n_requests=60, rate_rps=1e5, seed=2)),
+            k=5,
+        )
+        assert tenant_breakdown(TraceData.from_telemetry(tel).run(0)) is None
+
+
+class TestEngineMultiTenant:
+    def test_uniform_split_is_fair(self, predictor, micro_task):
+        X = micro_task.test.X
+        n = 600
+        cap = capacity_rps(predictor, X)
+        arrivals = generate_arrivals(
+            LoadSpec(n_requests=n, rate_rps=5.0 * cap, seed=7)
+        )
+        tenants = np.where(np.arange(n) % 2 == 0, "a", "b").astype(object)
+        result = ServingEngine(
+            predictor, serve_server(), mode="adaptive",
+            target_latency_s=2e-3,
+        ).serve(X, arrivals, k=5, tenants=tenants,
+                priority_classes=np.zeros(n, dtype=np.int64))
+        assert set(result.tenants) == {"a", "b"}
+        assert result.fairness is not None
+        assert result.fairness == pytest.approx(1.0, abs=0.1)
+        assert result.as_dict()["fairness"] == result.fairness
+
+    def test_utilization_gate_protects_class_zero(
+        self, predictor, micro_task
+    ):
+        X = micro_task.test.X
+        n = 900
+        cap = capacity_rps(predictor, X)
+        classes = (np.arange(n) % 3).astype(np.int64)
+        tenants = np.array(
+            [f"t{c}" for c in classes], dtype=object
+        )
+        arrivals = generate_arrivals(
+            LoadSpec(n_requests=n, rate_rps=5.0 * cap, seed=9)
+        )
+        result = ServingEngine(
+            predictor, serve_server(), mode="adaptive",
+            target_latency_s=2e-3, priority_classes=3,
+            admission_utilization=0.5,
+        ).serve(X, arrivals, k=5, tenants=tenants,
+                priority_classes=classes)
+        per_class = result.per_class
+        assert per_class[0]["n_shed"] == 0
+        assert per_class[0]["completed"] == n // 3
+        # Graded: the lowest class sheds at least as much as the middle.
+        assert per_class[2]["n_shed"] >= per_class[1]["n_shed"] > 0
+
+    def test_legacy_untagged_run_unchanged(self, predictor, micro_task):
+        """No tenant kwargs -> no tenant keys in the result dict."""
+        X = micro_task.test.X
+        arrivals = generate_arrivals(
+            LoadSpec(n_requests=50, rate_rps=1e5, seed=2)
+        )
+        result = ServingEngine(
+            predictor, serve_server(), mode="adaptive",
+        ).serve(X, arrivals, k=5)
+        as_dict = result.as_dict()
+        assert result.tenants == {}
+        assert "tenants" not in as_dict
+        assert "fairness" not in as_dict
+
+    def test_hot_swap_with_tenants_no_misversioning(
+        self, micro_task, tmp_path
+    ):
+        """Version pinning must hold under multi-tenant load: every
+        response scored by the snapshot active at its dispatch."""
+        arch = MLPArchitecture(
+            micro_task.n_features, micro_task.n_labels, hidden=(32,)
+        )
+        store = SnapshotStore(tmp_path / "store")
+        for version, (seed, t_pub) in enumerate(
+            [(21, 0.0), (22, 0.002), (23, 0.004)], start=1
+        ):
+            snapshot = ModelSnapshot(
+                arch=arch, state=SparseMLP(arch).init_state(seed=seed),
+                meta={"dataset": "micro"},
+            )
+            store.publish(snapshot, published_s=t_pub)
+        from repro.api import make_engine
+
+        engine = make_engine(
+            store, mode="adaptive", n_gpus=2,
+            class_slo_ms={0: 2.0, 1: 2.0}, max_queue_depth=256,
+        )
+        n = 500
+        rate = n / 0.008  # arrivals span the publish schedule
+        arrivals = generate_arrivals(
+            LoadSpec(n_requests=n, rate_rps=rate, seed=3)
+        )
+        tenants = np.where(np.arange(n) % 2 == 0, "a", "b").astype(object)
+        classes = (np.arange(n) % 2).astype(np.int64)
+        result = engine.serve(
+            micro_task.test.X, arrivals, k=5,
+            tenants=tenants, priority_classes=classes,
+        )
+        assert result.n_swaps >= 1
+        assert result.mis_versioned == 0
+        assert result.n_shed == 0
+        assert len(result.versions_served) >= 2
+        assert set(result.tenants) == {"a", "b"}
