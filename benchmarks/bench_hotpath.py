@@ -15,10 +15,17 @@ Four sections, each timing the pre-optimization idiom against the
    the *overhead* of the tracing layer (must stay within 5% when enabled).
 
 Run as a script: ``python benchmarks/bench_hotpath.py [--smoke] [--out F]
-[--check BASELINE]``. ``--check`` compares the measured *speedups* (machine
--independent ratios) against a checked-in baseline JSON and exits non-zero
-on a >30% regression, and gates the telemetry section on the absolute 5%
-overhead budget — the CI gate.
+[--check BASELINE] [--registry DIR] [--sections NAME ...]``. ``--check``
+compares the measured *speedups* (machine-independent ratios) against a
+baseline and exits non-zero on a >30% regression, and gates the telemetry
+section on the absolute 5% overhead budget — the CI gate. With
+``--registry``, the expected speedup comes from **index history** (the
+median of the last N green runs of this bench in the cross-run registry,
+see ``repro.registry.baseline``) and the checked-in JSON is only the
+seed/fallback for cold indexes; each invocation then registers its own
+results (tagged ``bench:hotpath``, red when the gate failed) so the
+history tracks the fleet's actual trajectory. ``--sections`` runs a
+subset (gated sections not run are skipped by the gate).
 """
 
 from __future__ import annotations
@@ -267,7 +274,10 @@ def bench_telemetry(smoke: bool) -> dict:
     }
 
 
-def run(smoke: bool) -> dict:
+ALL_SECTIONS = ("gather", "step", "merge", "slide", "telemetry")
+
+
+def run(smoke: bool, sections_filter=None) -> dict:
     sections = {}
     for name, fn in (
         ("gather", bench_gather),
@@ -276,6 +286,8 @@ def run(smoke: bool) -> dict:
         ("slide", bench_slide),
         ("telemetry", bench_telemetry),
     ):
+        if sections_filter is not None and name not in sections_filter:
+            continue
         sections[name] = fn(smoke)
         s = sections[name]
         print(
@@ -289,13 +301,32 @@ def run(smoke: bool) -> dict:
     }
 
 
-def check(results: dict, baseline_path: Path) -> int:
-    """CI gate: speedup regressions >30% and telemetry overhead >5% fail."""
+def check(results: dict, baseline_path: Path, registry=None) -> int:
+    """CI gate: speedup regressions >30% and telemetry overhead >5% fail.
+
+    With ``registry``, the expected speedup per gated section is the
+    median of the registry's last green runs of this bench (the checked-in
+    JSON is the fallback while the index holds < 2 prior runs); without
+    one, the checked-in JSON gates alone, as before.
+    """
     baseline = json.loads(baseline_path.read_text())
     failures = []
     for name in GATED_SECTIONS:
+        if name not in results["sections"]:
+            continue  # filtered out by --sections
         have = results["sections"][name]["speedup"]
-        want = baseline["sections"][name]["speedup"]
+        fallback = baseline["sections"][name]["speedup"]
+        if registry is not None:
+            from repro.registry import history_baseline
+
+            resolved = history_baseline(
+                registry, f"sections/{name}/speedup",
+                bench="hotpath", fallback=fallback,
+            )
+            want = resolved.value
+            print(f"check {name}: baseline source: {resolved.describe()}")
+        else:
+            want = fallback
         floor = want * (1.0 - REGRESSION_TOLERANCE)
         status = "ok" if have >= floor else "REGRESSED"
         print(f"check {name}: speedup {have:.2f}x vs baseline {want:.2f}x "
@@ -325,15 +356,38 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=Path, default=None,
                         help="write results JSON here")
     parser.add_argument("--check", type=Path, default=None,
-                        help="baseline JSON to gate speedups against")
+                        help="baseline JSON to gate speedups against "
+                             "(the fallback when --registry has history)")
+    parser.add_argument("--registry", type=Path, default=None,
+                        help="cross-run registry root: gate against index "
+                             "history and register this run's results")
+    parser.add_argument("--sections", nargs="+", default=None,
+                        choices=ALL_SECTIONS,
+                        help="run only these sections (default: all)")
     args = parser.parse_args(argv)
-    results = run(smoke=args.smoke)
+    registry = None
+    if args.registry is not None:
+        from repro.registry import RunRegistry
+
+        registry = RunRegistry(args.registry)
+    results = run(smoke=args.smoke, sections_filter=args.sections)
     if args.out is not None:
         args.out.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {args.out}")
+    rc = 0
     if args.check is not None:
-        return check(results, args.check)
-    return 0
+        rc = check(results, args.check, registry=registry)
+    if registry is not None:
+        # Register after the gate so a run never baselines itself, and
+        # mark gate failures red so they never enter future baselines.
+        from repro.registry import record_bench_run
+
+        run_id = record_bench_run(
+            registry, "hotpath", results,
+            status="green" if rc == 0 else "red",
+        )
+        print(f"registered: {run_id} (registry {args.registry})")
+    return rc
 
 
 if __name__ == "__main__":

@@ -752,14 +752,28 @@ def main(argv=None) -> int:
                         help="write results JSON here")
     parser.add_argument("--check", action="store_true",
                         help="gate on the absolute floors (CI)")
+    parser.add_argument("--registry", type=Path, default=None,
+                        help="cross-run registry root: register this run's "
+                             "results (tagged bench:serve)")
     args = parser.parse_args(argv)
     results = run(smoke=args.smoke)
     if args.out is not None:
         args.out.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {args.out}")
+    rc = 0
     if args.check:
-        return check(results)
-    return 0
+        rc = check(results)
+    if args.registry is not None:
+        # After the gate: failed runs register red and stay out of any
+        # future history-derived baselines.
+        from repro.registry import RunRegistry, record_bench_run
+
+        run_id = record_bench_run(
+            RunRegistry(args.registry), "serve", results,
+            status="green" if rc == 0 else "red",
+        )
+        print(f"registered: {run_id} (registry {args.registry})")
+    return rc
 
 
 if __name__ == "__main__":

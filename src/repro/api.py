@@ -51,6 +51,7 @@ from repro.data.dataset import XMLTask
 from repro.exceptions import ConfigurationError
 from repro.gpu.cluster import MultiGPUServer
 from repro.harness.trainer_base import TrainerBase
+from repro.registry import RunRegistry, default_registry  # noqa: F401 (re-export)
 from repro.telemetry import Telemetry
 
 __all__ = [
@@ -60,6 +61,8 @@ __all__ = [
     "trainer_class",
     "make_trainer",
     "make_engine",
+    "RunRegistry",
+    "default_registry",
 ]
 
 #: Paper-figure algorithm names -> trainer classes. Mutate only through

@@ -32,6 +32,13 @@ Every paper artifact is reachable from the shell without writing code:
   ``--scoring lsh`` — and the approximate paths report recall vs the
   exact top-k).
 
+- ``python -m repro runs <verb>`` — the cross-run registry: ``ls`` /
+  ``show`` / ``diff`` (same comparison engine as ``repro compare``) /
+  ``history`` (metric sparkline across runs) / ``gc``. ``train``,
+  ``trace``, and ``serve`` register their artifacts when ``--registry
+  DIR`` (or ``$REPRO_REGISTRY``) names an index root, and ``analyze`` /
+  ``compare`` accept registry run ids wherever they accept trace paths.
+
 Time budgets use the canonical ``--time-budget-s`` flag (matching the
 Python API's ``time_budget_s`` keyword); the old ``--budget`` spelling is a
 deprecated alias.
@@ -88,6 +95,25 @@ def _add_time_budget(p: argparse.ArgumentParser, default: float) -> None:
         action=_BudgetAction, metavar="SECONDS",
         help="simulated seconds per run (deprecated alias: --budget)",
     )
+
+
+def _add_registry(p: argparse.ArgumentParser, *, write: bool) -> None:
+    """The ``--registry DIR`` flag shared by every registry-aware command.
+
+    Write-side commands (train/trace/serve) register only when the flag or
+    ``$REPRO_REGISTRY`` names a root; read-side commands additionally fall
+    back to ``.repro-runs``.
+    """
+    if write:
+        help_text = (
+            "register this run in the cross-run index at DIR "
+            "(default: $REPRO_REGISTRY, else no registration)"
+        )
+    else:
+        help_text = (
+            "run-registry root (default: $REPRO_REGISTRY, else .repro-runs)"
+        )
+    p.add_argument("--registry", metavar="DIR", default=None, help=help_text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --store: publish a version every S simulated "
                         "seconds during the run (checkpoint-aligned), not "
                         "just once at the end")
+    _add_registry(p, write=True)
 
     p = sub.add_parser(
         "trace",
@@ -168,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary", action="store_true",
         help="print the time-attribution analysis instead of writing files",
     )
+    _add_registry(p, write=True)
 
     p = sub.add_parser(
         "analyze",
@@ -175,12 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "trace",
-        help="a .telemetry.jsonl / .trace.json archive, or a result-set "
-             "directory containing telemetry.jsonl",
+        help="a .telemetry.jsonl / .trace.json archive, a result-set "
+             "directory containing telemetry.jsonl, or a registry run id "
+             "(resolved through --registry)",
     )
     p.add_argument(
         "--run", type=int, default=None,
-        help="analyze only this run index (default: every run in the trace)",
+        help="analyze only this run index (default: every run in the "
+             "trace, or the indexed run for a registry run id)",
     )
     p.add_argument(
         "--json", action="store_true", dest="as_json",
@@ -194,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--width", type=int, default=64,
         help="utilization timeline width in characters",
     )
+    _add_registry(p, write=False)
 
     p = sub.add_parser(
         "snapshot",
@@ -262,20 +293,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="STEM", default=None,
                    help="also export serving telemetry: STEM.trace.json + "
                         "STEM.telemetry.jsonl (feed to `repro analyze`)")
+    _add_registry(p, write=True)
 
     p = sub.add_parser(
         "compare",
         help="align two recorded runs: per-phase deltas + TTA + regressions",
     )
-    p.add_argument("baseline", help="baseline trace archive")
-    p.add_argument("candidate", help="candidate trace archive")
+    p.add_argument("baseline",
+                   help="baseline trace archive (or registry run id)")
+    p.add_argument("candidate",
+                   help="candidate trace archive (or registry run id)")
     p.add_argument(
-        "--run-a", type=int, default=0,
-        help="run index inside the baseline trace (default 0)",
+        "--run-a", type=int, default=None,
+        help="run index inside the baseline trace (default 0, or the "
+             "indexed run for a registry run id)",
     )
     p.add_argument(
-        "--run-b", type=int, default=0,
-        help="run index inside the candidate trace (default 0)",
+        "--run-b", type=int, default=None,
+        help="run index inside the candidate trace (default 0, or the "
+             "indexed run for a registry run id)",
     )
     p.add_argument(
         "--target", type=float, default=None,
@@ -290,7 +326,233 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="emit the comparison as sorted JSON instead of tables",
     )
+    _add_registry(p, write=False)
+
+    p = sub.add_parser(
+        "runs",
+        help="query the cross-run index: ls/show/diff/history/gc",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    q = runs_sub.add_parser("ls", help="list indexed runs, newest first")
+    q.add_argument("--kind", default=None,
+                   choices=("train", "serve", "bench"),
+                   help="only runs of this kind")
+    q.add_argument("--tag", default=None,
+                   help="only runs carrying this tag (e.g. bench:hotpath)")
+    q.add_argument("--status", default=None, choices=("green", "red"))
+    q.add_argument("--limit", type=int, default=20,
+                   help="newest N runs (default 20; 0 = all)")
+    q.add_argument("--json", action="store_true", dest="as_json")
+    _add_registry(q, write=False)
+
+    q = runs_sub.add_parser("show", help="one run's manifest + metrics")
+    q.add_argument("run_id")
+    q.add_argument("--json", action="store_true", dest="as_json")
+    _add_registry(q, write=False)
+
+    q = runs_sub.add_parser(
+        "diff",
+        help="compare two indexed runs (same engine as `repro compare`)",
+    )
+    q.add_argument("run_a", help="baseline run id (or trace path)")
+    q.add_argument("run_b", help="candidate run id (or trace path)")
+    q.add_argument("--target", type=float, default=None,
+                   help="accuracy target for the TTA delta")
+    q.add_argument("--noise", type=float, default=0.05,
+                   help="relative threshold below which a delta is jitter")
+    q.add_argument("--json", action="store_true", dest="as_json")
+    _add_registry(q, write=False)
+
+    q = runs_sub.add_parser(
+        "history",
+        help="a metric's trajectory across runs, as a sparkline",
+    )
+    q.add_argument("metric",
+                   help="indexed metric name (e.g. duration_s, "
+                        "throughput_rps, sections/gather/speedup)")
+    q.add_argument("--kind", default=None,
+                   choices=("train", "serve", "bench"))
+    q.add_argument("--tag", default=None,
+                   help="only runs carrying this tag (e.g. bench:hotpath)")
+    q.add_argument("--limit", type=int, default=64,
+                   help="newest N runs (default 64; 0 = all)")
+    q.add_argument("--width", type=int, default=64,
+                   help="sparkline width in characters")
+    q.add_argument("--json", action="store_true", dest="as_json")
+    _add_registry(q, write=False)
+
+    q = runs_sub.add_parser(
+        "gc",
+        help="delete old runs (never CI-baseline or pinned ones)",
+    )
+    q.add_argument("--keep", type=int, default=20,
+                   help="newest runs to keep per kind (default 20)")
+    q.add_argument("--dry-run", action="store_true",
+                   help="print what would be deleted without deleting")
+    _add_registry(q, write=False)
+
     return parser
+
+
+def _write_registry(args):
+    """The registry a train/trace/serve run registers into, or ``None``.
+
+    Registration is opt-in: only an explicit ``--registry`` or the
+    ``$REPRO_REGISTRY`` environment variable activates it.
+    """
+    from repro.registry import default_registry
+
+    return default_registry(args.registry, fallback=False)
+
+
+def _read_registry(args):
+    """The registry a read-side verb queries (falls back to .repro-runs).
+
+    Raises ``ConfigurationError`` when no index exists at the resolved
+    root — read verbs never mint an empty database.
+    """
+    from repro.registry import default_registry
+
+    return default_registry(args.registry, create=False, fallback=True)
+
+
+def _resolve_trace_source(value, registry_path):
+    """Resolve a trace argument that may be a path or a registry run id.
+
+    Returns ``(source, run_index, run_id)``: the loadable trace source,
+    the indexed run index inside it (``None`` when the argument was a
+    plain path), and the resolved run id (``None`` for paths). Existing
+    paths always win — a file named like a run id stays a file.
+    """
+    from pathlib import Path
+
+    from repro.exceptions import ConfigurationError
+    from repro.registry import default_registry
+
+    if Path(value).exists():
+        return value, None, None
+    try:
+        registry = default_registry(
+            registry_path, create=False, fallback=True
+        )
+    except ConfigurationError:
+        registry = None
+    if registry is not None and registry.contains(value):
+        record = registry.get(value)
+        trace = registry.resolve_trace(value)
+        index = record.manifest.get("trace_run_index")
+        return str(trace), (int(index) if index is not None else None), value
+    return value, None, None
+
+
+def _comparison_json(cmp) -> str:
+    """The one serialization both ``compare --json`` and ``runs diff
+    --json`` print — byte-identical by construction."""
+    import json
+
+    return json.dumps(cmp.as_dict(), indent=2, sort_keys=True, allow_nan=False)
+
+
+def _cmd_runs(args) -> int:
+    """The ``repro runs`` verbs: ls / show / diff / history / gc."""
+    import json
+
+    from repro.exceptions import ConfigurationError, DataFormatError
+
+    try:
+        registry = _read_registry(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.runs_command == "ls":
+        records = registry.list(
+            kind=args.kind, tag=args.tag, status=args.status,
+            limit=args.limit or None,
+        )
+        if args.as_json:
+            print(json.dumps(
+                [r.as_dict() for r in records],
+                indent=2, sort_keys=True, allow_nan=False,
+            ))
+        else:
+            from repro.harness.report import render_runs_table
+
+            print(render_runs_table(records))
+        return 0
+
+    if args.runs_command == "show":
+        try:
+            record = registry.get(args.run_id)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.as_json:
+            print(json.dumps(
+                record.as_dict(), indent=2, sort_keys=True, allow_nan=False,
+            ))
+        else:
+            from repro.harness.report import render_run_show
+
+            print(render_run_show(record))
+        return 0
+
+    if args.runs_command == "diff":
+        from repro.telemetry.compare import diff_runs
+
+        src_a, idx_a, _ = _resolve_trace_source(args.run_a, args.registry)
+        src_b, idx_b, _ = _resolve_trace_source(args.run_b, args.registry)
+        try:
+            cmp = diff_runs(
+                src_a, src_b,
+                run_a=idx_a or 0, run_b=idx_b or 0,
+                target=args.target, noise=args.noise,
+            )
+        except (ConfigurationError, DataFormatError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.as_json:
+            print(_comparison_json(cmp))
+        else:
+            from repro.harness.report import render_comparison
+
+            print(render_comparison(cmp))
+        return 0
+
+    if args.runs_command == "history":
+        history = registry.metric_history(
+            args.metric, kind=args.kind, tag=args.tag,
+            limit=args.limit or None,
+        )
+        if args.as_json:
+            print(json.dumps(
+                {
+                    "metric": args.metric,
+                    "history": [
+                        {"run_id": run_id, "value": value}
+                        for run_id, value in history
+                    ],
+                },
+                indent=2, sort_keys=True, allow_nan=False,
+            ))
+        else:
+            from repro.harness.report import render_metric_history
+
+            print(render_metric_history(
+                args.metric, history, width=args.width,
+            ))
+        return 0
+
+    if args.runs_command == "gc":
+        doomed = registry.gc(keep=args.keep, dry_run=args.dry_run)
+        verb = "would delete" if args.dry_run else "deleted"
+        print(f"{verb} {len(doomed)} run(s)")
+        for run_id in doomed:
+            print(run_id)
+        return 0
+
+    return 2  # pragma: no cover - unreachable with required=True
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -361,7 +623,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.publish_every_s is not None and not args.store:
             print("error: --publish-every-s requires --store", file=sys.stderr)
             return 1
-        trainer = make_trainer("adaptive", spec)
+        registry = _write_registry(args)
+        tel = None
+        if registry is not None:
+            from repro.telemetry import Telemetry
+
+            tel = Telemetry(label=f"train-{args.dataset}")
+        trainer = make_trainer("adaptive", spec, telemetry=tel)
         store = None
         if args.store:
             from repro.serve import SnapshotStore
@@ -401,6 +669,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"store: {store.root} (versions "
                 f"{' '.join(f'v{v}' for v in store.versions())})"
             )
+        if registry is not None:
+            from repro.registry import record_train_run
+
+            run_id = record_train_run(
+                registry, trace, telemetry=tel, spec=spec,
+            )
+            print(f"registered: {run_id} (registry {registry.root})")
         return 0
 
     if args.command == "trace":
@@ -420,7 +695,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
         )
         tel = Telemetry(label=args.out)
-        run_experiment(spec, telemetry=tel)
+        registry = _write_registry(args)
+        run_experiment(spec, telemetry=tel, registry=registry)
+        if registry is not None:
+            print(f"registered grid in {registry.root}", file=sys.stderr)
         if args.summary:
             from repro.harness.report import render_analysis
 
@@ -447,8 +725,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.exceptions import DataFormatError
         from repro.telemetry.trace_data import load_trace_data
 
+        source, run_index, run_id = _resolve_trace_source(
+            args.trace, args.registry
+        )
+        run = args.run if args.run is not None else run_index
         try:
-            data = load_trace_data(args.trace)
+            data = load_trace_data(source)
         except DataFormatError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -456,17 +738,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.telemetry.analyze import analyze_report
 
             print(json.dumps(
-                analyze_report(data, run=args.run),
+                analyze_report(data, run=run),
                 indent=2, sort_keys=True, allow_nan=False,
             ))
         else:
             from repro.harness.report import render_analysis
 
-            print(render_analysis(data, run=args.run, width=args.width))
+            print(render_analysis(data, run=run, width=args.width))
         if args.promtext:
             from repro.telemetry.promtext import write_promtext
 
-            path = write_promtext(data, args.promtext)
+            path = write_promtext(data, args.promtext, run_id=run_id)
             print(f"prometheus exposition: {path}", file=sys.stderr)
         return 0
 
@@ -577,7 +859,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if scoring is None:
             scoring = "exact"
 
-        tel = Telemetry(label=f"serve-{dataset}") if args.out else None
+        registry = _write_registry(args)
+        tel = (
+            Telemetry(label=f"serve-{dataset}")
+            if (args.out or registry is not None) else None
+        )
 
         if args.tenants:
             import numpy as np
@@ -697,6 +983,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 print(f"chrome trace: {chrome}")
                 print(f"event stream: {jsonl}")
+            if registry is not None:
+                from repro.registry import record_serve_runs
+
+                # The contended run is the scenario's result; it is
+                # telemetry run 1 (the solo warm-up run is 0).
+                run_ids = record_serve_runs(
+                    registry, {"tenants": noisy}, telemetry=tel,
+                    run_indices={"tenants": 1},
+                    extra={"dataset": dataset, "scenario": "noisy-neighbor"},
+                )
+                print(
+                    f"registered: {' '.join(run_ids)} "
+                    f"(registry {registry.root})"
+                )
             return 0
 
         engines = {}
@@ -808,33 +1108,44 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(f"chrome trace: {chrome}")
             print(f"event stream: {jsonl}")
+        if registry is not None:
+            from repro.registry import record_serve_runs
+
+            run_ids = record_serve_runs(
+                registry, results, telemetry=tel,
+                extra={"dataset": dataset, "scoring": scoring},
+            )
+            print(
+                f"registered: {' '.join(run_ids)} (registry {registry.root})"
+            )
         return 0
 
     if args.command == "compare":
-        import json
-
         from repro.exceptions import DataFormatError
-        from repro.telemetry.compare import compare_runs
-        from repro.telemetry.trace_data import load_trace_data
+        from repro.telemetry.compare import diff_runs
 
+        src_a, idx_a, _ = _resolve_trace_source(args.baseline, args.registry)
+        src_b, idx_b, _ = _resolve_trace_source(args.candidate, args.registry)
+        run_a = args.run_a if args.run_a is not None else (idx_a or 0)
+        run_b = args.run_b if args.run_b is not None else (idx_b or 0)
         try:
-            baseline = load_trace_data(args.baseline).run(args.run_a)
-            candidate = load_trace_data(args.candidate).run(args.run_b)
+            cmp = diff_runs(
+                src_a, src_b, run_a=run_a, run_b=run_b,
+                target=args.target, noise=args.noise,
+            )
         except DataFormatError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-        cmp = compare_runs(
-            baseline, candidate, target=args.target, noise=args.noise
-        )
         if args.as_json:
-            print(json.dumps(
-                cmp.as_dict(), indent=2, sort_keys=True, allow_nan=False,
-            ))
+            print(_comparison_json(cmp))
         else:
             from repro.harness.report import render_comparison
 
             print(render_comparison(cmp))
         return 0
+
+    if args.command == "runs":
+        return _cmd_runs(args)
 
     return 2  # pragma: no cover - unreachable with required=True
 

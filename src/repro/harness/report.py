@@ -30,6 +30,9 @@ __all__ = [
     "render_tenants",
     "render_comparison",
     "render_analysis",
+    "render_runs_table",
+    "render_run_show",
+    "render_metric_history",
 ]
 
 
@@ -356,6 +359,86 @@ def render_analysis(source, *, run=None, width: int = 64) -> str:
         )
         sections.append("\n\n".join(parts))
     return "\n\n".join(sections)
+
+
+def render_runs_table(records: Sequence) -> str:
+    """The ``repro runs ls`` table for a sequence of ``RunRecord``.
+
+    Newest-first (the registry's list order); the caller filters.
+    """
+    if not records:
+        return "no runs registered."
+    rows = []
+    for record in records:
+        rows.append([
+            record.run_id,
+            record.kind,
+            record.algorithm or "-",
+            record.dataset or "-",
+            record.status,
+            record.sim_duration_s,
+            ",".join(record.tags) if record.tags else "-",
+        ])
+    return format_table(
+        ["run_id", "kind", "algorithm", "dataset", "status", "sim s", "tags"],
+        rows,
+    )
+
+
+def render_run_show(record) -> str:
+    """The ``repro runs show`` report: identity block + metrics table."""
+    pairs = {
+        "run_id": record.run_id,
+        "kind": record.kind,
+        "algorithm": record.algorithm or "-",
+        "dataset": record.dataset or "-",
+        "status": record.status,
+        "n_devices": record.n_devices,
+        "seed": record.seed,
+        "sim duration s": record.sim_duration_s,
+        "path": record.path or "-",
+        "trace": record.trace_path or "-",
+        "git": (
+            f"{record.git_commit[:12]}{' (dirty)' if record.git_dirty else ''}"
+            if record.git_commit else "-"
+        ),
+        "tags": ",".join(record.tags) if record.tags else "-",
+    }
+    out = format_kv(pairs)
+    if record.metrics:
+        out += "\n\n" + format_table(
+            ["metric", "value"],
+            [[name, value] for name, value in sorted(record.metrics.items())],
+            title="headline metrics",
+        )
+    return out
+
+
+def render_metric_history(
+    name: str, history: Sequence, *, width: int = 64
+) -> str:
+    """``repro runs history``: sparkline + per-run values, oldest first.
+
+    ``history`` is the registry's ``(run_id, value)`` list in
+    chronological order, so the sparkline's right edge is the latest run.
+    """
+    from repro.utils.tables import format_sparkline
+
+    if not history:
+        return f"no runs recorded metric {name!r}."
+    values = [value for _, value in history]
+    lines = [
+        f"{name} — {len(values)} run(s), "
+        f"min {min(values):.4g}, max {max(values):.4g}, "
+        f"latest {values[-1]:.4g}",
+        format_sparkline(values, width=width),
+        "",
+        format_table(
+            ["run_id", "value"],
+            [[run_id, value] for run_id, value in history],
+        ),
+    ]
+    return "\n".join(lines)
 
 
 def render_fig1(rows: Sequence[Mapping[str, float]]) -> str:

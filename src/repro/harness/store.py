@@ -56,7 +56,7 @@ def save_trace(
         "perturbation_history": list(trace.perturbation_history),
         "merge_branch_history": list(trace.merge_branch_history),
         "staleness_history": list(trace.staleness_history),
-        "metadata": _safe_metadata(trace.metadata),
+        "metadata": _jsonable_metadata(trace.metadata),
         "format_version": 1,
     }
     json_path = save_json(stem.with_suffix(".json"), meta)
@@ -68,14 +68,24 @@ def save_trace(
     return json_path, npz_path
 
 
-def _safe_metadata(metadata: Mapping) -> dict:
-    """Metadata entries that fail JSON conversion are stringified."""
+def _jsonable_metadata(metadata: Mapping) -> dict:
+    """Metadata via :func:`to_jsonable`: ``Path`` values become strings,
+    non-finite floats and unconvertible objects are rejected.
+
+    Rejection (rather than the old ``repr`` coercion) keeps the round-trip
+    faithful: a value that silently stringifies on save loads back as a
+    different type, and a NaN that survives to :func:`save_json` would
+    fail there with a far less actionable message.
+    """
     out = {}
     for key, value in metadata.items():
         try:
             out[str(key)] = to_jsonable(value)
-        except TypeError:
-            out[str(key)] = repr(value)
+        except (TypeError, ValueError) as exc:
+            raise DataFormatError(
+                f"trace metadata entry {key!r} does not survive a JSON "
+                f"round-trip: {exc}"
+            ) from exc
     return out
 
 

@@ -1,0 +1,522 @@
+"""The SQLite cross-run index: schema, migrations, queries, and gc.
+
+One database file (``runs.db``) sits at the registry root next to the
+per-run directories (``runs/<run_id>/``). Every row is a registered run;
+the full manifest rides along as a JSON column so ``runs show`` needs no
+directory read, while headline metrics are flattened into a queryable
+``metrics`` table for history/baseline queries.
+
+Schema versioning uses ``PRAGMA user_version`` and is applied on open, so
+an index written by an older checkout upgrades in place:
+
+- **v0** — fresh/empty database (no tables yet).
+- **v1** — the initial layout: ``runs`` without a ``status`` column and no
+  ``tags`` table (every run was implicitly green and untagged).
+- **v2** (current) — ``runs.status`` (``green``/``red``, drives baseline
+  eligibility) and the ``tags`` table (``bench:<name>``, ``baseline``,
+  ``pinned``, ...).
+
+Concurrency: every operation opens its own short-lived connection with a
+busy timeout, and registration is a DELETE+INSERT of the run's rows inside
+one transaction — two processes registering the same run_id are
+last-writer-safe, and registering distinct runs never conflicts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import shutil
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, DataFormatError
+
+__all__ = ["SCHEMA_VERSION", "DB_NAME", "RUNS_DIRNAME", "RunRecord", "RunRegistry"]
+
+#: Current ``PRAGMA user_version``; bump alongside a migration entry.
+SCHEMA_VERSION = 2
+
+DB_NAME = "runs.db"
+RUNS_DIRNAME = "runs"
+
+#: Tags that unconditionally protect a run from ``gc``.
+PROTECTED_TAGS = ("baseline", "pinned")
+
+
+@dataclass
+class RunRecord:
+    """One indexed run: the ``runs`` row plus its tags and metrics."""
+
+    run_id: str
+    kind: str
+    algorithm: str = ""
+    dataset: str = ""
+    n_devices: int = 0
+    seed: int = 0
+    status: str = "green"
+    created_s: float = 0.0
+    sim_duration_s: float = 0.0
+    path: str = ""
+    trace_path: str = ""
+    git_commit: str = ""
+    git_dirty: bool = False
+    manifest: Dict = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "n_devices": self.n_devices,
+            "seed": self.seed,
+            "status": self.status,
+            "created_s": self.created_s,
+            "sim_duration_s": self.sim_duration_s,
+            "path": self.path,
+            "trace_path": self.trace_path,
+            "git_commit": self.git_commit,
+            "git_dirty": self.git_dirty,
+            "tags": sorted(self.tags),
+            "metrics": dict(sorted(self.metrics.items())),
+            "manifest": self.manifest,
+        }
+
+
+def _create_v1(conn: sqlite3.Connection) -> None:
+    """The v1 layout (kept verbatim so the v1→v2 migration is testable)."""
+    conn.executescript(
+        """
+        CREATE TABLE IF NOT EXISTS runs (
+            run_id TEXT PRIMARY KEY,
+            kind TEXT NOT NULL,
+            algorithm TEXT NOT NULL DEFAULT '',
+            dataset TEXT NOT NULL DEFAULT '',
+            n_devices INTEGER NOT NULL DEFAULT 0,
+            seed INTEGER NOT NULL DEFAULT 0,
+            created_s REAL NOT NULL DEFAULT 0.0,
+            sim_duration_s REAL NOT NULL DEFAULT 0.0,
+            path TEXT NOT NULL DEFAULT '',
+            trace_path TEXT NOT NULL DEFAULT '',
+            git_commit TEXT NOT NULL DEFAULT '',
+            git_dirty INTEGER NOT NULL DEFAULT 0,
+            manifest TEXT NOT NULL DEFAULT '{}'
+        );
+        CREATE TABLE IF NOT EXISTS metrics (
+            run_id TEXT NOT NULL,
+            name TEXT NOT NULL,
+            value REAL NOT NULL,
+            PRIMARY KEY (run_id, name)
+        );
+        CREATE INDEX IF NOT EXISTS idx_runs_kind ON runs (kind, created_s);
+        CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics (name);
+        """
+    )
+
+
+def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """v2 adds ``runs.status`` and the ``tags`` table."""
+    cols = [row[1] for row in conn.execute("PRAGMA table_info(runs)")]
+    if "status" not in cols:
+        conn.execute(
+            "ALTER TABLE runs ADD COLUMN status TEXT NOT NULL DEFAULT 'green'"
+        )
+    conn.executescript(
+        """
+        CREATE TABLE IF NOT EXISTS tags (
+            run_id TEXT NOT NULL,
+            tag TEXT NOT NULL,
+            PRIMARY KEY (run_id, tag)
+        );
+        CREATE INDEX IF NOT EXISTS idx_tags_tag ON tags (tag);
+        """
+    )
+
+
+#: schema migrations, applied in order from the on-disk user_version.
+_MIGRATIONS = (
+    (1, _create_v1),
+    (2, _migrate_v1_to_v2),
+)
+
+
+class RunRegistry:
+    """Per-run artifact directories plus the SQLite cross-run index.
+
+    ``root`` holds ``runs.db`` and ``runs/<run_id>/`` directories. Opening
+    a registry applies any pending schema migrations; ``create=False``
+    raises if the root has no index yet (used by read-only CLI verbs so a
+    typo'd path fails loudly instead of minting an empty database).
+    """
+
+    def __init__(self, root, *, create: bool = True) -> None:
+        self.root = Path(root)
+        self.db_path = self.root / DB_NAME
+        if not create and not self.db_path.exists():
+            raise ConfigurationError(
+                f"no run registry at {self.root} (missing {DB_NAME}); "
+                f"register a run first or pass the right --registry"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / RUNS_DIRNAME).mkdir(exist_ok=True)
+        with self._connect() as conn:
+            self._migrate(conn)
+
+    # -- connection / schema -------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.db_path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        return conn
+
+    @staticmethod
+    def _migrate(conn: sqlite3.Connection) -> None:
+        version = conn.execute("PRAGMA user_version").fetchone()[0]
+        if version > SCHEMA_VERSION:
+            raise DataFormatError(
+                f"runs.db schema v{version} is newer than this checkout's "
+                f"v{SCHEMA_VERSION}; upgrade the repo to read it"
+            )
+        for target, step in _MIGRATIONS:
+            if version < target:
+                step(conn)
+                conn.execute(f"PRAGMA user_version = {target}")
+                version = target
+        conn.commit()
+
+    def schema_version(self) -> int:
+        with self._connect() as conn:
+            return conn.execute("PRAGMA user_version").fetchone()[0]
+
+    # -- paths ---------------------------------------------------------------
+
+    def run_dir(self, run_id: str) -> Path:
+        """The artifact directory for ``run_id`` (created by the caller)."""
+        return self.root / RUNS_DIRNAME / run_id
+
+    # -- write side ----------------------------------------------------------
+
+    def register(
+        self,
+        manifest: Mapping,
+        metrics: Optional[Mapping[str, float]] = None,
+        *,
+        status: str = "green",
+        tags: Iterable[str] = (),
+    ) -> str:
+        """Index a run. ``manifest`` must carry ``run_id`` and ``kind``.
+
+        Re-registering an existing ``run_id`` replaces its row, metrics,
+        and tags atomically (last writer wins). Non-finite metric values
+        are rejected — they would poison baseline medians downstream.
+        """
+        run_id = str(manifest.get("run_id", "")).strip()
+        kind = str(manifest.get("kind", "")).strip()
+        if not run_id or not kind:
+            raise ConfigurationError(
+                "manifest must carry non-empty 'run_id' and 'kind'"
+            )
+        if status not in ("green", "red"):
+            raise ConfigurationError(
+                f"run status must be 'green' or 'red', got {status!r}"
+            )
+        clean_metrics: Dict[str, float] = {}
+        for name, value in dict(metrics or {}).items():
+            value = float(value)
+            if not math.isfinite(value):
+                raise DataFormatError(
+                    f"metric {name!r} for run {run_id} is non-finite ({value!r})"
+                )
+            clean_metrics[str(name)] = value
+        tag_list = sorted({str(t) for t in tags if str(t)})
+        manifest_json = json.dumps(
+            dict(manifest), sort_keys=True, allow_nan=False, default=str
+        )
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute("DELETE FROM metrics WHERE run_id = ?", (run_id,))
+            conn.execute("DELETE FROM tags WHERE run_id = ?", (run_id,))
+            conn.execute(
+                """
+                INSERT OR REPLACE INTO runs (
+                    run_id, kind, algorithm, dataset, n_devices, seed,
+                    status, created_s, sim_duration_s, path, trace_path,
+                    git_commit, git_dirty, manifest
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    run_id,
+                    kind,
+                    str(manifest.get("algorithm", "")),
+                    str(manifest.get("dataset", "")),
+                    int(manifest.get("n_devices", 0) or 0),
+                    int(manifest.get("seed", 0) or 0),
+                    status,
+                    float(manifest.get("created_s", 0.0) or 0.0),
+                    float(manifest.get("sim_duration_s", 0.0) or 0.0),
+                    str(manifest.get("path", "")),
+                    str(manifest.get("trace_path", "")),
+                    str(manifest.get("git_commit", "")),
+                    1 if manifest.get("git_dirty") else 0,
+                    manifest_json,
+                ),
+            )
+            conn.executemany(
+                "INSERT INTO metrics (run_id, name, value) VALUES (?, ?, ?)",
+                [(run_id, n, v) for n, v in sorted(clean_metrics.items())],
+            )
+            conn.executemany(
+                "INSERT INTO tags (run_id, tag) VALUES (?, ?)",
+                [(run_id, t) for t in tag_list],
+            )
+            conn.commit()
+        return run_id
+
+    def set_status(self, run_id: str, status: str) -> None:
+        if status not in ("green", "red"):
+            raise ConfigurationError(
+                f"run status must be 'green' or 'red', got {status!r}"
+            )
+        with self._connect() as conn:
+            cur = conn.execute(
+                "UPDATE runs SET status = ? WHERE run_id = ?", (status, run_id)
+            )
+            conn.commit()
+        if cur.rowcount == 0:
+            raise ConfigurationError(f"unknown run_id {run_id!r}")
+
+    def add_tags(self, run_id: str, tags: Iterable[str]) -> None:
+        if not self.contains(run_id):
+            raise ConfigurationError(f"unknown run_id {run_id!r}")
+        with self._connect() as conn:
+            conn.executemany(
+                "INSERT OR IGNORE INTO tags (run_id, tag) VALUES (?, ?)",
+                [(run_id, str(t)) for t in tags if str(t)],
+            )
+            conn.commit()
+
+    # -- read side -----------------------------------------------------------
+
+    def contains(self, run_id: str) -> bool:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        return row is not None
+
+    def _record(self, conn: sqlite3.Connection, row: sqlite3.Row) -> RunRecord:
+        run_id = row["run_id"]
+        tags = tuple(
+            r[0]
+            for r in conn.execute(
+                "SELECT tag FROM tags WHERE run_id = ? ORDER BY tag", (run_id,)
+            )
+        )
+        metrics = {
+            r[0]: r[1]
+            for r in conn.execute(
+                "SELECT name, value FROM metrics WHERE run_id = ? ORDER BY name",
+                (run_id,),
+            )
+        }
+        try:
+            manifest = json.loads(row["manifest"])
+        except (TypeError, ValueError):
+            manifest = {}
+        return RunRecord(
+            run_id=run_id,
+            kind=row["kind"],
+            algorithm=row["algorithm"],
+            dataset=row["dataset"],
+            n_devices=row["n_devices"],
+            seed=row["seed"],
+            status=row["status"],
+            created_s=row["created_s"],
+            sim_duration_s=row["sim_duration_s"],
+            path=row["path"],
+            trace_path=row["trace_path"],
+            git_commit=row["git_commit"],
+            git_dirty=bool(row["git_dirty"]),
+            manifest=manifest,
+            tags=tags,
+            metrics=metrics,
+        )
+
+    def get(self, run_id: str) -> RunRecord:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            if row is None:
+                raise ConfigurationError(
+                    f"unknown run_id {run_id!r} in registry {self.root}"
+                )
+            return self._record(conn, row)
+
+    def list(
+        self,
+        *,
+        kind: Optional[str] = None,
+        tag: Optional[str] = None,
+        status: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Indexed runs, newest-first, optionally filtered."""
+        sql = "SELECT runs.* FROM runs"
+        where, params = [], []
+        if tag is not None:
+            sql += " JOIN tags ON tags.run_id = runs.run_id"
+            where.append("tags.tag = ?")
+            params.append(tag)
+        if kind is not None:
+            where.append("runs.kind = ?")
+            params.append(kind)
+        if status is not None:
+            where.append("runs.status = ?")
+            params.append(status)
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        sql += " ORDER BY runs.created_s DESC, runs.run_id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._connect() as conn:
+            rows = conn.execute(sql, params).fetchall()
+            return [self._record(conn, row) for row in rows]
+
+    def metric_history(
+        self,
+        name: str,
+        *,
+        kind: Optional[str] = None,
+        tag: Optional[str] = None,
+        status: Optional[str] = "green",
+        limit: Optional[int] = None,
+    ) -> List[Tuple[str, float]]:
+        """``(run_id, value)`` pairs for metric ``name``, oldest → newest.
+
+        Defaults to green runs only — red runs are excluded from baselines.
+        ``limit`` keeps the *newest* ``limit`` entries (still returned in
+        chronological order, ready for sparklines and medians).
+        """
+        sql = (
+            "SELECT runs.run_id, metrics.value, runs.created_s FROM metrics"
+            " JOIN runs ON runs.run_id = metrics.run_id"
+        )
+        where, params = ["metrics.name = ?"], [name]
+        if tag is not None:
+            sql += " JOIN tags ON tags.run_id = runs.run_id"
+            where.append("tags.tag = ?")
+            params.append(tag)
+        if kind is not None:
+            where.append("runs.kind = ?")
+            params.append(kind)
+        if status is not None:
+            where.append("runs.status = ?")
+            params.append(status)
+        sql += " WHERE " + " AND ".join(where)
+        sql += " ORDER BY runs.created_s DESC, runs.run_id DESC"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._connect() as conn:
+            rows = conn.execute(sql, params).fetchall()
+        return [(row[0], row[1]) for row in reversed(rows)]
+
+    def metric_names(self, *, kind: Optional[str] = None) -> List[str]:
+        sql = "SELECT DISTINCT metrics.name FROM metrics"
+        params: List = []
+        if kind is not None:
+            sql += " JOIN runs ON runs.run_id = metrics.run_id WHERE runs.kind = ?"
+            params.append(kind)
+        sql += " ORDER BY metrics.name"
+        with self._connect() as conn:
+            return [row[0] for row in conn.execute(sql, params)]
+
+    def resolve_trace(self, run_id: str) -> Path:
+        """Absolute path of the telemetry trace indexed for ``run_id``."""
+        record = self.get(run_id)
+        if not record.trace_path:
+            raise ConfigurationError(
+                f"run {run_id} has no telemetry trace indexed"
+            )
+        path = Path(record.trace_path)
+        if not path.is_absolute():
+            path = self.root / path
+        if not path.exists():
+            raise DataFormatError(
+                f"run {run_id} points at missing trace {path}"
+            )
+        return path
+
+    # -- gc ------------------------------------------------------------------
+
+    def gc(
+        self,
+        *,
+        keep: int = 20,
+        dry_run: bool = False,
+        baseline_window: Optional[int] = None,
+    ) -> List[str]:
+        """Delete old runs, keeping the newest ``keep`` per kind.
+
+        Never deletes a run that could be referenced as a CI baseline:
+        runs tagged ``baseline`` or ``pinned``, and the newest
+        ``baseline_window`` *green* runs of every ``bench:<name>`` tag
+        (those form the rolling history the gates take their median
+        over). Returns the deleted (or, with ``dry_run``, deletable)
+        run_ids, oldest first.
+        """
+        if keep < 0:
+            raise ConfigurationError(f"gc keep must be >= 0, got {keep}")
+        if baseline_window is None:
+            from repro.registry.baseline import BASELINE_WINDOW
+
+            baseline_window = BASELINE_WINDOW
+        protected = set()
+        for tag in PROTECTED_TAGS:
+            protected.update(r.run_id for r in self.list(tag=tag))
+        with self._connect() as conn:
+            bench_tags = [
+                row[0]
+                for row in conn.execute(
+                    "SELECT DISTINCT tag FROM tags WHERE tag LIKE 'bench:%'"
+                )
+            ]
+        for tag in bench_tags:
+            recent = self.list(tag=tag, status="green", limit=baseline_window)
+            protected.update(r.run_id for r in recent)
+
+        doomed: List[RunRecord] = []
+        by_kind: Dict[str, List[RunRecord]] = {}
+        for record in self.list():
+            by_kind.setdefault(record.kind, []).append(record)
+        for records in by_kind.values():  # newest-first within each kind
+            for record in records[keep:]:
+                if record.run_id not in protected:
+                    doomed.append(record)
+        doomed.sort(key=lambda r: (r.created_s, r.run_id))
+        if dry_run:
+            return [r.run_id for r in doomed]
+        with self._connect() as conn:
+            for record in doomed:
+                conn.execute(
+                    "DELETE FROM metrics WHERE run_id = ?", (record.run_id,)
+                )
+                conn.execute(
+                    "DELETE FROM tags WHERE run_id = ?", (record.run_id,)
+                )
+                conn.execute(
+                    "DELETE FROM runs WHERE run_id = ?", (record.run_id,)
+                )
+            conn.commit()
+        for record in doomed:
+            run_dir = self.run_dir(record.run_id)
+            if run_dir.is_dir():
+                shutil.rmtree(run_dir, ignore_errors=True)
+        return [r.run_id for r in doomed]

@@ -71,6 +71,7 @@ driver-level ``serve.swap`` spans + swap/rollback counters that let
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -165,6 +166,36 @@ class ServeResult:
     mis_versioned: int = 0
     #: The version serving when the run ended.
     active_version: Optional[int] = None
+
+    def headline_metrics(self) -> dict:
+        """Flat finite-float metrics for the cross-run index.
+
+        The serving counterpart of
+        :func:`repro.telemetry.analyze.headline_metrics`: stable names,
+        every value a finite float, optional facets (recall, fairness)
+        present only when the run produced them.
+        """
+        out = {
+            "n_requests": float(self.report.n_requests),
+            "throughput_rps": float(self.report.throughput_rps),
+            "latency_p50_ms": self.report.percentile(50) * 1e3,
+            "latency_p95_ms": self.report.percentile(95) * 1e3,
+            "latency_p99_ms": self.report.percentile(99) * 1e3,
+            "mean_batch_size": float(self.report.mean_batch_size),
+            "max_queue_depth": float(self.max_queue_depth),
+            "n_shed": float(self.n_shed),
+            "n_swaps": float(self.n_swaps),
+            "n_rollbacks": float(self.n_rollbacks),
+            "n_swap_failures": float(self.n_swap_failures),
+            "mis_versioned": float(self.mis_versioned),
+        }
+        if self.recall_at_k is not None:
+            out["recall_at_k"] = float(self.recall_at_k)
+        if self.mean_candidate_fraction is not None:
+            out["mean_candidate_fraction"] = float(self.mean_candidate_fraction)
+        if self.fairness is not None:
+            out["fairness"] = float(self.fairness)
+        return {k: v for k, v in out.items() if math.isfinite(v)}
 
     def as_dict(self) -> dict:
         """JSON-safe summary."""

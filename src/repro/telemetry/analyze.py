@@ -15,6 +15,7 @@ acceptance tests pin it below 1e-6).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -47,6 +48,7 @@ __all__ = [
     "scoring_split",
     "swap_events",
     "tenant_breakdown",
+    "headline_metrics",
     "analyze_report",
 ]
 
@@ -690,6 +692,31 @@ def tenant_breakdown(run: "RunData") -> Optional[dict]:
             else float("inf")
         )
     return out
+
+
+def headline_metrics(run: RunData) -> Dict[str, float]:
+    """Flat headline metrics for one run: the run registry's report row.
+
+    Everything is a finite float keyed by a stable name — the run's
+    duration, best/final accuracy (when the gauge was sampled), the total
+    update count, and per-phase span totals as ``span/<name>_s`` — so the
+    dict drops straight into the cross-run index's metrics table and
+    ``repro runs history`` can chart any of it.
+    """
+    from repro.telemetry.compare import _phase_totals, _total_updates
+    from repro.telemetry.events import GAUGE_ACCURACY
+
+    out: Dict[str, float] = {"duration_s": run.duration()}
+    accuracy = [v for _, v in run.series(GAUGE_ACCURACY) if math.isfinite(v)]
+    if accuracy:
+        out["best_accuracy"] = max(accuracy)
+        out["final_accuracy"] = accuracy[-1]
+    updates = _total_updates(run)
+    if updates > 0:
+        out["updates_total"] = updates
+    for name, total, _count in _phase_totals(run):
+        out[f"span/{name}_s"] = total
+    return {k: float(v) for k, v in out.items() if math.isfinite(v)}
 
 
 def analyze_report(source, *, run: Optional[int] = None) -> dict:

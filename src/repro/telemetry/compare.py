@@ -25,6 +25,7 @@ __all__ = [
     "PhaseDelta",
     "RunComparison",
     "compare_runs",
+    "diff_runs",
     "time_to_accuracy",
 ]
 
@@ -163,6 +164,30 @@ def _total_updates(run: RunData) -> float:
         if final is not None:
             total += final
     return total
+
+
+def diff_runs(
+    baseline_source,
+    candidate_source,
+    *,
+    run_a: int = 0,
+    run_b: int = 0,
+    target: Optional[float] = None,
+    noise: float = 0.05,
+) -> RunComparison:
+    """Load two trace sources and compare one run from each.
+
+    ``*_source`` is anything
+    :func:`~repro.telemetry.trace_data.load_trace_data` accepts. This is
+    the single code path behind both ``repro compare`` and
+    ``repro runs diff``, so the two commands' JSON output is byte-identical
+    for the same pair of traces.
+    """
+    from repro.telemetry.trace_data import load_trace_data
+
+    baseline = load_trace_data(baseline_source).run(run_a)
+    candidate = load_trace_data(candidate_source).run(run_b)
+    return compare_runs(baseline, candidate, target=target, noise=noise)
 
 
 def compare_runs(

@@ -87,8 +87,14 @@ class _Family:
         return lines
 
 
-def to_promtext(data: TraceData) -> str:
-    """Render ``data`` in the Prometheus text exposition format (0.0.4)."""
+def to_promtext(data: TraceData, *, run_id: Optional[str] = None) -> str:
+    """Render ``data`` in the Prometheus text exposition format (0.0.4).
+
+    ``run_id`` (a registry run id) is stamped as the first label on every
+    sample so scrapes from multiple runs land in one Prometheus without
+    colliding — the ``run`` label only disambiguates runs *within* one
+    recorded trace.
+    """
     families: Dict[str, _Family] = {}
 
     def family(name: str, kind: str, help_text: str) -> _Family:
@@ -186,6 +192,13 @@ def to_promtext(data: TraceData) -> str:
         kernel_calls.add(labels, float(row.get("calls", 0)))
         kernel_seconds.add(labels, float(row.get("host_s", 0.0)))
 
+    if run_id is not None:
+        for fam in families.values():
+            fam.samples = [
+                ({"run_id": run_id, **labels}, value)
+                for labels, value in fam.samples
+            ]
+
     lines: List[str] = []
     for fam in families.values():
         if fam.samples:
@@ -193,11 +206,11 @@ def to_promtext(data: TraceData) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def write_promtext(data: TraceData, path) -> "Path":
+def write_promtext(data: TraceData, path, *, run_id: Optional[str] = None) -> "Path":
     """Write :func:`to_promtext` output to ``path``; returns the path."""
     from pathlib import Path
 
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(to_promtext(data))
+    path.write_text(to_promtext(data, run_id=run_id))
     return path

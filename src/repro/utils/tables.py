@@ -10,7 +10,16 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "format_kv", "format_timeline"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_kv",
+    "format_sparkline",
+    "format_timeline",
+]
+
+#: Eight-level block ramp for sparklines (U+2581..U+2588).
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 
 
 def _cell(value: Any, floatfmt: str) -> str:
@@ -142,6 +151,34 @@ def format_timeline(
             + f"   {fill}=idle"
         )
     return "\n".join(lines)
+
+
+def format_sparkline(
+    values: Sequence[float], *, width: Optional[int] = None
+) -> str:
+    """Render ``values`` as a one-line block-character sparkline.
+
+    Values are min-max scaled onto the 8-level block ramp; a constant (or
+    single-value) series renders as the middle block so it reads as "flat"
+    rather than "empty". ``width`` caps the output by striding through the
+    series (always keeping the last value — the most recent run is the one
+    the reader is looking for).
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if width is not None and width > 0 and len(values) > width:
+        stride = len(values) / width
+        picked = [values[int(i * stride)] for i in range(width - 1)]
+        picked.append(values[-1])
+        values = picked
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_BLOCKS[len(SPARK_BLOCKS) // 2] * len(values)
+    top = len(SPARK_BLOCKS) - 1
+    return "".join(
+        SPARK_BLOCKS[int(round((v - lo) / (hi - lo) * top))] for v in values
+    )
 
 
 def format_kv(pairs: Mapping[str, Any], *, floatfmt: str = ".4g") -> str:

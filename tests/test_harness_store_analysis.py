@@ -64,12 +64,32 @@ class TestTraceRoundTrip:
         assert loaded.time_to_accuracy(0.4) == original.time_to_accuracy(0.4)
         assert loaded.best_accuracy == original.best_accuracy
 
-    def test_unserializable_metadata_stringified(self, tmp_path):
+    def test_unserializable_metadata_rejected(self, tmp_path):
         trace = make_trace([0.1])
         trace.metadata["weird"] = object()
+        with pytest.raises(DataFormatError, match="weird"):
+            save_trace(trace, tmp_path / "run")
+
+    def test_non_finite_metadata_rejected(self, tmp_path):
+        trace = make_trace([0.1])
+        trace.metadata["bad"] = float("nan")
+        with pytest.raises(DataFormatError, match="bad"):
+            save_trace(trace, tmp_path / "run")
+
+    def test_path_metadata_round_trips_as_string(self, tmp_path):
+        from pathlib import Path
+
+        trace = make_trace([0.1])
+        trace.metadata["source"] = tmp_path / "origin.libsvm"
         save_trace(trace, tmp_path / "run")
         loaded = load_trace(tmp_path / "run")
-        assert "object" in loaded.metadata["weird"]
+        assert loaded.metadata["source"] == str(tmp_path / "origin.libsvm")
+        assert isinstance(loaded.metadata["source"], str)
+        # Nested containers go through the same conversion.
+        trace.metadata["source"] = {"paths": [Path("a"), Path("b")]}
+        save_trace(trace, tmp_path / "run2")
+        loaded = load_trace(tmp_path / "run2")
+        assert loaded.metadata["source"] == {"paths": ["a", "b"]}
 
     def test_missing_files_rejected(self, tmp_path):
         with pytest.raises(DataFormatError):

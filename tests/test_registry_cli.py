@@ -1,0 +1,243 @@
+"""Tests for the ``repro runs`` verbs and registry-aware CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.registry import RunRegistry
+
+
+@pytest.fixture(scope="module")
+def registry_root(tmp_path_factory):
+    """One registry holding two CLI-registered train runs."""
+    root = tmp_path_factory.mktemp("registry") / "reg"
+    for seed in (0, 1):
+        assert main([
+            "train", "--dataset", "micro", "--time-budget-s", "0.02",
+            "--gpus", "2", "--seed", str(seed), "--registry", str(root),
+        ]) == 0
+    return root
+
+
+@pytest.fixture(scope="module")
+def train_ids(registry_root):
+    records = RunRegistry(registry_root, create=False).list(kind="train")
+    assert len(records) == 2
+    return [r.run_id for r in records]  # newest first
+
+
+class TestRunsLs:
+    def test_table_lists_both_runs(self, capsys, registry_root, train_ids):
+        capsys.readouterr()
+        assert main(["runs", "ls", "--registry", str(registry_root)]) == 0
+        out = capsys.readouterr().out
+        for run_id in train_ids:
+            assert run_id in out
+        assert "Adaptive SGD" in out and "green" in out
+
+    def test_json_and_filters(self, capsys, registry_root, train_ids):
+        capsys.readouterr()
+        assert main([
+            "runs", "ls", "--registry", str(registry_root),
+            "--kind", "train", "--status", "green", "--json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["run_id"] for r in rows] == train_ids
+        assert all(r["metrics"]["duration_s"] > 0 for r in rows)
+
+    def test_missing_registry_fails(self, capsys, tmp_path):
+        assert main([
+            "runs", "ls", "--registry", str(tmp_path / "ghost"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_registry_renders(self, capsys, tmp_path):
+        RunRegistry(tmp_path / "empty")
+        capsys.readouterr()
+        assert main([
+            "runs", "ls", "--registry", str(tmp_path / "empty"),
+        ]) == 0
+        assert "no runs registered" in capsys.readouterr().out
+
+
+class TestRunsShow:
+    def test_show_renders_identity_and_metrics(self, capsys, registry_root,
+                                               train_ids):
+        capsys.readouterr()
+        assert main([
+            "runs", "show", train_ids[0], "--registry", str(registry_root),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert train_ids[0] in out
+        assert "headline metrics" in out and "duration_s" in out
+
+    def test_show_json_carries_manifest(self, capsys, registry_root,
+                                        train_ids):
+        capsys.readouterr()
+        assert main([
+            "runs", "show", train_ids[0], "--registry", str(registry_root),
+            "--json",
+        ]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["run_id"] == train_ids[0]
+        assert record["manifest"]["dataset"] == "micro"
+
+    def test_unknown_run_fails(self, capsys, registry_root):
+        assert main([
+            "runs", "show", "train-nope", "--registry", str(registry_root),
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRunsHistory:
+    def test_history_sparkline(self, capsys, registry_root):
+        capsys.readouterr()
+        assert main([
+            "runs", "history", "duration_s", "--registry",
+            str(registry_root),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "duration_s" in out and "2 run(s)" in out
+        assert any(block in out for block in "▁▂▃▄▅▆▇█")
+
+    def test_history_json(self, capsys, registry_root, train_ids):
+        capsys.readouterr()
+        assert main([
+            "runs", "history", "duration_s", "--registry",
+            str(registry_root), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metric"] == "duration_s"
+        # Chronological: oldest first, i.e. the reverse of ls order.
+        assert [p["run_id"] for p in payload["history"]] == train_ids[::-1]
+
+    def test_unknown_metric_renders_empty(self, capsys, registry_root):
+        capsys.readouterr()
+        assert main([
+            "runs", "history", "no_such_metric", "--registry",
+            str(registry_root),
+        ]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+
+class TestRunsDiff:
+    def test_diff_renders_comparison(self, capsys, registry_root, train_ids):
+        capsys.readouterr()
+        assert main([
+            "runs", "diff", train_ids[1], train_ids[0],
+            "--registry", str(registry_root),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "candidate" in out
+
+    def test_diff_json_matches_compare_byte_for_byte(self, capsys,
+                                                     registry_root,
+                                                     train_ids):
+        # The acceptance criterion: `runs diff` and `repro compare` share
+        # one comparison + serialization path, so their JSON is identical.
+        a, b = train_ids[1], train_ids[0]
+        capsys.readouterr()
+        assert main([
+            "runs", "diff", a, b, "--registry", str(registry_root), "--json",
+        ]) == 0
+        diff_out = capsys.readouterr().out
+        assert main([
+            "compare", a, b, "--registry", str(registry_root), "--json",
+        ]) == 0
+        compare_out = capsys.readouterr().out
+        assert diff_out == compare_out
+        assert json.loads(diff_out)["phases"]
+
+    def test_diff_unknown_run_fails(self, capsys, registry_root, train_ids):
+        assert main([
+            "runs", "diff", train_ids[0], "train-nope",
+            "--registry", str(registry_root),
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRunsGc:
+    def test_dry_run_previews_without_deleting(self, capsys, tmp_path):
+        root = tmp_path / "reg"
+        registry = RunRegistry(root)
+        for i in range(3):
+            registry.register(
+                {"run_id": f"train-{i}", "kind": "train",
+                 "created_s": float(i)}
+            )
+        capsys.readouterr()
+        assert main([
+            "runs", "gc", "--keep", "1", "--dry-run",
+            "--registry", str(root),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "would delete 2 run(s)" in out
+        assert len(registry.list()) == 3
+        assert main([
+            "runs", "gc", "--keep", "1", "--registry", str(root),
+        ]) == 0
+        assert "deleted 2 run(s)" in capsys.readouterr().out
+        assert [r.run_id for r in registry.list()] == ["train-2"]
+
+
+class TestRegistryPlumbing:
+    def test_analyze_accepts_run_id(self, capsys, registry_root, train_ids):
+        capsys.readouterr()
+        assert main([
+            "analyze", train_ids[0], "--registry", str(registry_root),
+            "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["runs"]) == 1
+        assert report["runs"][0]["attribution"]["max_residual"] <= 1e-6
+
+    def test_analyze_promtext_carries_run_id_label(self, capsys, tmp_path,
+                                                   registry_root, train_ids):
+        prom = tmp_path / "metrics.prom"
+        assert main([
+            "analyze", train_ids[0], "--registry", str(registry_root),
+            "--promtext", str(prom),
+        ]) == 0
+        text = prom.read_text()
+        assert f'run_id="{train_ids[0]}"' in text
+
+    def test_env_var_registers(self, capsys, tmp_path, monkeypatch):
+        root = tmp_path / "env-reg"
+        monkeypatch.setenv("REPRO_REGISTRY", str(root))
+        assert main([
+            "train", "--dataset", "micro", "--time-budget-s", "0.02",
+            "--gpus", "2",
+        ]) == 0
+        assert "registered:" in capsys.readouterr().out
+        records = RunRegistry(root, create=False).list(kind="train")
+        assert len(records) == 1
+
+    def test_serve_registers_per_mode(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_REGISTRY", raising=False)
+        stem = tmp_path / "model"
+        root = tmp_path / "reg"
+        assert main([
+            "snapshot", str(stem), "--dataset", "micro",
+            "--time-budget-s", "0.02", "--gpus", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", str(stem), "--requests", "100", "--mode", "both",
+            "--registry", str(root),
+        ]) == 0
+        assert "registered:" in capsys.readouterr().out
+        records = RunRegistry(root, create=False).list(kind="serve")
+        assert {r.algorithm for r in records} == {
+            "serve-sequential", "serve-adaptive",
+        }
+        for record in records:
+            assert record.metrics["throughput_rps"] > 0
+            assert record.manifest["dataset"] == "micro"
+        # Both modes share one telemetry archive; diff works across them.
+        ids = [r.run_id for r in records]
+        capsys.readouterr()
+        assert main([
+            "runs", "diff", ids[1], ids[0], "--registry", str(root),
+        ]) == 0
+        assert "candidate" in capsys.readouterr().out
