@@ -501,9 +501,9 @@ def _cmd_runs(args) -> int:
     if args.runs_command == "diff":
         from repro.telemetry.compare import diff_runs
 
-        src_a, idx_a, _ = _resolve_trace_source(args.run_a, args.registry)
-        src_b, idx_b, _ = _resolve_trace_source(args.run_b, args.registry)
         try:
+            src_a, idx_a, _ = _resolve_trace_source(args.run_a, args.registry)
+            src_b, idx_b, _ = _resolve_trace_source(args.run_b, args.registry)
             cmp = diff_runs(
                 src_a, src_b,
                 run_a=idx_a or 0, run_b=idx_b or 0,
@@ -722,16 +722,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "analyze":
         import json
 
-        from repro.exceptions import DataFormatError
+        from repro.exceptions import ConfigurationError, DataFormatError
         from repro.telemetry.trace_data import load_trace_data
 
-        source, run_index, run_id = _resolve_trace_source(
-            args.trace, args.registry
-        )
-        run = args.run if args.run is not None else run_index
         try:
+            source, run_index, run_id = _resolve_trace_source(
+                args.trace, args.registry
+            )
+            run = args.run if args.run is not None else run_index
             data = load_trace_data(source)
-        except DataFormatError as exc:
+        except (ConfigurationError, DataFormatError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         if args.as_json:
@@ -1121,19 +1121,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "compare":
-        from repro.exceptions import DataFormatError
+        from repro.exceptions import ConfigurationError, DataFormatError
         from repro.telemetry.compare import diff_runs
 
-        src_a, idx_a, _ = _resolve_trace_source(args.baseline, args.registry)
-        src_b, idx_b, _ = _resolve_trace_source(args.candidate, args.registry)
-        run_a = args.run_a if args.run_a is not None else (idx_a or 0)
-        run_b = args.run_b if args.run_b is not None else (idx_b or 0)
         try:
+            src_a, idx_a, _ = _resolve_trace_source(
+                args.baseline, args.registry
+            )
+            src_b, idx_b, _ = _resolve_trace_source(
+                args.candidate, args.registry
+            )
+            run_a = args.run_a if args.run_a is not None else (idx_a or 0)
+            run_b = args.run_b if args.run_b is not None else (idx_b or 0)
             cmp = diff_runs(
                 src_a, src_b, run_a=run_a, run_b=run_b,
                 target=args.target, noise=args.noise,
             )
-        except DataFormatError as exc:
+        except (ConfigurationError, DataFormatError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         if args.as_json:

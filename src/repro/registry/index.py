@@ -428,12 +428,21 @@ class RunRegistry:
             rows = conn.execute(sql, params).fetchall()
         return [(row[0], row[1]) for row in reversed(rows)]
 
-    def metric_names(self, *, kind: Optional[str] = None) -> List[str]:
+    def metric_names(
+        self, *, kind: Optional[str] = None, tag: Optional[str] = None
+    ) -> List[str]:
         sql = "SELECT DISTINCT metrics.name FROM metrics"
-        params: List = []
+        where, params = [], []
         if kind is not None:
-            sql += " JOIN runs ON runs.run_id = metrics.run_id WHERE runs.kind = ?"
+            sql += " JOIN runs ON runs.run_id = metrics.run_id"
+            where.append("runs.kind = ?")
             params.append(kind)
+        if tag is not None:
+            sql += " JOIN tags ON tags.run_id = metrics.run_id"
+            where.append("tags.tag = ?")
+            params.append(tag)
+        if where:
+            sql += " WHERE " + " AND ".join(where)
         sql += " ORDER BY metrics.name"
         with self._connect() as conn:
             return [row[0] for row in conn.execute(sql, params)]
@@ -456,6 +465,26 @@ class RunRegistry:
 
     # -- gc ------------------------------------------------------------------
 
+    def _trace_owner(self, trace_path: str) -> Optional[str]:
+        """The run_id whose directory holds ``trace_path``, if any.
+
+        Grid experiments and multi-mode serve registrations archive one
+        shared telemetry file into the *first* sibling's directory; every
+        other sibling's ``trace_path`` points into it.
+        """
+        if not trace_path:
+            return None
+        path = Path(trace_path)
+        if not path.is_absolute():
+            path = self.root / path
+        try:
+            rel = path.resolve().relative_to(
+                (self.root / RUNS_DIRNAME).resolve()
+            )
+        except ValueError:
+            return None
+        return rel.parts[0] if rel.parts else None
+
     def gc(
         self,
         *,
@@ -466,11 +495,14 @@ class RunRegistry:
         """Delete old runs, keeping the newest ``keep`` per kind.
 
         Never deletes a run that could be referenced as a CI baseline:
-        runs tagged ``baseline`` or ``pinned``, and the newest
-        ``baseline_window`` *green* runs of every ``bench:<name>`` tag
-        (those form the rolling history the gates take their median
-        over). Returns the deleted (or, with ``dry_run``, deletable)
-        run_ids, oldest first.
+        runs tagged ``baseline`` or ``pinned``, and — per ``bench:<name>``
+        tag — the newest ``baseline_window`` *green* runs of every indexed
+        metric (section-filtered bench invocations mean the runs carrying
+        one metric's history can be older than the tag's newest runs; the
+        gates take their median per metric, so protection matches). A run
+        whose directory holds the telemetry archive a surviving sibling's
+        ``trace_path`` points into survives too. Returns the deleted (or,
+        with ``dry_run``, deletable) run_ids, oldest first.
         """
         if keep < 0:
             raise ConfigurationError(f"gc keep must be >= 0, got {keep}")
@@ -491,15 +523,40 @@ class RunRegistry:
         for tag in bench_tags:
             recent = self.list(tag=tag, status="green", limit=baseline_window)
             protected.update(r.run_id for r in recent)
+            for name in self.metric_names(tag=tag):
+                protected.update(
+                    run_id
+                    for run_id, _ in self.metric_history(
+                        name, tag=tag, status="green", limit=baseline_window
+                    )
+                )
 
+        all_records = self.list()
         doomed: List[RunRecord] = []
         by_kind: Dict[str, List[RunRecord]] = {}
-        for record in self.list():
+        for record in all_records:
             by_kind.setdefault(record.kind, []).append(record)
         for records in by_kind.values():  # newest-first within each kind
             for record in records[keep:]:
                 if record.run_id not in protected:
                     doomed.append(record)
+
+        # A survivor's telemetry archive may live in a doomed sibling's
+        # directory (shared-archive registration stores it once, in the
+        # first sibling); un-doom archive owners until stable — a rescued
+        # run's own trace_path may chain to another doomed owner.
+        doomed_ids = {r.run_id for r in doomed}
+        changed = True
+        while changed:
+            changed = False
+            for record in all_records:
+                if record.run_id in doomed_ids:
+                    continue
+                owner = self._trace_owner(record.trace_path)
+                if owner and owner != record.run_id and owner in doomed_ids:
+                    doomed_ids.discard(owner)
+                    changed = True
+        doomed = [r for r in doomed if r.run_id in doomed_ids]
         doomed.sort(key=lambda r: (r.created_s, r.run_id))
         if dry_run:
             return [r.run_id for r in doomed]

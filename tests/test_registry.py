@@ -327,6 +327,43 @@ class TestGc:
         } <= survivors
         assert doomed == ["bench-0", "bench-1"]
 
+    def test_keeps_shared_trace_archive_owner(self, tmp_path):
+        # Multi-mode serve registrations archive one telemetry file into
+        # the *first* sibling's directory; gc must not delete that owner
+        # while a newer sibling's trace_path still points into it.
+        registry = RunRegistry(tmp_path)
+        archive = registry.run_dir("serve-0") / "telemetry.jsonl"
+        archive.parent.mkdir(parents=True)
+        archive.write_text("")
+        rel = "runs/serve-0/telemetry.jsonl"
+        registry.register({"run_id": "serve-0", "kind": "serve",
+                           "created_s": 0.0, "trace_path": rel})
+        registry.register({"run_id": "serve-1", "kind": "serve",
+                           "created_s": 1.0, "trace_path": rel})
+        assert registry.gc(keep=1) == []
+        assert registry.contains("serve-0") and archive.exists()
+        assert registry.resolve_trace("serve-1").exists()
+        # Once the referencing sibling is gone the owner is collectable.
+        registry.gc(keep=0)
+        assert not registry.contains("serve-0")
+        assert not archive.exists()
+
+    def test_protects_metric_history_per_metric(self, tmp_path):
+        # Section-filtered bench invocations index only their section's
+        # metrics, so the runs carrying another metric's history can be
+        # older than the tag's newest window — they must survive too, or
+        # that gate's baseline silently shifts.
+        registry = RunRegistry(tmp_path)
+        for i in range(2):
+            put(registry, f"bench-{i}", created_s=float(i),
+                metrics={"scatter": 1.0, "gather": 1.0}, tags=["bench:h"])
+        for i in range(2, 2 + BASELINE_WINDOW):
+            put(registry, f"bench-{i}", created_s=float(i),
+                metrics={"gather": 1.0}, tags=["bench:h"])
+        assert registry.gc(keep=0) == []
+        history = registry.metric_history("scatter", tag="bench:h")
+        assert [run_id for run_id, _ in history] == ["bench-0", "bench-1"]
+
     def test_removes_run_directories(self, tmp_path):
         registry = RunRegistry(tmp_path)
         put(registry, "train-0", kind="train", created_s=0.0)

@@ -156,6 +156,26 @@ class TestRunsDiff:
         ]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_traceless_run_fails_cleanly_everywhere(self, capsys, tmp_path):
+        # Bench runs index no telemetry trace; every verb that resolves a
+        # run_id to a trace must print the clean `error: ...` + exit 1,
+        # not a raw traceback.
+        root = tmp_path / "reg"
+        registry = RunRegistry(root)
+        for i in range(2):
+            registry.register(
+                {"run_id": f"bench-{i}", "kind": "bench",
+                 "created_s": float(i)}
+            )
+        for argv in (
+            ["runs", "diff", "bench-0", "bench-1"],
+            ["compare", "bench-0", "bench-1"],
+            ["analyze", "bench-0"],
+        ):
+            assert main([*argv, "--registry", str(root)]) == 1
+            err = capsys.readouterr().err
+            assert "error:" in err and "no telemetry trace" in err
+
 
 class TestRunsGc:
     def test_dry_run_previews_without_deleting(self, capsys, tmp_path):
