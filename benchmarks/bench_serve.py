@@ -2,7 +2,7 @@
 
 Trains a tiny model on the ``micro`` dataset, snapshots it, and replays
 open-loop request streams against the snapshot on the simulated
-heterogeneous server. Eight sections:
+heterogeneous server. Nine sections:
 
 1. **snapshot** — save/load round-trip: wall time, file sizes, and a
    bit-identity check of the restored parameter vector;
@@ -43,7 +43,14 @@ heterogeneous server. Eight sections:
    A 40x surge sub-run with a shallow queue shows graded shedding (every
    shed lands on the aggressor), and a uniform-load sub-run splits one
    saturating stream across two same-class tenants to confirm the
-   scheduler costs <10% aggregate throughput vs the single-tenant path.
+   scheduler costs <10% aggregate throughput vs the single-tenant path;
+9. **elastic** — the membership subsystem under the ``spot-churn``
+   preset (fail + join + throttle/recover). Training: a churned adaptive
+   run vs a static one at the same budget — the churned run discards the
+   failed replica's update exactly once, rescales survivors, warm-starts
+   the joiner, and must stay within a bounded accuracy factor of static.
+   Serving: the same saturating stream steady vs churned — survivors
+   absorb a failed device's share with p99 within a bounded factor.
 
 Run as a script: ``python benchmarks/bench_serve.py [--smoke] [--out F]
 [--check]``. ``--check`` gates on absolute floors: adaptive throughput
@@ -57,7 +64,10 @@ swap-window p99 within 1.25x steady state, and a rollback on the
 injected recall regression, and the tenants section must keep the
 noisy-neighbor victim's p99 within 1.3x solo, shed only aggressor work
 in the surge, and hold >= 0.9x single-tenant aggregate throughput on the
-uniform split — the CI gate.
+uniform split, and the elastic section must keep churned training within
+2x smoke / 1.5x full of static accuracy, deliver fail+join+throttle
+events, and keep churned serve p99 within 3x smoke / 2.5x full of steady
+with every request served — the CI gate.
 """
 
 from __future__ import annotations
@@ -76,6 +86,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.api import make_engine, make_trainer  # noqa: E402
 from repro.data.registry import load_task  # noqa: E402
+from repro.elastic import ClusterMembership  # noqa: E402
 from repro.gpu.cluster import make_server  # noqa: E402
 from repro.gpu.cost import GpuCostParams  # noqa: E402
 from repro.harness.experiment import ExperimentSpec  # noqa: E402
@@ -110,6 +121,14 @@ ISOLATION_FACTOR = 1.3
 #: Aggregate throughput of the WFQ scheduler on a uniform two-tenant
 #: split vs the single-tenant engine on the same arrivals.
 MT_THROUGHPUT_FLOOR = 0.9
+#: Elastic churn: best accuracy of the static run over the spot-churn run
+#: at the same time budget (training keeps working through fail/join).
+ELASTIC_TRAIN_FACTOR_SMOKE = 2.0
+ELASTIC_TRAIN_FACTOR_FULL = 1.5
+#: Elastic churn: p99 of the churned serve over the steady serve on the
+#: same arrivals (survivors absorb a failed device without blowing SLOs).
+ELASTIC_P99_FACTOR_SMOKE = 3.0
+ELASTIC_P99_FACTOR_FULL = 2.5
 #: Planted-similarity LSH geometry (tuned: ~0.8% candidate fraction with
 #: recall@5 ~0.95 at both bench scales).
 SCALE_TABLES, SCALE_BITS, SCALE_PROBES = 12, 13, 4
@@ -582,6 +601,97 @@ def bench_swap(task, workdir: Path, smoke: bool) -> dict:
     }
 
 
+def bench_elastic(predictor: Predictor, task, smoke: bool) -> dict:
+    """Elastic membership: spot-churn vs static, training and serving.
+
+    Training: two adaptive runs at the same time budget on a 4-GPU
+    server — one static, one driven through the ``spot-churn`` preset
+    (fail + join + throttle/recover, scaled to the device count). The
+    churned run must keep learning: ``quality_ratio`` is static best
+    accuracy over churned best accuracy.
+
+    Serving: the same saturating Poisson stream replayed steady and
+    under spot-churn; ``p99_ratio`` is churned p99 over steady p99.
+    """
+    budget = 0.05 if smoke else 0.2
+    n_train_gpus = 4
+
+    def train(churn):
+        spec = ExperimentSpec(
+            dataset="micro", gpu_counts=(n_train_gpus,), time_budget_s=budget,
+        )
+        server = spec.build_server(n_train_gpus)
+        membership = None
+        if churn:
+            membership = ClusterMembership(
+                server, churn, duration_s=budget, seed=0,
+            )
+        trainer = make_trainer(
+            "adaptive", spec, server=server, membership=membership,
+        )
+        trace = trainer.run(time_budget_s=budget)
+        return trace, membership
+
+    static_trace, _ = train(None)
+    churned_trace, membership = train("spot-churn")
+    summary = membership.summary()
+    quality_ratio = float(
+        static_trace.best_accuracy / max(churned_trace.best_accuracy, 1e-9)
+    )
+
+    n_requests = 200 if smoke else 1500
+    X = task.test.X
+    rate = _saturating_rate(predictor, X)
+    arrivals = generate_arrivals(
+        LoadSpec(n_requests=n_requests, rate_rps=rate, seed=0)
+    )
+    rows = sample_query_rows(X.shape[0], n_requests, seed=0)
+    span = float(arrivals[-1])
+
+    steady = _serve(predictor, X, arrivals, rows, mode="adaptive")
+    server = _fresh_server()
+    serve_membership = ClusterMembership(
+        server, "spot-churn", duration_s=span, seed=0,
+    )
+    engine = ServingEngine(
+        predictor, server, mode="adaptive", target_latency_s=2e-3,
+        membership_check_every_s=span / 256.0,
+    )
+    churned = engine.serve(
+        X, arrivals, k=K, row_indices=rows, membership=serve_membership,
+    )
+    p99_ratio = float(
+        churned.report.percentile(99) / steady.report.percentile(99)
+    )
+    return {
+        "what": (f"spot-churn vs static: {n_train_gpus}-GPU training at "
+                 f"{budget:.2f} s budget; {n_requests} requests on "
+                 f"{N_GPUS} GPUs"),
+        "training": {
+            "static_best_accuracy": float(static_trace.best_accuracy),
+            "churned_best_accuracy": float(churned_trace.best_accuracy),
+            "quality_ratio": quality_ratio,
+            "n_events": summary["n_events"],
+            "n_applied": summary["n_applied"],
+            "by_kind": summary["by_kind"],
+            "updates_merged": summary["updates_merged"],
+            "updates_discarded": summary["updates_discarded"],
+            "final_devices": summary["final_devices"],
+        },
+        "serving": {
+            "steady_p99_ms": float(steady.report.percentile(99) * 1e3),
+            "churned_p99_ms": float(churned.report.percentile(99) * 1e3),
+            "p99_ratio": p99_ratio,
+            "n_served": sum(
+                1 for r in churned.requests if r.t_done is not None
+            ),
+            "n_requests": n_requests,
+            "n_membership_events": churned.n_membership_events,
+            "final_devices": churned.final_devices,
+        },
+    }
+
+
 def run(smoke: bool) -> dict:
     task = load_task("micro", seed=0)
     sections = {}
@@ -597,6 +707,7 @@ def run(smoke: bool) -> dict:
         sections["burst"] = bench_burst(predictor, task, smoke)
         sections["swap"] = bench_swap(task, workdir, smoke)
         sections["tenants"] = bench_tenants(predictor, task, smoke)
+        sections["elastic"] = bench_elastic(predictor, task, smoke)
     s = sections["snapshot"]
     print(f" snapshot: save {s['save_us']:8.1f} us, load {s['load_us']:8.1f} us, "
           f"bit-identical={s['bit_identical']}  [{s['what']}]")
@@ -638,6 +749,15 @@ def run(smoke: bool) -> dict:
           f"{sg['aggressor_n_shed']} aggressor / {sg['victim_n_shed']} "
           f"victim; uniform split {un['throughput_ratio']:.3f}x single, "
           f"fairness {un['fairness']:.3f}  [{s['what']}]")
+    s = sections["elastic"]
+    tr, sv = s["training"], s["serving"]
+    print(f"  elastic: train static/churned accuracy "
+          f"{tr['quality_ratio']:.2f}x over {tr['n_applied']} applied "
+          f"events ({tr['updates_merged']} merged / "
+          f"{tr['updates_discarded']} discarded); serve p99 "
+          f"{sv['steady_p99_ms']:.4f} -> {sv['churned_p99_ms']:.4f} ms "
+          f"({sv['p99_ratio']:.2f}x), {sv['n_served']}/{sv['n_requests']} "
+          f"served  [{s['what']}]")
     return {
         "benchmark": "serve",
         "mode": "smoke" if smoke else "full",
@@ -738,6 +858,32 @@ def check(results: dict) -> int:
           f"single-tenant (floor {MT_THROUGHPUT_FLOOR:.2f}x) -> {status}")
     if tput < MT_THROUGHPUT_FLOOR:
         failures.append("tenants_throughput")
+    e = results["sections"]["elastic"]
+    train_cap = (ELASTIC_TRAIN_FACTOR_SMOKE if smoke
+                 else ELASTIC_TRAIN_FACTOR_FULL)
+    ratio = e["training"]["quality_ratio"]
+    status = "ok" if ratio <= train_cap else "REGRESSED"
+    print(f"check elastic: static/churned training accuracy {ratio:.3f}x "
+          f"(ceiling {train_cap:.2f}x) -> {status}")
+    if ratio > train_cap:
+        failures.append("elastic_training")
+    by_kind = e["training"]["by_kind"]
+    churned_kinds = {"fail", "join", "throttle"} <= set(by_kind)
+    status = "ok" if churned_kinds else "NO CHURN"
+    print(f"check elastic: spot-churn delivered {by_kind} -> {status}")
+    if not churned_kinds:
+        failures.append("elastic_events")
+    p99_cap = ELASTIC_P99_FACTOR_SMOKE if smoke else ELASTIC_P99_FACTOR_FULL
+    ratio = e["serving"]["p99_ratio"]
+    served = e["serving"]["n_served"] == e["serving"]["n_requests"]
+    status = ("ok" if ratio <= p99_cap and served
+              else ("DROPPED" if not served else "REGRESSED"))
+    print(f"check elastic: churned/steady serve p99 {ratio:.3f}x "
+          f"(ceiling {p99_cap:.2f}x), "
+          f"{e['serving']['n_served']}/{e['serving']['n_requests']} served "
+          f"-> {status}")
+    if ratio > p99_cap or not served:
+        failures.append("elastic_serving")
     if failures:
         print(f"FAIL: serving regression in {failures}")
         return 1

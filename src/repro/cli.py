@@ -52,6 +52,7 @@ import warnings
 from typing import List, Optional
 
 from repro.data.registry import dataset_names
+from repro.gpu.profiles import churn_preset_names
 from repro.harness.figures import (
     PAPER_TABLE1,
     allreduce_comparison,
@@ -173,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --store: publish a version every S simulated "
                         "seconds during the run (checkpoint-aligned), not "
                         "just once at the end")
+    p.add_argument("--churn", default=None, choices=churn_preset_names(),
+                   metavar="PROFILE",
+                   help="train on an elastic cluster: apply this seeded "
+                        "device-lifecycle profile (join/leave/fail/throttle "
+                        "events over the time budget; see "
+                        "repro.gpu.profiles.CHURN_PRESETS)")
     _add_registry(p, write=True)
 
     p = sub.add_parser(
@@ -290,6 +297,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "share (default: 10)")
     p.add_argument("--gpus", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--churn", default=None, choices=churn_preset_names(),
+                   metavar="PROFILE",
+                   help="serve on an elastic cluster: apply this seeded "
+                        "device-lifecycle profile over the arrival window "
+                        "(see repro.gpu.profiles.CHURN_PRESETS)")
+    p.add_argument("--autoscale", action="store_true",
+                   help="enable the queue-depth autoscaler (admit/retire "
+                        "devices through the membership event stream)")
     p.add_argument("--out", metavar="STEM", default=None,
                    help="also export serving telemetry: STEM.trace.json + "
                         "STEM.telemetry.jsonl (feed to `repro analyze`)")
@@ -629,7 +644,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             from repro.telemetry import Telemetry
 
             tel = Telemetry(label=f"train-{args.dataset}")
-        trainer = make_trainer("adaptive", spec, telemetry=tel)
+        membership = None
+        server = None
+        if args.churn:
+            from repro.elastic import ClusterMembership
+
+            server = spec.build_server(args.gpus)
+            membership = ClusterMembership(
+                server, args.churn,
+                duration_s=args.time_budget_s, seed=args.seed,
+            )
+        trainer = make_trainer(
+            "adaptive", spec, telemetry=tel,
+            server=server, membership=membership,
+        )
         store = None
         if args.store:
             from repro.serve import SnapshotStore
@@ -650,6 +678,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             "mega-batches": len(trace.batch_size_history),
             "perturbation frequency": trace.perturbation_frequency(),
         }))
+        if membership is not None:
+            summary = membership.summary()
+            by_kind = " ".join(
+                f"{k}={n}" for k, n in sorted(summary["by_kind"].items())
+            )
+            print(format_kv({
+                "churn profile": args.churn,
+                "membership events": (
+                    f"{summary['n_applied']} applied, "
+                    f"{summary['n_suppressed']} suppressed"
+                ),
+                "by kind": by_kind or "none",
+                "final devices": summary["final_devices"],
+                "updates merged/discarded": (
+                    f"{summary['updates_merged']}/"
+                    f"{summary['updates_discarded']}"
+                ),
+            }))
         if args.save:
             from repro.harness.store import save_trace
 
@@ -865,6 +911,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             if (args.out or registry is not None) else None
         )
 
+        if args.tenants and (args.churn or args.autoscale):
+            print(
+                "error: --churn/--autoscale are not supported with "
+                "--tenants (the noisy-neighbor scenario pins its cluster)",
+                file=sys.stderr,
+            )
+            return 1
+
         if args.tenants:
             import numpy as np
 
@@ -1009,6 +1063,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     k=args.k,
                     lsh_seed=args.seed,
                     max_queue_depth=args.max_queue_depth,
+                    autoscale=args.autoscale,
                 )
                 engines[mode] = make_engine(
                     store if store is not None else snapshot,
@@ -1042,10 +1097,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
         results = {}
+        if args.churn or args.autoscale:
+            # The default 1 ms poll cadence is far coarser than a short
+            # simulated arrival window; track the run's own timescale so
+            # the autoscaler reacts while the queue still exists.
+            span = float(arrivals[-1]) if float(arrivals[-1]) > 0 else 1.0
+            for engine in engines.values():
+                engine.config.membership_check_every_s = min(
+                    engine.config.membership_check_every_s, span / 256.0
+                )
         for mode, engine in engines.items():
+            membership = None
+            if args.churn or args.autoscale:
+                from repro.elastic import ClusterMembership
+
+                membership = ClusterMembership(
+                    engine.server,
+                    args.churn,
+                    duration_s=(
+                        float(arrivals[-1]) if args.churn else None
+                    ),
+                    seed=args.seed,
+                )
             results[mode] = engine.serve(
                 task.test.X, arrivals, k=args.k, row_indices=rows,
                 canary_labels=task.test.Y if store is not None else None,
+                membership=membership,
             )
         for mode, result in results.items():
             report = result.report
@@ -1083,6 +1160,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 rows_out["mis-versioned"] = result.mis_versioned
             if args.max_queue_depth is not None:
                 rows_out["shed requests"] = report.n_shed
+            if result.final_devices is not None:
+                rows_out["membership events"] = result.n_membership_events
+                rows_out["final devices"] = result.final_devices
+                if args.autoscale:
+                    rows_out["autoscale admits/retires"] = (
+                        f"{result.n_autoscale_admits}/"
+                        f"{result.n_autoscale_retires}"
+                    )
             print(format_kv(rows_out))
         if len(results) == 2:
             ratio = (

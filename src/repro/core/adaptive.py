@@ -17,6 +17,21 @@ One mega-batch proceeds exactly as in Figure 2:
    every GPU's batch size and learning rate for the next mega-batch.
 4. Test accuracy is measured (host-side, clock excluded) and the trace
    extended with the adaptivity telemetry of Figures 6a/6b.
+
+Elastic membership (``membership=`` option): the same loop runs against a
+:class:`~repro.elastic.membership.ClusterMembership` whose timeline may
+remove, throttle, or add devices mid-run. The granularity is the *step*:
+managers poll the event stream between batches (a sim timeout cannot be
+interrupted), so a throttle takes effect on the next dispatch and a
+departing device always finishes its in-flight batch first. At each merge
+barrier the driver then settles accounting — a leaver's in-flight update
+still merges with correct normalization, a failed replica's is discarded
+exactly once (``UpdateLedger``), Algorithm 1 scales only the surviving
+slots — and admits parked ``join`` events at the warm-start point: the new
+replica copies the freshly merged global model and enters with the
+Dynamic-Mini-batch ramped batch size/LR from
+:func:`repro.core.scaling.rescale_for_membership`. With ``membership=None``
+the code path is unchanged (bit-identical traces).
 """
 
 from __future__ import annotations
@@ -41,6 +56,7 @@ from repro.sparse.model_state import ModelState
 from repro.sparse.optimizer import sgd_step
 from repro.telemetry.events import (
     COUNTER_UPDATES,
+    GAUGE_ACTIVE_DEVICES,
     GAUGE_STALENESS,
     SPAN_ALLREDUCE,
     SPAN_MERGE,
@@ -65,6 +81,7 @@ class AdaptiveSGDTrainer(TrainerBase):
         *,
         allreduce: Optional[AllReduceAlgorithm] = None,
         governor: bool = False,
+        membership=None,
         **kwargs,
     ) -> None:
         resolve_renamed_kwargs(
@@ -77,6 +94,20 @@ class AdaptiveSGDTrainer(TrainerBase):
         self.allreduce = allreduce or RingAllReduce(n_streams=server.n_gpus)
         self.governor = bool(governor)
         self.staleness = StalenessTracker()
+        if membership is not None:
+            from repro.elastic.membership import ClusterMembership
+            from repro.exceptions import ConfigurationError
+
+            if not isinstance(membership, ClusterMembership):
+                raise ConfigurationError(
+                    "membership must be a ClusterMembership, got "
+                    f"{type(membership).__name__}"
+                )
+            if membership.server is not server:
+                raise ConfigurationError(
+                    "membership was built for a different server instance"
+                )
+        self.membership = membership
 
     @property
     def use_governor(self) -> bool:
@@ -86,6 +117,9 @@ class AdaptiveSGDTrainer(TrainerBase):
     # -- the training loop ------------------------------------------------------
     def _execute(self, env: Environment, time_budget_s: float) -> TrainingTrace:
         n = self.server.n_gpus
+        membership = self.membership
+        if membership is not None:
+            membership.telemetry = self.telemetry
         layer_dims = tuple(self.arch.layer_dims)
         scheduler = DynamicScheduler(
             self.task.train,
@@ -124,6 +158,13 @@ class AdaptiveSGDTrainer(TrainerBase):
                 with tel.span(SPAN_TRANSFER, device=gpu_id, nbytes=model_bytes):
                     yield env.timeout(gpu.model_transfer_time(model_bytes))
                 while True:
+                    if membership is not None:
+                        # Step-granular lifecycle: apply due events (joins
+                        # stay parked for the boundary) and bow out if this
+                        # device just left or failed.
+                        membership.poll(env.now, admit_joins=False)
+                        if not membership.is_active(gpu_id):
+                            return gpu_id
                     batch = scheduler.try_dispatch(gpu_id)
                     if batch is None:
                         return gpu_id
@@ -154,7 +195,7 @@ class AdaptiveSGDTrainer(TrainerBase):
                 active["count"] -= 1
 
         def driver():
-            nonlocal loss_sum, loss_count
+            nonlocal loss_sum, loss_count, reduce_work
             # Checkpoint 0: the shared initial model and initial controls.
             self.record_device_controls(
                 scheduler.batch_sizes, scheduler.learning_rates
@@ -164,21 +205,44 @@ class AdaptiveSGDTrainer(TrainerBase):
                 state=global_model, loss=float("nan"),
             )
             while env.now < time_budget_s:
+                if membership is not None:
+                    spawned = [
+                        i for i in range(scheduler.n_gpus)
+                        if membership.is_active(i)
+                    ]
+                else:
+                    spawned = list(range(n))
                 workers = [
                     env.process(manager(i), name=f"gpu-manager-{i}")
-                    for i in range(n)
+                    for i in spawned
                 ]
                 yield env.all_of(workers)
 
+                # ---- membership settlement at the barrier ----------------
+                all_updates = tuple(scheduler.updates)
+                if membership is not None:
+                    membership.poll(env.now, admit_joins=False)
+                    failed, departed, _ = membership.take_sync()
+                    # Exactly-once merge accounting: every replica that ran
+                    # this mega-batch offered its update; a failed replica's
+                    # offer is discarded, everyone else's merges (a graceful
+                    # leaver still merges with correct normalization).
+                    for i in spawned:
+                        token = membership.ledger.offer(i, all_updates[i])
+                        membership.ledger.resolve(token, merged=i not in failed)
+                else:
+                    failed, departed = set(), set()
+                merge_ids = [i for i in spawned if i not in failed]
+
                 # ---- merge stage (Algorithm 2) --------------------------
-                updates = tuple(scheduler.updates)
+                updates = tuple(all_updates[i] for i in merge_ids)
                 self.staleness.observe(len(trace.batch_size_history), updates)
                 tel.gauge(GAUGE_STALENESS, max(updates) - min(updates))
                 with tel.span(SPAN_MERGE, branch=None) as merge_span:
                     weights = compute_merge_weights(
-                        scheduler.batch_sizes,
+                        [scheduler.batch_sizes[i] for i in merge_ids],
                         updates,
-                        [r.l2_norm_per_param() for r in replicas],
+                        [replicas[i].l2_norm_per_param() for i in merge_ids],
                         pert_thr=self.config.pert_thr,
                         delta=self.config.delta,
                         enable_perturbation=self.config.enable_perturbation,
@@ -198,18 +262,25 @@ class AdaptiveSGDTrainer(TrainerBase):
                         if timing.total_s > 0:
                             yield env.timeout(timing.total_s)
                         reduced_vec = self.allreduce.reduce(
-                            [r.vector for r in replicas], weights.alphas,
-                            work=reduce_work,
+                            [replicas[i].vector for i in merge_ids],
+                            weights.alphas,
+                            work=reduce_work[: len(merge_ids)],
                         )
                     reduced = ModelState.from_vector(
                         global_model.spec, reduced_vec
                     )
                     merge_models(
-                        replicas, weights, global_model, prev_global,
+                        [replicas[i] for i in merge_ids], weights,
+                        global_model, prev_global,
                         gamma=self.config.gamma, reduced=reduced,
                     )
 
                 # ---- batch size scaling (Algorithm 1) + bookkeeping ------
+                if membership is not None:
+                    for i in failed:
+                        scheduler.deactivate(i, discard=True)
+                    for i in departed:
+                        scheduler.deactivate(i)
                 report = scheduler.mega_batch_boundary()
                 self.record_device_controls(
                     report.batch_sizes_after, scheduler.learning_rates
@@ -218,6 +289,37 @@ class AdaptiveSGDTrainer(TrainerBase):
                 trace.perturbation_history.append(weights.perturbed)
                 trace.merge_branch_history.append(weights.branch)
                 trace.staleness_history.append(max(updates) - min(updates))
+
+                # ---- membership epoch: admit joins, re-derive controls ---
+                if membership is not None:
+                    admitted = membership.poll(env.now, admit_joins=True)
+                    joined = [
+                        e.device_id for e in admitted
+                        if e.kind == "join" and e.applied
+                    ]
+                    membership.take_sync()
+                    if failed or departed or joined:
+                        survivors = [
+                            i for i in spawned
+                            if i not in failed and i not in departed
+                        ]
+                        self.apply_membership_rescale(
+                            scheduler,
+                            survivors=survivors,
+                            joined=joined,
+                            n_before=len(spawned),
+                        )
+                        # Joining replicas warm-start from the global model
+                        # just merged (the copy below covers rejoins too).
+                        while len(replicas) < scheduler.n_gpus:
+                            replicas.append(global_model.copy())
+                            grads.append(self.mlp.zeros_state())
+                        if scheduler.n_gpus > reduce_work.shape[0]:
+                            reduce_work = np.empty(
+                                (scheduler.n_gpus, global_model.n_params),
+                                dtype=np.float32,
+                            )
+                    tel.gauge(GAUGE_ACTIVE_DEVICES, float(membership.n_active))
 
                 # Replicas restart from the merged global model.
                 for replica in replicas:
@@ -234,6 +336,9 @@ class AdaptiveSGDTrainer(TrainerBase):
                     state=global_model,
                     loss=mean_loss,
                 )
+            if membership is not None:
+                membership.ledger.assert_drained()
+                trace.metadata["membership"] = membership.summary()
             return trace
 
         env.run_until_complete(env.process(driver(), name="adaptive-driver"))

@@ -30,7 +30,12 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["ScalingDecision", "scale_batch_sizes"]
+__all__ = [
+    "ScalingDecision",
+    "scale_batch_sizes",
+    "MembershipRescale",
+    "rescale_for_membership",
+]
 
 
 @dataclass(frozen=True)
@@ -119,4 +124,102 @@ def scale_batch_sizes(
         learning_rates=tuple(new_lr),
         changed=tuple(changed),
         mean_updates=mu,
+    )
+
+
+@dataclass(frozen=True)
+class MembershipRescale:
+    """Outcome of one Dynamic-Mini-batch membership rescale.
+
+    ``batch_sizes`` / ``learning_rates`` are the surviving devices' new
+    controls (same order as the inputs). ``join_batch_size`` /
+    ``join_learning_rate`` are the controls a joining replica starts with
+    (meaningful only when ``n_joining > 0`` was requested).
+    """
+
+    batch_sizes: Tuple[int, ...]
+    learning_rates: Tuple[float, ...]
+    join_batch_size: int
+    join_learning_rate: float
+    #: Whether any surviving device's batch size actually moved.
+    changed: bool
+
+
+def rescale_for_membership(
+    batch_sizes: Sequence[int],
+    learning_rates: Sequence[float],
+    *,
+    n_before: int,
+    n_joining: int = 0,
+    b_min: int,
+    b_max: int,
+    join_ramp: float = 0.5,
+) -> MembershipRescale:
+    """Dynamic-Mini-batch rescale on a membership change (arXiv/1904.12043).
+
+    When the active device set changes from ``n_before`` devices to
+    ``len(batch_sizes) + n_joining``, the run continues instead of
+    restarting: each *surviving* device's batch size is scaled by
+    ``n_before / n_after`` (keeping the cluster's aggregate mega-batch
+    contribution roughly constant while preserving the per-device ratios
+    Algorithm 1 has adapted), with the learning rate following the linear
+    scaling rule on the *realized* integer ratio — exactly as
+    :func:`scale_batch_sizes` does.
+
+    A *joining* replica warm-starts from the global model and ramps: it
+    enters at ``join_ramp`` of the survivors' mean rescaled batch size
+    (clamped to ``[b_min, b_max]``), with its learning rate linearly scaled
+    from the survivors' mean. Algorithm 1 then grows it toward parity over
+    subsequent mega-batches — the smooth re-entry the Dynamic-Mini-batch
+    paper prescribes in place of a cold restart.
+    """
+    n_survivors = len(batch_sizes)
+    if n_survivors == 0:
+        raise ConfigurationError("membership rescale needs >= 1 surviving device")
+    if len(learning_rates) != n_survivors:
+        raise ConfigurationError(
+            f"length mismatch: {n_survivors} batch sizes, "
+            f"{len(learning_rates)} learning rates"
+        )
+    if n_before < 1:
+        raise ConfigurationError(f"n_before must be >= 1, got {n_before}")
+    if n_joining < 0:
+        raise ConfigurationError(f"n_joining must be >= 0, got {n_joining}")
+    if not (1 <= b_min <= b_max):
+        raise ConfigurationError(f"need 1 <= b_min <= b_max, got [{b_min}, {b_max}]")
+    if not (0.0 < join_ramp <= 1.0):
+        raise ConfigurationError(f"join_ramp must be in (0, 1], got {join_ramp}")
+    for i, (b, lr) in enumerate(zip(batch_sizes, learning_rates)):
+        if not (b_min <= b <= b_max):
+            raise ConfigurationError(
+                f"survivor {i}: batch size {b} outside [{b_min}, {b_max}]"
+            )
+        if lr <= 0:
+            raise ConfigurationError(f"survivor {i}: learning rate {lr} must be > 0")
+
+    n_after = n_survivors + n_joining
+    ratio = n_before / n_after
+    new_b: List[int] = []
+    new_lr: List[float] = []
+    changed = False
+    for b, lr in zip(batch_sizes, learning_rates):
+        b_new = min(max(int(round(b * ratio)), b_min), b_max)
+        if b_new == b:
+            new_b.append(int(b))
+            new_lr.append(float(lr))
+            continue
+        new_b.append(b_new)
+        new_lr.append(float(lr) * (b_new / b))      # linear scaling rule
+        changed = True
+
+    target = float(np.mean(np.asarray(new_b, dtype=np.float64)))
+    join_b = min(max(int(round(join_ramp * target)), b_min), b_max)
+    mean_lr = float(np.mean(np.asarray(new_lr, dtype=np.float64)))
+    join_lr = mean_lr * (join_b / target) if target > 0 else mean_lr
+    return MembershipRescale(
+        batch_sizes=tuple(new_b),
+        learning_rates=tuple(new_lr),
+        join_batch_size=join_b,
+        join_learning_rate=float(join_lr),
+        changed=changed,
     )

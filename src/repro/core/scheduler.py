@@ -73,6 +73,10 @@ class DynamicScheduler:
         self.learning_rates: List[float] = [config.base_lr] * n_gpus
         self.updates: List[int] = [0] * n_gpus
         self._dispatched_open: List[int] = [0] * n_gpus
+        self._active: List[bool] = [True] * n_gpus
+        # Set once membership ever changes; the governor's fixed-width
+        # stability window is bypassed from then on.
+        self._elastic = False
         self._governor: Optional[ScalingGovernor] = (
             ScalingGovernor(StabilityDetector(n_gpus, config.b_max))
             if use_governor
@@ -90,6 +94,8 @@ class DynamicScheduler:
         of a mega-batch may therefore be smaller than ``b_i``).
         """
         self._check_gpu(gpu_id)
+        if not self._active[gpu_id]:
+            return None
         size = self.accountant.clamp(self.batch_sizes[gpu_id])
         if size == 0:
             return None
@@ -133,22 +139,27 @@ class DynamicScheduler:
         scaling_ran = False
         scaling_changed = False
         if self.config.enable_batch_scaling:
+            active = [i for i in range(self.n_gpus) if self._active[i]]
+            # The governor's stability window assumes a fixed device set, so
+            # on an elastic cluster (any slot inactive) Algorithm 1 always
+            # runs: a membership epoch is exactly when controls must move.
             run_now = (
                 self._governor.should_scale(self.batch_sizes)
-                if self._governor is not None
+                if self._governor is not None and not self._elastic
                 else True
             )
-            if run_now:
+            if run_now and active:
                 decision: ScalingDecision = scale_batch_sizes(
-                    self.batch_sizes,
-                    self.learning_rates,
-                    updates,
+                    [self.batch_sizes[i] for i in active],
+                    [self.learning_rates[i] for i in active],
+                    [updates[i] for i in active],
                     b_min=self.config.b_min,
                     b_max=self.config.b_max,
                     beta=self.config.beta,
                 )
-                self.batch_sizes = list(decision.batch_sizes)
-                self.learning_rates = list(decision.learning_rates)
+                for slot, i in enumerate(active):
+                    self.batch_sizes[i] = decision.batch_sizes[slot]
+                    self.learning_rates[i] = decision.learning_rates[slot]
                 scaling_ran = True
                 scaling_changed = decision.any_changed
 
@@ -165,6 +176,86 @@ class DynamicScheduler:
         self.updates = [0] * self.n_gpus
         self.accountant.roll_over()
         return report
+
+    # -- membership path -------------------------------------------------------
+    def is_active(self, gpu_id: int) -> bool:
+        """Whether the slot may be dispatched to (elastic membership)."""
+        self._check_gpu(gpu_id)
+        return self._active[gpu_id]
+
+    @property
+    def active_ids(self) -> Tuple[int, ...]:
+        return tuple(i for i in range(self.n_gpus) if self._active[i])
+
+    def deactivate(self, gpu_id: int, *, discard: bool = False) -> int:
+        """Remove a slot from dispatch (device left or failed).
+
+        Must be called at the merge barrier — the departing manager has
+        completed its in-flight batch, so no dispatch is open. With
+        ``discard=True`` (a *failed* replica) the slot's update count for
+        the closing mega-batch is zeroed so Algorithm 1 never sees work
+        that was thrown away; the count removed is returned. A graceful
+        *leave* keeps its updates: they merged.
+        """
+        self._check_gpu(gpu_id)
+        if self._dispatched_open[gpu_id]:
+            raise ScheduleError(
+                f"cannot deactivate GPU {gpu_id} with "
+                f"{self._dispatched_open[gpu_id]} open dispatches"
+            )
+        self._active[gpu_id] = False
+        self._elastic = True
+        discarded = 0
+        if discard:
+            discarded = self.updates[gpu_id]
+            self.updates[gpu_id] = 0
+        return discarded
+
+    def activate(
+        self, gpu_id: int, *, batch_size: int, learning_rate: float
+    ) -> None:
+        """Admit a slot to dispatch (device joined or re-joined).
+
+        ``gpu_id == n_gpus`` grows the scheduler by one slot (a freshly
+        provisioned device); otherwise an existing inactive slot re-enters.
+        The controls come from the Dynamic-Mini-batch rescale
+        (:func:`repro.core.scaling.rescale_for_membership`).
+        """
+        if not (self.config.b_min <= batch_size <= self.config.b_max):
+            raise ScheduleError(
+                f"join batch size {batch_size} outside "
+                f"[{self.config.b_min}, {self.config.b_max}]"
+            )
+        if learning_rate <= 0:
+            raise ScheduleError(f"join learning rate must be > 0, got {learning_rate}")
+        self._elastic = True
+        if gpu_id == self.n_gpus:
+            self.n_gpus += 1
+            self.batch_sizes.append(int(batch_size))
+            self.learning_rates.append(float(learning_rate))
+            self.updates.append(0)
+            self._dispatched_open.append(0)
+            self._active.append(True)
+            return
+        self._check_gpu(gpu_id)
+        if self._active[gpu_id]:
+            raise ScheduleError(f"GPU {gpu_id} is already active")
+        self._active[gpu_id] = True
+        self.batch_sizes[gpu_id] = int(batch_size)
+        self.learning_rates[gpu_id] = float(learning_rate)
+
+    def set_controls(self, gpu_id: int, *, batch_size: int, learning_rate: float) -> None:
+        """Overwrite one slot's controls (membership-epoch re-derivation)."""
+        self._check_gpu(gpu_id)
+        if not (self.config.b_min <= batch_size <= self.config.b_max):
+            raise ScheduleError(
+                f"batch size {batch_size} outside "
+                f"[{self.config.b_min}, {self.config.b_max}]"
+            )
+        if learning_rate <= 0:
+            raise ScheduleError(f"learning rate must be > 0, got {learning_rate}")
+        self.batch_sizes[gpu_id] = int(batch_size)
+        self.learning_rates[gpu_id] = float(learning_rate)
 
     # -- introspection --------------------------------------------------------
     @property

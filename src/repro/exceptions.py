@@ -44,5 +44,9 @@ class CommunicationError(ReproError, RuntimeError):
     """A collective (all-reduce) operation was invoked with invalid inputs."""
 
 
+class MembershipError(ReproError, RuntimeError):
+    """The elastic membership layer violated a lifecycle invariant."""
+
+
 class ConvergenceWarning(UserWarning):
     """Emitted when a trainer detects divergence or numeric instability."""

@@ -46,6 +46,34 @@ class MultiGPUServer:
         """Number of GPUs installed."""
         return len(self.gpus)
 
+    @property
+    def device_ids(self) -> List[int]:
+        """Installed device ids, in slot order."""
+        return [g.device_id for g in self.gpus]
+
+    def device(self, device_id: int) -> VirtualGPU:
+        """Look up an installed GPU by id (active or not)."""
+        for g in self.gpus:
+            if g.device_id == device_id:
+                return g
+        raise ConfigurationError(
+            f"no GPU with device_id {device_id}; installed: {self.device_ids}"
+        )
+
+    def add_gpu(self, gpu: VirtualGPU) -> None:
+        """Install a device at runtime (elastic ``join`` provisioning).
+
+        The interconnect is re-derived as a single-server PCIe tree over
+        the grown device set — the same constructor :func:`make_server`
+        uses — so collective timings stay consistent after a join.
+        """
+        if any(g.device_id == gpu.device_id for g in self.gpus):
+            raise ConfigurationError(
+                f"device_id {gpu.device_id} already installed"
+            )
+        self.gpus.append(gpu)
+        self.topology = InterconnectTopology.single_server_pcie(len(self.gpus))
+
     def speeds_at(self, t: float) -> List[float]:
         """Every GPU's speed multiplier at time ``t`` (diagnostics)."""
         return [g.speed_at(t) for g in self.gpus]

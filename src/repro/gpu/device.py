@@ -51,11 +51,35 @@ class VirtualGPU:
         self._busy_s = 0.0
         self._steps = 0
         self._intervals: list = []
+        self._speed_scale = 1.0
 
     # -- execution-time queries -----------------------------------------------
     def speed_at(self, t: float) -> float:
-        """The device's relative speed multiplier at simulated time ``t``."""
-        return self.profile.speed(t)
+        """The device's relative speed multiplier at simulated time ``t``.
+
+        The profile's deterministic trace times the dynamic membership
+        throttle scale (1.0 unless a ``throttle`` lifecycle event is in
+        effect).
+        """
+        return self.profile.speed(t) * self._speed_scale
+
+    @property
+    def speed_scale(self) -> float:
+        """Current dynamic throttle multiplier (1.0 = unthrottled)."""
+        return self._speed_scale
+
+    def set_speed_scale(self, factor: float) -> None:
+        """Apply a lifecycle ``throttle``/``recover`` speed multiplier.
+
+        Unlike :class:`~repro.gpu.profiles.ThrottledProfile` (a static,
+        pre-authored schedule), this is the mutable hook the elastic
+        membership layer drives from live timeline events.
+        """
+        if not (isinstance(factor, (int, float)) and factor > 0):
+            raise ConfigurationError(
+                f"speed scale must be > 0, got {factor!r}"
+            )
+        self._speed_scale = float(factor)
 
     def step_time(
         self, work: StepWorkload, t: float, *, n_active_gpus: int = 1

@@ -27,6 +27,7 @@ __all__ = [
     "render_straggler",
     "render_findings",
     "render_swaps",
+    "render_membership",
     "render_tenants",
     "render_comparison",
     "render_analysis",
@@ -256,6 +257,49 @@ def render_tenants(tenants: Mapping) -> str:
     return body
 
 
+def render_membership(membership: Mapping) -> str:
+    """Elastic-membership section for one run.
+
+    ``membership`` is the dict
+    :func:`repro.telemetry.analyze.membership_events` returns (event
+    counts, active-device envelope, per-event loss/latency attribution).
+    """
+    by_kind = membership.get("by_kind", {})
+    kinds = ", ".join(f"{k}: {n}" for k, n in sorted(by_kind.items()))
+    header = (
+        f"Membership — {membership['n_events']} events "
+        f"({membership['n_applied']} applied, "
+        f"{membership['n_suppressed']} suppressed)"
+    )
+    if kinds:
+        header += f" [{kinds}]"
+    lines = [header]
+    devices = membership.get("active_devices")
+    if devices:
+        lines.append(
+            f"  active devices: {devices['initial']:.0f} -> "
+            f"{devices['final']:.0f} "
+            f"(min {devices['min']:.0f}, max {devices['max']:.0f})"
+        )
+    for event in membership.get("events", []):
+        where = "driver" if event.get("device") is None else f"gpu{event['device']}"
+        piece = f"  {event['kind']} {where} @ {event['t']:.4g}s ({event['source']})"
+        if "factor" in event:
+            piece += f" x{event['factor']:.3g}"
+        if "loss_delta" in event:
+            piece += (
+                f": loss {event['loss_before']:.4g} -> "
+                f"{event['loss_after']:.4g} ({event['loss_delta']:+.4g})"
+            )
+        if "p99_in_window_s" in event and "p99_steady_s" in event:
+            piece += (
+                f": p99 in window {event['p99_in_window_s'] * 1e3:.4g} ms "
+                f"vs steady {event['p99_steady_s'] * 1e3:.4g} ms"
+            )
+        lines.append(piece)
+    return "\n".join(lines)
+
+
 def render_comparison(cmp) -> str:
     """Phase-by-phase comparison of two runs
     (``repro.telemetry.compare.RunComparison``)."""
@@ -330,6 +374,7 @@ def render_analysis(source, *, run=None, width: int = 64) -> str:
     from repro.telemetry.analyze import (
         attribute_time,
         critical_path,
+        membership_events,
         swap_events,
         tenant_breakdown,
     )
@@ -351,6 +396,9 @@ def render_analysis(source, *, run=None, width: int = 64) -> str:
         swaps = swap_events(run_data)
         if swaps is not None:
             parts.append(render_swaps(swaps))
+        membership = membership_events(run_data)
+        if membership is not None:
+            parts.append(render_membership(membership))
         tenants = tenant_breakdown(run_data)
         if tenants is not None:
             parts.append(render_tenants(tenants))

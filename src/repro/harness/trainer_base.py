@@ -202,6 +202,55 @@ class TrainerBase(ABC):
             for device, lr in enumerate(learning_rates):
                 tel.gauge(GAUGE_LR, lr, device=device)
 
+    def apply_membership_rescale(
+        self,
+        scheduler,
+        *,
+        survivors,
+        joined,
+        n_before: int,
+    ):
+        """Re-derive per-device controls at a membership epoch.
+
+        Runs the Dynamic-Mini-batch rescale
+        (:func:`repro.core.scaling.rescale_for_membership`) over the
+        surviving slots, writes the new batch sizes / learning rates back
+        into the scheduler, activates each joining slot at the ramped
+        entry controls, and gauges the updated controls — so every trainer
+        driving an elastic cluster re-derives its controls the same way.
+        Returns the :class:`~repro.core.scaling.MembershipRescale`.
+        """
+        from repro.core.scaling import rescale_for_membership
+
+        if not survivors:
+            raise ConfigurationError(
+                "membership rescale with no surviving devices"
+            )
+        rescale = rescale_for_membership(
+            [scheduler.batch_sizes[i] for i in survivors],
+            [scheduler.learning_rates[i] for i in survivors],
+            n_before=n_before,
+            n_joining=len(joined),
+            b_min=scheduler.config.b_min,
+            b_max=scheduler.config.b_max,
+        )
+        for slot, i in enumerate(survivors):
+            scheduler.set_controls(
+                i,
+                batch_size=rescale.batch_sizes[slot],
+                learning_rate=rescale.learning_rates[slot],
+            )
+        for device_id in joined:
+            scheduler.activate(
+                device_id,
+                batch_size=rescale.join_batch_size,
+                learning_rate=rescale.join_learning_rate,
+            )
+        self.record_device_controls(
+            scheduler.batch_sizes, scheduler.learning_rates
+        )
+        return rescale
+
     def _as_snapshot(self, **meta):
         """The last-checkpointed model as a ModelSnapshot with provenance."""
         from repro.serve.snapshot import ModelSnapshot

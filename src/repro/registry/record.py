@@ -228,6 +228,12 @@ def _trace_headline(trace: TrainingTrace) -> Dict[str, float]:
     if trace.points:
         out["updates"] = float(trace.points[-1].updates)
         out["samples"] = float(trace.points[-1].samples)
+    membership = getattr(trace, "metadata", {}).get("membership")
+    if isinstance(membership, Mapping):
+        # Elastic runs carry the event count + final device set even when
+        # no telemetry recorder was attached.
+        out["n_membership_events"] = float(membership.get("n_events", 0))
+        out["final_devices"] = float(membership.get("final_devices", 0))
     return {k: v for k, v in out.items() if math.isfinite(v)}
 
 

@@ -25,7 +25,12 @@ The dataclass owns four option families:
   :class:`~repro.serve.queue.TenantScheduler`;
 - **continuous learning** — the hot-swap protocol: poll cadence, canary
   probe size, the tolerated recall@k drop and latency factor that trigger
-  automatic rollback.
+  automatic rollback;
+- **elastic membership** — the cadence at which the engine polls a
+  :class:`~repro.elastic.membership.ClusterMembership` for lifecycle
+  events, and the queue-depth autoscaler that admits/retires workers
+  through the same membership object (``autoscale`` + hysteresis
+  thresholds).
 """
 
 from __future__ import annotations
@@ -109,6 +114,22 @@ class ServingConfig:
     #: Completed requests needed on each side of a swap before the latency
     #: canary is trusted.
     canary_min_samples: int = 32
+
+    # -- elastic membership ---------------------------------------------------
+    #: Sim seconds between membership polls (lifecycle events + autoscaler
+    #: decisions). Only consulted when a membership object is attached.
+    membership_check_every_s: float = 1e-3
+    #: Enable the queue-depth autoscaler: admit a device when the queue
+    #: exceeds ``autoscale_high_depth``, retire the most recently
+    #: autoscaler-admitted one when it falls to ``autoscale_low_depth``.
+    autoscale: bool = False
+    #: Queue depth at or above which the autoscaler admits one device.
+    autoscale_high_depth: int = 64
+    #: Queue depth at or below which the autoscaler retires one of its own
+    #: admissions (never a baseline device).
+    autoscale_low_depth: int = 4
+    #: The autoscaler never retires below this many active devices.
+    autoscale_min_devices: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in SERVE_MODES:
@@ -215,6 +236,26 @@ class ServingConfig:
             raise ConfigurationError(
                 f"canary_min_samples must be >= 1, "
                 f"got {self.canary_min_samples}"
+            )
+        if not (self.membership_check_every_s > 0):
+            raise ConfigurationError(
+                f"membership_check_every_s must be > 0, "
+                f"got {self.membership_check_every_s}"
+            )
+        if self.autoscale_low_depth < 0:
+            raise ConfigurationError(
+                f"autoscale_low_depth must be >= 0, "
+                f"got {self.autoscale_low_depth}"
+            )
+        if self.autoscale_high_depth <= self.autoscale_low_depth:
+            raise ConfigurationError(
+                f"need autoscale_high_depth > autoscale_low_depth, got "
+                f"[{self.autoscale_low_depth}, {self.autoscale_high_depth}]"
+            )
+        if self.autoscale_min_devices < 1:
+            raise ConfigurationError(
+                f"autoscale_min_devices must be >= 1, "
+                f"got {self.autoscale_min_devices}"
             )
 
     @classmethod

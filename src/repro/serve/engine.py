@@ -62,6 +62,32 @@ under live traffic:
    resolves; retired versions free their predictors once their last pinned
    request completes.
 
+**Elastic membership.** Given a
+:class:`~repro.elastic.membership.ClusterMembership` (``membership=`` at
+serve time), a driver-level **membership manager** process polls the
+lifecycle timeline every ``membership_check_every_s`` sim seconds and
+applies events between batches:
+
+- ``throttle``/``recover`` change a device's dynamic speed scale — the
+  next batch it prices is slower/faster, nothing else moves;
+- ``fail``/``leave`` drop the device from the active set: its worker
+  finishes the in-flight batch (sim timeouts are uninterruptible — the
+  retirement drain), then parks; queued work re-routes to the survivors
+  on their next pull;
+- ``join`` provisions a fresh device (or re-admits a parked one) and the
+  manager spawns a worker for it immediately — serving has no warm-start
+  barrier, so joins take effect at the next dispatch.
+
+With ``autoscale=True`` the same manager runs a queue-depth autoscaler
+through the same membership object: depth at or above
+``autoscale_high_depth × (1 + admitted)`` admits one device
+(``membership.admit``, source ``"autoscaler"``); depth at or below
+``autoscale_low_depth`` retires the most recent autoscaler admission
+(never a baseline device, never below ``autoscale_min_devices``). Every
+transition lands in telemetry as a ``membership.event`` instant plus the
+``active_devices`` gauge, so ``repro analyze`` can attribute latency
+spikes to the membership event that caused them.
+
 Telemetry mirrors training: a ``serve.batch`` span per dispatched batch
 (device compute, feeds the idle accountant), a retroactive
 ``serve.request`` span per request spanning enqueue → response, and the
@@ -166,6 +192,15 @@ class ServeResult:
     mis_versioned: int = 0
     #: The version serving when the run ended.
     active_version: Optional[int] = None
+    #: One dict per delivered lifecycle event (elastic runs only).
+    membership_events: List[dict] = field(default_factory=list)
+    #: Delivered lifecycle events, applied + suppressed.
+    n_membership_events: int = 0
+    #: Active devices when the run ended (None for a static run).
+    final_devices: Optional[int] = None
+    #: Devices the queue-depth autoscaler admitted / retired.
+    n_autoscale_admits: int = 0
+    n_autoscale_retires: int = 0
 
     def headline_metrics(self) -> dict:
         """Flat finite-float metrics for the cross-run index.
@@ -195,6 +230,11 @@ class ServeResult:
             out["mean_candidate_fraction"] = float(self.mean_candidate_fraction)
         if self.fairness is not None:
             out["fairness"] = float(self.fairness)
+        if self.final_devices is not None:
+            out["n_membership_events"] = float(self.n_membership_events)
+            out["final_devices"] = float(self.final_devices)
+            out["n_autoscale_admits"] = float(self.n_autoscale_admits)
+            out["n_autoscale_retires"] = float(self.n_autoscale_retires)
         return {k: v for k, v in out.items() if math.isfinite(v)}
 
     def as_dict(self) -> dict:
@@ -238,6 +278,14 @@ class ServeResult:
                 "mis_versioned": self.mis_versioned,
                 "active_version": self.active_version,
             })
+        if self.final_devices is not None:
+            out["membership"] = {
+                "events": list(self.membership_events),
+                "n_events": self.n_membership_events,
+                "final_devices": self.final_devices,
+                "n_autoscale_admits": self.n_autoscale_admits,
+                "n_autoscale_retires": self.n_autoscale_retires,
+            }
         return out
 
 
@@ -302,6 +350,7 @@ class ServingEngine:
         canary_labels: Optional[sp.csr_matrix] = None,
         tenants: Optional[np.ndarray] = None,
         priority_classes: Optional[np.ndarray] = None,
+        membership=None,
     ) -> ServeResult:
         """Replay ``arrival_times`` over ``X_queries``; return the result.
 
@@ -322,8 +371,29 @@ class ServingEngine:
         one on the probe block, and a drop beyond
         ``config.canary_recall_drop`` triggers rollback. Without labels the
         recall canary is skipped (the latency canary still applies).
+
+        ``membership`` (a
+        :class:`~repro.elastic.membership.ClusterMembership` over *this*
+        engine's server) turns the cluster elastic: lifecycle events from
+        its timeline — and, with ``config.autoscale``, queue-depth
+        admit/retire decisions — are applied between batches by a
+        membership-manager process. The result gains
+        ``membership_events`` / ``final_devices`` and their headline
+        metrics.
         """
         cfg = self.config
+        if membership is not None:
+            from repro.elastic.membership import ClusterMembership
+
+            if not isinstance(membership, ClusterMembership):
+                raise ConfigurationError(
+                    f"membership must be a ClusterMembership, "
+                    f"got {type(membership).__name__}"
+                )
+            if membership.server is not self.server:
+                raise ConfigurationError(
+                    "membership is bound to a different server than this engine"
+                )
         k = cfg.k if k is None else int(k)
         arrival_times = np.asarray(arrival_times, dtype=np.float64)
         n_requests = arrival_times.size
@@ -503,7 +573,16 @@ class ServingEngine:
 
         def worker(env: Environment, gpu):
             device = gpu.device_id
+            per_device.setdefault(device, 0)
             while True:
+                # A retired/failed device parks between batches: the
+                # in-flight batch (if any) already completed, queued work
+                # re-routes to the survivors, and a later rejoin wakes it.
+                if membership is not None and not membership.is_active(device):
+                    if _drained():
+                        return None
+                    yield state["wakeup"]
+                    continue
                 if scheduler.depth == 0:
                     if state["arrivals_done"]:
                         return None
@@ -745,6 +824,60 @@ class ServingEngine:
                     _retire(prev_version)
             return None
 
+        # -- elastic membership ----------------------------------------------
+        #: Device ids with a worker process spawned (joins add to it).
+        worker_ids: Set[int] = {g.device_id for g in self.server.gpus}
+        autoscale_counts = {"admits": 0, "retires": 0}
+
+        def _spawn_new_workers() -> None:
+            for gpu in self.server.gpus:
+                if gpu.device_id not in worker_ids:
+                    worker_ids.add(gpu.device_id)
+                    env.process(worker(env, gpu), name=f"serve-{gpu.name}")
+
+        def membership_manager(env: Environment, membership):
+            #: Stack of autoscaler-admitted device ids (retire newest first).
+            admitted: List[int] = []
+            while not _drained():
+                applied = membership.poll(env.now)
+                if cfg.autoscale:
+                    depth = scheduler.depth
+                    # Each further admission demands proportionally more
+                    # backlog — hysteresis against per-tick flapping.
+                    threshold = cfg.autoscale_high_depth * (1 + len(admitted))
+                    if depth >= threshold:
+                        event = membership.admit(env.now)
+                        if event.applied:
+                            admitted.append(event.device_id)
+                            autoscale_counts["admits"] += 1
+                            applied.append(event)
+                    elif (
+                        depth <= cfg.autoscale_low_depth
+                        and admitted
+                        and membership.n_active > cfg.autoscale_min_devices
+                    ):
+                        event = membership.retire(env.now, admitted[-1])
+                        if event.applied:
+                            admitted.pop()
+                            autoscale_counts["retires"] += 1
+                            applied.append(event)
+                if applied:
+                    _spawn_new_workers()
+                    scheduler.set_n_devices(max(1, membership.n_active))
+                    _wake_all()
+                # Sleep until the next timeline event if it lands before
+                # the autoscaler cadence — a sub-cadence event must not be
+                # slept past (short sims run far below the default 1 ms).
+                delay = cfg.membership_check_every_s
+                next_t = membership.next_event_t()
+                if next_t is not None and next_t > env.now:
+                    delay = min(delay, next_t - env.now)
+                yield env.timeout(delay)
+            # Parked (inactive) workers check _drained() on wake — release
+            # them so the run can end.
+            _wake_all()
+            return None
+
         tel.attach(
             env,
             algorithm=f"serve-{self.mode}",
@@ -755,7 +888,10 @@ class ServingEngine:
             use_lsh=self.use_lsh,
             n_requests=n_requests,
             hot_swap=self.store is not None,
+            elastic=membership is not None,
         )
+        if membership is not None:
+            membership.telemetry = tel
         try:
             with tel.span(SPAN_RUN, mode=self.mode, n_requests=n_requests):
                 env.process(source(env), name="serve-source")
@@ -764,6 +900,11 @@ class ServingEngine:
                 if self.store is not None:
                     env.process(
                         swap_manager(env, self.store), name="serve-swap"
+                    )
+                if membership is not None:
+                    env.process(
+                        membership_manager(env, membership),
+                        name="serve-membership",
                     )
                 env.run()
         finally:
@@ -870,4 +1011,28 @@ class ServingEngine:
             versions_served=versions_served,
             mis_versioned=mis_versioned,
             active_version=active["version"],
+            membership_events=(
+                [
+                    {
+                        "t": e.t,
+                        "kind": e.kind,
+                        "device_id": e.device_id,
+                        "factor": e.factor,
+                        "source": e.source,
+                        "applied": e.applied,
+                        "note": e.note,
+                    }
+                    for e in membership.applied_events
+                ]
+                if membership is not None
+                else []
+            ),
+            n_membership_events=(
+                membership.n_events if membership is not None else 0
+            ),
+            final_devices=(
+                membership.n_active if membership is not None else None
+            ),
+            n_autoscale_admits=autoscale_counts["admits"],
+            n_autoscale_retires=autoscale_counts["retires"],
         )

@@ -302,6 +302,13 @@ class TenantScheduler:
             return 0.0
         return min(1.0, self._busy_s / (self._n_devices * now))
 
+    def set_n_devices(self, n_devices: int) -> None:
+        """Track elastic membership: the capacity the utilization gate
+        divides by follows the *active* device count."""
+        if n_devices < 1:
+            raise ConfigurationError(f"n_devices must be >= 1, got {n_devices}")
+        self._n_devices = int(n_devices)
+
     def shed_gate(self, priority_class: int) -> Optional[float]:
         """Utilization at which ``priority_class`` is shed (None = never)."""
         if self._util_threshold is None or priority_class <= 0:

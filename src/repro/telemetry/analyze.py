@@ -21,10 +21,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.telemetry.events import (
     COUNTER_UPDATES,
+    EVENT_MEMBERSHIP,
     EVENT_SHED,
     EVENT_SWAP_COMMIT,
     EVENT_SWAP_FAILED,
     EVENT_SWAP_ROLLBACK,
+    GAUGE_ACTIVE_DEVICES,
+    GAUGE_LOSS,
     SPAN_ALLREDUCE,
     SPAN_LSH_REBUILD,
     SPAN_MERGE,
@@ -47,6 +50,7 @@ __all__ = [
     "utilization_lanes",
     "scoring_split",
     "swap_events",
+    "membership_events",
     "tenant_breakdown",
     "headline_metrics",
     "analyze_report",
@@ -592,6 +596,100 @@ def swap_events(run: "RunData") -> Optional[dict]:
     return out
 
 
+def membership_events(run: "RunData") -> Optional[dict]:
+    """Elastic-membership attribution from ``membership.event`` instants.
+
+    Returns ``None`` for runs with no membership activity. Otherwise a
+    summary — delivered / applied / suppressed counts, per-kind and
+    per-source breakdowns, the ``active_devices`` gauge envelope — plus
+    one entry per *applied* event attributing its local impact:
+
+    - training runs get the loss gauge straddling the event (last sample
+      before vs first after, and the delta — the "convergence blip");
+    - serving runs get the p99 of requests whose lifetime overlapped the
+      post-event window versus the steady p99 of everything else (the
+      same windowing :func:`swap_events` uses for warmings).
+    """
+    from repro.serve.loadgen import nearest_rank_percentile
+
+    instants = [i for i in run.instants if i.name == EVENT_MEMBERSHIP]
+    if not instants:
+        return None
+    by_kind: Dict[str, int] = {}
+    by_source: Dict[str, int] = {}
+    applied_count = 0
+    for instant in instants:
+        kind = str(instant.args.get("kind", "?"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        source = str(instant.args.get("source", "?"))
+        by_source[source] = by_source.get(source, 0) + 1
+        if instant.args.get("applied"):
+            applied_count += 1
+    out: Dict[str, object] = {
+        "n_events": len(instants),
+        "n_applied": applied_count,
+        "n_suppressed": len(instants) - applied_count,
+        "by_kind": dict(sorted(by_kind.items())),
+        "by_source": dict(sorted(by_source.items())),
+    }
+    devices = run.series(GAUGE_ACTIVE_DEVICES)
+    if devices:
+        values = [v for _, v in devices]
+        out["active_devices"] = {
+            "initial": values[0],
+            "final": values[-1],
+            "min": min(values),
+            "max": max(values),
+        }
+    loss = [(t, v) for t, v in run.series(GAUGE_LOSS) if math.isfinite(v)]
+    requests = run.spans_named(SPAN_SERVE_REQUEST)
+    # Post-event attribution window: until the next membership event (or
+    # run end), capped at a tenth of the run — local impact, not drift.
+    cap = run.duration() / 10 if run.duration() > 0 else float("inf")
+    times = sorted(i.ts for i in instants)
+    events = []
+    for instant in instants:
+        if not instant.args.get("applied"):
+            continue
+        t = instant.ts
+        entry: Dict[str, object] = {
+            "t": t,
+            "kind": str(instant.args.get("kind", "?")),
+            "device": instant.device,
+            "source": str(instant.args.get("source", "?")),
+        }
+        if "factor" in instant.args:
+            entry["factor"] = instant.args["factor"]
+        if loss:
+            before = [v for ts, v in loss if ts <= t]
+            after = [v for ts, v in loss if ts > t]
+            if before and after:
+                entry["loss_before"] = before[-1]
+                entry["loss_after"] = after[0]
+                entry["loss_delta"] = after[0] - before[-1]
+        if requests:
+            later = [ts for ts in times if ts > t]
+            t1 = min(later[0] if later else t + cap, t + cap)
+            in_window = [
+                r.dur for r in requests if r.ts <= t1 and r.ts + r.dur >= t
+            ]
+            steady = [
+                r.dur
+                for r in requests
+                if not (r.ts <= t1 and r.ts + r.dur >= t)
+            ]
+            entry["requests_in_window"] = len(in_window)
+            if in_window:
+                entry["p99_in_window_s"] = nearest_rank_percentile(
+                    in_window, 99
+                )
+            if steady:
+                entry["p99_steady_s"] = nearest_rank_percentile(steady, 99)
+        events.append(entry)
+    out["events"] = events
+    return out
+
+
 def tenant_breakdown(run: "RunData") -> Optional[dict]:
     """Per-tenant/per-class serving summary from a multi-tenant trace.
 
@@ -714,6 +812,12 @@ def headline_metrics(run: RunData) -> Dict[str, float]:
     updates = _total_updates(run)
     if updates > 0:
         out["updates_total"] = updates
+    membership = [i for i in run.instants if i.name == EVENT_MEMBERSHIP]
+    if membership:
+        out["n_membership_events"] = len(membership)
+        devices = run.series(GAUGE_ACTIVE_DEVICES)
+        if devices:
+            out["final_devices"] = devices[-1][1]
     for name, total, _count in _phase_totals(run):
         out[f"span/{name}_s"] = total
     return {k: float(v) for k, v in out.items() if math.isfinite(v)}
@@ -755,6 +859,9 @@ def analyze_report(source, *, run: Optional[int] = None) -> dict:
         swaps = swap_events(run_data)
         if swaps is not None:
             entry["serving_swaps"] = swaps
+        membership = membership_events(run_data)
+        if membership is not None:
+            entry["membership"] = membership
         tenants = tenant_breakdown(run_data)
         if tenants is not None:
             entry["serving_tenants"] = tenants

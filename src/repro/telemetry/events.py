@@ -34,7 +34,12 @@ Instant events:
   checksum, version skew) and was skipped; the prior version kept serving;
 - ``admission.shed`` — admission control rejected or displaced one request
   (args carry ``tenant``, ``priority_class``, and the ``reason``:
-  ``utilization``, ``capacity``, or ``displaced``).
+  ``utilization``, ``capacity``, or ``displaced``);
+- ``membership.event`` — one device-lifecycle transition applied by the
+  elastic layer (args carry ``kind`` — join/leave/fail/throttle/recover —
+  the target ``device``, the throttle ``factor`` when applicable, the
+  ``source``: ``timeline`` or ``autoscaler``, and ``applied``/``note`` when
+  the never-empty guard suppressed the transition).
 
 Counters / gauges (per-device monitors stamped with the simulated clock):
 
@@ -43,7 +48,9 @@ Counters / gauges (per-device monitors stamped with the simulated clock):
 - ``staleness`` — per-boundary update-count spread;
 - ``accuracy`` / ``loss`` — the checkpoint curve;
 - ``swaps`` / ``rollbacks`` / ``swap_failures`` — hot-swap outcomes;
-- ``shed`` — requests rejected by admission control.
+- ``shed`` — requests rejected by admission control;
+- ``active_devices`` — size of the elastic active set, sampled at every
+  applied membership event and at each membership epoch.
 
 Span/instant ``device`` is the GPU index (``None`` for driver-level events:
 merges, checkpoints, the run span itself).
@@ -72,6 +79,7 @@ __all__ = [
     "EVENT_SWAP_ROLLBACK",
     "EVENT_SWAP_FAILED",
     "EVENT_SHED",
+    "EVENT_MEMBERSHIP",
     "COUNTER_UPDATES",
     "COUNTER_SWAPS",
     "COUNTER_ROLLBACKS",
@@ -82,6 +90,7 @@ __all__ = [
     "GAUGE_STALENESS",
     "GAUGE_ACCURACY",
     "GAUGE_LOSS",
+    "GAUGE_ACTIVE_DEVICES",
     "CORE_SPANS",
     "CORE_GAUGES",
 ]
@@ -103,6 +112,7 @@ EVENT_SWAP_COMMIT = "swap.commit"
 EVENT_SWAP_ROLLBACK = "swap.rollback"
 EVENT_SWAP_FAILED = "swap.failed"
 EVENT_SHED = "admission.shed"
+EVENT_MEMBERSHIP = "membership.event"
 
 COUNTER_UPDATES = "updates"
 COUNTER_SWAPS = "swaps"
@@ -114,6 +124,7 @@ GAUGE_LR = "lr"
 GAUGE_STALENESS = "staleness"
 GAUGE_ACCURACY = "accuracy"
 GAUGE_LOSS = "loss"
+GAUGE_ACTIVE_DEVICES = "active_devices"
 
 #: Every trainer must emit at least these spans / gauges (parity-tested).
 CORE_SPANS = (SPAN_RUN, SPAN_STEP)

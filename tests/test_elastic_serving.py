@@ -1,0 +1,188 @@
+"""Elastic serving: churned replay, the autoscaler, and result plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.elastic import ClusterMembership, MembershipEvent, MembershipTimeline
+from repro.exceptions import ConfigurationError
+from repro.gpu.cluster import make_server
+from repro.gpu.cost import GpuCostParams
+from repro.harness.report import render_membership
+from repro.serve import (
+    LoadSpec,
+    ModelSnapshot,
+    Predictor,
+    ServingEngine,
+    generate_arrivals,
+)
+from repro.serve.config import ServingConfig
+from repro.serve.queue import TenantScheduler
+from repro.sparse.mlp import MLPArchitecture, SparseMLP
+
+
+@pytest.fixture(scope="module")
+def predictor(micro_task):
+    arch = MLPArchitecture(
+        micro_task.n_features, micro_task.n_labels, hidden=(32,)
+    )
+    state = SparseMLP(arch).init_state(seed=21)
+    snapshot = ModelSnapshot(arch=arch, state=state, meta={"dataset": "micro"})
+    return Predictor(snapshot)
+
+
+def serve_server(n_gpus=2, seed=0):
+    return make_server(
+        n_gpus, cost_params=GpuCostParams.tiny_model_profile(), seed=seed
+    )
+
+
+def arrivals_for(predictor, X, n_requests, *, seed=0, factor=10.0):
+    work = predictor.workload(X[:1])
+    per_request = serve_server().gpus[0].cost_model.inference_time(
+        work, n_active_gpus=2
+    )
+    rate = factor * 2 / per_request
+    spec = LoadSpec(n_requests=n_requests, rate_rps=rate, seed=seed)
+    return generate_arrivals(spec)
+
+
+def churned_serve(predictor, X, events, *, n_requests=150, mode="adaptive",
+                  n_gpus=2, **options):
+    arrivals = arrivals_for(predictor, X, n_requests)
+    span = float(arrivals[-1])
+    server = serve_server(n_gpus)
+    timeline = MembershipTimeline([
+        e if isinstance(e, MembershipEvent)
+        else MembershipEvent(e[0] * span, *e[1:])
+        for e in events
+    ])
+    membership = ClusterMembership(server, timeline)
+    options.setdefault("membership_check_every_s", span / 256.0)
+    engine = ServingEngine(predictor, server, mode=mode, **options)
+    result = engine.serve(X, arrivals, k=5, membership=membership)
+    return result, membership
+
+
+class TestChurnedServing:
+    def test_fail_mid_run_still_serves_everything(self, predictor, micro_task):
+        X = micro_task.test.X
+        result, membership = churned_serve(
+            predictor, X, [(0.4, "fail", 1)]
+        )
+        assert all(r.t_done is not None for r in result.requests)
+        assert membership.n_active == 1
+        assert result.n_membership_events == 1
+        assert result.final_devices == 1
+        # the survivor absorbed the failed device's share
+        assert result.per_device[0] > result.per_device.get(1, 0)
+
+    def test_join_mid_run_takes_load(self, predictor, micro_task):
+        X = micro_task.test.X
+        result, membership = churned_serve(
+            predictor, X, [(0.3, "join", 2)]
+        )
+        assert membership.n_active == 3
+        assert result.final_devices == 3
+        assert result.per_device.get(2, 0) > 0  # the joiner served requests
+        assert all(r.t_done is not None for r in result.requests)
+
+    def test_throttle_and_recover(self, predictor, micro_task):
+        X = micro_task.test.X
+        result, membership = churned_serve(
+            predictor, X,
+            [(0.3, "throttle", 0, 0.25), (0.7, "recover", 0)],
+        )
+        assert result.n_membership_events == 2
+        assert membership.server.device(0).speed_scale == 1.0
+        assert all(r.t_done is not None for r in result.requests)
+
+    def test_membership_events_in_result_dict(self, predictor, micro_task):
+        X = micro_task.test.X
+        result, _ = churned_serve(predictor, X, [(0.4, "fail", 1)])
+        out = result.as_dict()
+        assert out["membership"]["n_events"] == 1
+        assert out["membership"]["final_devices"] == 1
+        (event,) = out["membership"]["events"]
+        assert event["kind"] == "fail" and event["applied"]
+        headline = result.headline_metrics()
+        assert headline["n_membership_events"] == 1.0
+        assert headline["final_devices"] == 1.0
+
+    def test_static_run_has_no_membership_keys(self, predictor, micro_task):
+        X = micro_task.test.X
+        arrivals = arrivals_for(predictor, X, 60)
+        engine = ServingEngine(predictor, serve_server(), mode="adaptive")
+        result = engine.serve(X, arrivals, k=5)
+        assert result.final_devices is None
+        assert "membership" not in result.as_dict()
+        assert "n_membership_events" not in result.headline_metrics()
+
+    def test_membership_for_wrong_server_rejected(self, predictor, micro_task):
+        X = micro_task.test.X
+        arrivals = arrivals_for(predictor, X, 20)
+        engine = ServingEngine(predictor, serve_server(), mode="adaptive")
+        other = ClusterMembership(serve_server(), MembershipTimeline([]))
+        with pytest.raises(ConfigurationError):
+            engine.serve(X, arrivals, k=5, membership=other)
+
+
+class TestAutoscaler:
+    def test_burst_admits_then_quiet_retires(self, predictor, micro_task):
+        X = micro_task.test.X
+        burst = arrivals_for(predictor, X, 240, factor=40.0)
+        quiet_gap = float(burst[-1])
+        quiet = burst[-1] + np.linspace(
+            quiet_gap * 0.5, quiet_gap * 6.0, 80
+        )
+        arrivals = np.concatenate([burst, quiet])
+        server = serve_server(2)
+        membership = ClusterMembership(server, MembershipTimeline([]))
+        engine = ServingEngine(
+            predictor, server, mode="adaptive", autoscale=True,
+            autoscale_high_depth=16, autoscale_low_depth=2,
+            membership_check_every_s=float(arrivals[-1]) / 512.0,
+        )
+        result = engine.serve(X, arrivals, k=5, membership=membership)
+        assert result.n_autoscale_admits >= 1
+        assert result.n_autoscale_retires >= 1
+        assert membership.n_active == 2  # back to baseline after the burst
+        assert all(r.t_done is not None for r in result.requests)
+
+    def test_autoscale_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServingConfig.from_options(autoscale_high_depth=4,
+                                       autoscale_low_depth=8)
+        with pytest.raises(ConfigurationError):
+            ServingConfig.from_options(membership_check_every_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServingConfig.from_options(autoscale_min_devices=0)
+
+
+class TestSchedulerDeviceCount:
+    def test_set_n_devices(self):
+        sched = TenantScheduler(n_devices=2)
+        sched.set_n_devices(4)
+        assert sched._n_devices == 4
+        with pytest.raises(ConfigurationError):
+            sched.set_n_devices(0)
+
+
+class TestReportRendering:
+    def test_render_membership_lists_events(self):
+        text = render_membership({
+            "n_events": 2,
+            "n_applied": 2,
+            "n_suppressed": 0,
+            "by_kind": {"fail": 1, "join": 1},
+            "by_source": {"timeline": 2},
+            "active_devices": {"initial": 4, "final": 4, "min": 3, "max": 4},
+            "events": [
+                {"t": 0.01, "kind": "fail", "device": 2, "source": "timeline",
+                 "loss_before": 1.2, "loss_after": 1.4, "loss_delta": 0.2},
+                {"t": 0.02, "kind": "join", "device": 4, "source": "timeline",
+                 "requests_in_window": 12, "p99_in_window_s": 0.004,
+                 "p99_steady_s": 0.002},
+            ],
+        })
+        assert "fail" in text and "join" in text
+        assert "device" in text.lower()
